@@ -1,0 +1,78 @@
+"""The paper's NLP projection: BERT on the Mix-GEMM SoC.
+
+Section IV: "low mixed-precision quantization of BERT ... whose compute
+expansive kernels based on matrix-matrix multiplications could be
+accelerated exploiting Mix-GEMM".  This benchmark runs the BERT-base
+encoder's exact GEMM sequence through the performance and energy models.
+"""
+
+import pytest
+
+from repro.core.config import MixGemmConfig
+from repro.models.transformer import bert_base, project_gemm_workload
+from repro.sim.energy import EnergyModel
+from repro.sim.perf import MixGemmPerfModel
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return bert_base(seq_len=128)
+
+
+def test_bert_projection(benchmark, save_result, workload):
+    perf = MixGemmPerfModel()
+    energy = EnergyModel()
+
+    def sweep():
+        out = {}
+        for bits in (8, 6, 4, 2):
+            cfg = MixGemmConfig(bw_a=bits, bw_b=bits)
+            r = project_gemm_workload(workload, perf, cfg)
+            eff = energy.from_perf(r, cfg)
+            out[bits] = (r.gops, r.seconds, eff.gops_per_watt)
+        return out
+
+    results = benchmark(sweep)
+    lines = [f"BERT-base (seq 128, {workload.total_macs / 1e9:.1f} GMAC) "
+             f"projected on the Mix-GEMM SoC:"]
+    for bits, (gops, seconds, eff) in results.items():
+        lines.append(
+            f"  a{bits}-w{bits}: {gops:5.2f} GOPS, "
+            f"{seconds:5.2f} s/sequence, {eff:6.0f} GOPS/W"
+        )
+    save_result("bert_projection", "\n".join(lines))
+    gops_ladder = [v[0] for v in results.values()]
+    assert gops_ladder == sorted(gops_ladder)
+
+
+def test_bert_speedup_band_matches_cnn_trend(benchmark, workload):
+    perf = MixGemmPerfModel()
+
+    def ratio():
+        r8 = project_gemm_workload(workload, perf,
+                                   MixGemmConfig(bw_a=8, bw_b=8))
+        r2 = project_gemm_workload(workload, perf,
+                                   MixGemmConfig(bw_a=2, bw_b=2))
+        return r2.gops / r8.gops
+
+    gain = benchmark(ratio)
+    # The 8-bit -> 2-bit gain on large GEMMs tracks the Figure 6 ratio
+    # (27.2 / 10.2 = 2.67x).
+    assert 2.0 < gain < 3.0
+
+
+def test_sequence_length_sensitivity(benchmark):
+    from repro.models.transformer import bert_base as build
+
+    perf = MixGemmPerfModel()
+    cfg = MixGemmConfig(bw_a=4, bw_b=4)
+
+    def sweep():
+        return {
+            s: project_gemm_workload(build(s), perf, cfg).gops
+            for s in (64, 128, 256)
+        }
+
+    gops = benchmark(sweep)
+    # Longer sequences mean bigger GEMMs and better utilization.
+    assert gops[256] >= gops[64]

@@ -1,0 +1,58 @@
+"""Section III-C in-text DSE numbers: buffer stalls and padding.
+
+Runs the event-driven u-engine over GEMM tasks at Source Buffer depths
+8/16/32 and reads the PMU (paper: 17.8%/14.3%/11.2% full-buffer stalls,
+bs.get stalls only at depth 32, 2.3%), plus the zero-padding memory
+overhead across all 49 configurations (paper: 2.4% average).
+"""
+
+import pytest
+
+from repro.sim.dse import (
+    average_padding_overhead,
+    buffer_depth_study,
+    padding_overheads,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return buffer_depth_study()
+
+
+def test_buffer_depth_study(benchmark, save_result):
+    results = benchmark(
+        buffer_depth_study,
+        depths=(8, 16, 32),
+        configs=[(8, 8), (4, 4), (2, 2)],
+        gemm_size=(16, 16, 768),
+    )
+    lines = ["Source Buffer depth study (paper: 17.8%/14.3%/11.2% "
+             "buffer stalls; 2.3% bs.get stalls at depth 32)"]
+    for r in results:
+        lines.append(
+            f"  depth {r.depth:2d}: buffer stalls "
+            f"{r.buffer_stall_fraction:.1%}, bs.get stalls "
+            f"{r.get_stall_fraction:.2%}"
+        )
+    save_result("dse_buffers", "\n".join(lines))
+    fractions = [r.buffer_stall_fraction for r in results]
+    assert fractions[0] >= fractions[1] >= fractions[2]
+
+
+def test_get_stalls_grow_with_depth(benchmark, study):
+    deepest, shallowest = benchmark(
+        lambda: (study[-1].get_stall_fraction, study[0].get_stall_fraction)
+    )
+    assert deepest >= shallowest
+
+
+def test_padding_overhead(benchmark, save_result):
+    avg = benchmark(average_padding_overhead)
+    worst = max(padding_overheads().items(), key=lambda kv: kv[1])
+    save_result("dse_padding", "\n".join([
+        f"average padding overhead: {avg:.2%} (paper: 2.4%)",
+        f"worst configuration: a{worst[0][0]}-w{worst[0][1]} "
+        f"at {worst[1]:.2%}",
+    ]))
+    assert avg < 0.035

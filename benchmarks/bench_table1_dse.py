@@ -1,0 +1,38 @@
+"""Table I: the design-space-exploration optimum.
+
+Re-runs the analytical blocking derivation (Low et al.) and the kua/kub
+selection on the paper's SoC; the outcome must land on the published
+mc = nc = kc = 256, mr = nr = 4, kua = kub = 4, AccMem = 16, SB = 16.
+"""
+
+from repro.eval.reporting import render_table
+from repro.eval.tables import table1
+from repro.sim.dse import optimal_blocking
+from repro.sim.params import PAPER_SOC, SMALL_CACHE_SOC
+
+
+def test_table1_dse(benchmark, save_result):
+    t1 = benchmark(table1)
+    headers = ["mc", "nc", "kc", "mr", "nr", "kua", "kub", "AM", "SB"]
+    row = [t1.mc, t1.nc, t1.kc, t1.mr, t1.nr, t1.kua, t1.kub,
+           t1.accmem, t1.source_buffers]
+    text = "\n".join([
+        "Table I: Mix-GEMM optimal parameters from the DSE",
+        render_table(headers, [row]),
+        "",
+        "paper: 256 256 256 4 4 4 4 16 16",
+    ])
+    save_result("table1", text)
+    assert row == [256, 256, 256, 4, 4, 4, 4, 16, 16]
+
+
+def test_blocking_adapts_to_small_caches(benchmark):
+    dse = benchmark(optimal_blocking, SMALL_CACHE_SOC)
+    assert dse.blocking.kc < 256
+    assert dse.blocking.mc < 256
+
+
+def test_blocking_budget_feasible(benchmark):
+    dse = benchmark(optimal_blocking, PAPER_SOC)
+    assert dse.l1_bytes_used <= PAPER_SOC.l1_bytes / 2
+    assert dse.l2_bytes_used <= PAPER_SOC.l2_bytes

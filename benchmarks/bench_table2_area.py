@@ -1,0 +1,56 @@
+"""Table II + Figure 8: u-engine area breakdown and SoC floorplan.
+
+Regenerates the post-PnR-calibrated component areas (13641 um2 total, 1%
+of the SoC), the Figure 8 die summary (1.96 mm2), and the Section V
+technology-scaled area comparisons against Eyeriss and UNPU.
+"""
+
+import pytest
+
+from repro.eval.reporting import render_table2
+from repro.eval.tables import table2
+from repro.sim.area import SocArea, UEngineArea, scale_area
+
+
+def test_table2_breakdown(benchmark, save_result):
+    rows = benchmark(table2)
+    soc = SocArea()
+    lines = [
+        "Table II: u-engine area breakdown (GF 22FDX, post-PnR calibrated)",
+        render_table2(rows),
+        "",
+        f"Figure 8 SoC die: {soc.total_mm2:.2f} mm2 (paper: 1.96 mm2)",
+        f"  caches: {soc.cache_mm2:.2f} mm2, "
+        f"core+pads: {soc.core_and_pads_mm2:.2f} mm2, "
+        f"u-engine: {soc.uengine.total_mm2:.4f} mm2",
+    ]
+    save_result("table2", "\n".join(lines))
+    total = [r for r in rows if r.component.startswith("Total")][0]
+    assert total.area_um2 == pytest.approx(13641.14, abs=0.1)
+
+
+def test_buffer_depth_area_tradeoff(benchmark, save_result):
+    def sweep():
+        return {
+            depth: UEngineArea(source_buffer_depth=depth).total_um2
+            for depth in (8, 16, 32)
+        }
+
+    areas = benchmark(sweep)
+    growth = areas[32] / areas[16] - 1
+    save_result("table2_buffer_area", "\n".join([
+        "Source Buffer depth vs u-engine area:",
+        *(f"  depth {d}: {a:.0f} um2" for d, a in areas.items()),
+        f"  16 -> 32 growth: {growth:.1%} (paper: +67.6%)",
+    ]))
+    assert growth == pytest.approx(0.676, abs=0.005)
+
+
+def test_tech_scaled_comparisons(benchmark):
+    def ratios():
+        mine = UEngineArea().total_mm2
+        return (scale_area(12.25, 65) / mine, scale_area(16.0, 65) / mine)
+
+    eyeriss, unpu = benchmark(ratios)
+    assert eyeriss == pytest.approx(96.8, rel=0.02)
+    assert unpu == pytest.approx(126.5, rel=0.02)

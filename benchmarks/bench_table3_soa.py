@@ -1,0 +1,89 @@
+"""Table III: comparison with the state of the art.
+
+Assembles the full comparison table: related-work rows from the published
+registry, Mix-GEMM's row measured by this repository's models (throughput
+and TOPS/W per benchmark, area), and checks the measured row against the
+paper's published row plus the Section V head-to-head claims (Dory 2.6x,
+Ottavi 2.4-3.8x, GEMMLowp parity at a8-w8).
+"""
+
+import pytest
+
+from repro.baselines.related import RELATED_WORK
+from repro.eval.reporting import render_table3
+from repro.eval.tables import paper_mixgemm_row, table3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table3()
+
+
+@pytest.fixture(scope="module")
+def measured(rows):
+    return [r for r in rows if r.measured][0]
+
+
+def test_table3_assembly(benchmark, save_result):
+    all_rows = benchmark(table3)
+    save_result("table3", "\n".join([
+        "Table III: comparison with state-of-the-art",
+        render_table3(all_rows),
+    ]))
+    assert len(all_rows) == len(RELATED_WORK) + 1
+
+
+def test_measured_row_vs_paper(benchmark, measured, save_result):
+    paper = benchmark(paper_mixgemm_row)
+    lines = ["Mix-GEMM row: paper vs measured (GOPS ranges)"]
+    for bench in sorted(paper.perf):
+        lines.append(
+            f"  {bench}: paper {paper.perf[bench]} "
+            f"vs measured {measured.perf.get(bench, '-')}"
+        )
+    save_result("table3_paper_vs_measured", "\n".join(lines))
+    for bench in ("alexnet", "vgg16", "resnet18", "mobilenet_v1"):
+        assert measured.perf[bench].lo == pytest.approx(
+            paper.perf[bench].lo, rel=0.2
+        ), bench
+
+
+def test_dory_speedup_claim(benchmark, measured):
+    # Section V: "up to 2.6x better performance on MobileNet-V1" vs Dory.
+    dory = RELATED_WORK["dory"].perf["mobilenet_v1"].hi
+    ratio = benchmark(lambda: measured.perf["mobilenet_v1"].hi / dory)
+    assert 1.8 < ratio < 3.2
+
+
+def test_ottavi_speedup_claim(benchmark, measured):
+    # Section V: "from 2.4x to 3.8x faster than [52]" on the convolution
+    # microbenchmark.
+    ottavi = RELATED_WORK["ottavi"].perf["convolution"]
+
+    def ratios():
+        return (measured.perf["convolution"].lo / ottavi.lo,
+                measured.perf["convolution"].hi / ottavi.hi)
+
+    lo_ratio, hi_ratio = benchmark(ratios)
+    assert 1.5 < min(lo_ratio, hi_ratio)
+    assert max(lo_ratio, hi_ratio) < 5.0
+
+
+def test_gemmlowp_parity_at_a8w8(benchmark, measured):
+    # Section V: GEMMLowp comparable to the a8-w8 configuration.
+    def ratios():
+        return {
+            bench: measured.perf[bench].lo
+            / RELATED_WORK["gemmlowp"].perf[bench].lo
+            for bench in ("alexnet", "resnet18")
+        }
+
+    for bench, ratio in benchmark(ratios).items():
+        assert 0.6 < ratio < 1.6, bench
+
+
+def test_area_smallest_among_accelerators(benchmark, measured):
+    # Mix-GEMM's u-engine is far smaller than decoupled accelerators.
+    area = benchmark(lambda: measured.area_mm2)
+    assert area < 0.05
+    assert area < RELATED_WORK["xpulpnn"].area_mm2 * 2

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and writes
+the rendered rows to ``results/<name>.txt`` so the artifacts survive the
+run (pytest captures stdout).  ``pytest benchmarks/ --benchmark-only``
+runs the whole evaluation.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def save_result(results_dir):
+    """Write one experiment's rendered output to results/<name>.txt."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _save

@@ -1,0 +1,62 @@
+"""Edge-deployment explorer: pick the best aX-wY per accuracy budget.
+
+The paper's pitch is that supporting *every* precision from 8 to 2 bits
+widens the deployment design space: for a given accuracy target you can
+pick the fastest (or most efficient, or smallest-footprint) configuration
+per network.  This example sweeps the Figure 7 ladder for each CNN and
+answers three edge questions:
+
+1. fastest configuration within an accuracy budget,
+2. energy per inference at that configuration,
+3. model-size saving against the 8-bit deployment.
+
+Run:  python examples/deployment_explorer.py [max_accuracy_loss_pct]
+"""
+
+import sys
+
+from repro.core.config import MixGemmConfig
+from repro.eval.accuracy import CONFIG_LADDER, FP32_TOP1, top1_accuracy
+from repro.eval.workloads import NETWORK_ORDER
+from repro.models.inventory import DISPLAY_NAMES, get_network
+from repro.sim.energy import EnergyModel
+from repro.sim.perf import MixGemmPerfModel
+
+
+def explore(max_loss_pct: float) -> None:
+    perf = MixGemmPerfModel()
+    energy = EnergyModel()
+    print(f"accuracy budget: at most {max_loss_pct}% TOP-1 loss vs FP32\n")
+    header = (f"{'network':16s} {'config':7s} {'GOPS':>6s} "
+              f"{'TOP-1':>7s} {'mJ/inf':>7s} {'model MB':>9s} "
+              f"{'vs 8-bit':>9s}")
+    print(header)
+    print("-" * len(header))
+    for name in NETWORK_ORDER:
+        inventory = get_network(name)
+        best = None
+        for bw_a, bw_b in CONFIG_LADDER:
+            top1 = top1_accuracy(name, bw_a, bw_b)
+            if FP32_TOP1[name] - top1 > max_loss_pct:
+                continue
+            cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+            result = perf.network(inventory, cfg)
+            if best is None or result.gops > best[1].gops:
+                best = (cfg, result, top1)
+        if best is None:
+            print(f"{name:16s} -- no configuration meets the budget")
+            continue
+        cfg, result, top1 = best
+        joules = energy.from_perf(result, cfg).energy_pj * 1e-12
+        size_mb = inventory.weight_bytes(cfg.bw_b) / 1e6
+        size_8bit = inventory.weight_bytes(8) / 1e6
+        print(
+            f"{DISPLAY_NAMES[name]:16s} {cfg.name:7s} "
+            f"{result.gops:6.2f} {top1:7.2f} {joules * 1e3:7.3f} "
+            f"{size_mb:9.2f} {1 - size_mb / size_8bit:8.0%}"
+        )
+
+
+if __name__ == "__main__":
+    budget = float(sys.argv[1]) if len(sys.argv) > 1 else 1.5
+    explore(budget)

@@ -1,0 +1,100 @@
+"""A guided tour of the u-engine microarchitecture (Sections II-B, III-B).
+
+Walks through each hardware concept with live models: binary segmentation
+packing, the DSU selection schedules of Figure 4, the PMU counters under
+different Source Buffer depths, and the area/energy breakdown of the
+physical design.
+
+Run:  python examples/hardware_tour.py
+"""
+
+import numpy as np
+
+from repro.core.binseg import (
+    BinSegSpec,
+    cluster_inner_product,
+    pack_cluster,
+)
+from repro.core.config import MixGemmConfig
+from repro.core.gemm import MixGemm
+from repro.core.config import BlockingParams
+from repro.core.microengine import group_schedule
+from repro.sim.area import SocArea, UEngineArea
+from repro.sim.energy import DEFAULT_ENERGY
+
+
+def tour_binary_segmentation() -> None:
+    print("=" * 64)
+    print("1. Binary segmentation (Figure 1)")
+    print("=" * 64)
+    spec = BinSegSpec(bw_a=3, bw_b=2, signed_a=False, signed_b=False,
+                      mul_width=16)
+    a, b = [4, 7], [3, 2]
+    pa = pack_cluster(a, spec.cw, reverse=False)
+    pb = pack_cluster(b, spec.cw, reverse=True)
+    print(f"  pack {a} -> {pa}; pack(reversed) {b} -> {pb}")
+    print(f"  {pa} * {pb} = {pa * pb}; "
+          f"slice [{spec.slice_msb}:{spec.slice_lsb}] -> "
+          f"{cluster_inner_product(a, b, 3, 2, signed_a=False, signed_b=False, mul_width=16)}")
+    print("  (the middle base-256 digit is the inner product: "
+          f"{np.dot(a, b)})\n")
+
+
+def tour_dsu_schedules() -> None:
+    print("=" * 64)
+    print("2. DSU selection schedules (Figure 4)")
+    print("=" * 64)
+    for bw_a, bw_b in ((8, 8), (8, 6), (6, 4), (2, 2)):
+        cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+        sched = group_schedule(cfg)
+        print(f"  {cfg.name}: kua={cfg.kua} kub={cfg.kub} "
+              f"group={sched.n_elements} elements -> "
+              f"{sched.cycles} cycles (chunks {sched.chunks})")
+    print("  (paper: a8-w8 and a8-w6 take 12 accumulations, a6-w4 "
+          "takes 9)\n")
+
+
+def tour_pmu() -> None:
+    print("=" * 64)
+    print("3. PMU counters vs Source Buffer depth (Section III-C)")
+    print("=" * 64)
+    rng = np.random.default_rng(0)
+    a = rng.integers(-2, 2, size=(8, 256))
+    b = rng.integers(-2, 2, size=(256, 8))
+    for depth in (8, 16, 32):
+        cfg = MixGemmConfig(
+            bw_a=2, bw_b=2, source_buffer_depth=depth,
+            blocking=BlockingParams(mc=8, nc=8, kc=64),
+        )
+        result = MixGemm(cfg, emulate_datapath=False).gemm(a, b)
+        pmu = result.pmu
+        print(f"  depth {depth:2d}: {result.cycles} cycles, "
+              f"buffer stalls {pmu.buffer_stall_fraction:.1%}, "
+              f"bs.get stalls {pmu.get_stall_fraction:.1%}, "
+              f"{pmu.macs_per_cycle:.2f} MAC/cycle")
+    print()
+
+
+def tour_physical_design() -> None:
+    print("=" * 64)
+    print("4. Physical design (Table II, Figure 8)")
+    print("=" * 64)
+    engine = UEngineArea()
+    for name, (area, pct) in engine.breakdown().items():
+        print(f"  {name:16s} {area:9.2f} um2  ({pct:.2f}% of SoC)")
+    print(f"  {'total':16s} {engine.total_um2:9.2f} um2  "
+          f"({100 * engine.soc_overhead():.2f}% of SoC)")
+    soc = SocArea()
+    print(f"  SoC die: {soc.total_mm2:.2f} mm2 "
+          f"(caches {soc.cache_mm2:.2f}, core+pads "
+          f"{soc.core_and_pads_mm2:.2f})")
+    print(f"  energy/active cycle: "
+          f"{DEFAULT_ENERGY.active_pj_per_cycle:.1f} pJ "
+          f"(multiplier {DEFAULT_ENERGY.multiply_pj} pJ)")
+
+
+if __name__ == "__main__":
+    tour_binary_segmentation()
+    tour_dsu_schedules()
+    tour_pmu()
+    tour_physical_design()

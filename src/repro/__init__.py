@@ -1,0 +1,45 @@
+"""repro -- reproduction of Mix-GEMM (HPCA 2023).
+
+A hardware-software codesign for mixed-precision quantized DNN inference on
+edge RISC-V devices, rebuilt as a Python library: bit-exact functional
+models of binary segmentation, the u-engine and the BLIS-derived GEMM
+library; a quantization + QAT stack; six CNN workload models; cycle-level
+performance, energy and area models; and the benchmark harness regenerating
+every table and figure of the paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import MixGemmConfig, mix_gemm
+
+    rng = np.random.default_rng(0)
+    a = rng.integers(-8, 8, size=(16, 32))   # 4-bit activations
+    b = rng.integers(-8, 8, size=(32, 16))   # 4-bit weights
+    result = mix_gemm(a, b, bw_a=4, bw_b=4)
+    assert np.array_equal(result.c, a.astype(np.int64) @ b)
+    print(f"{result.macs_per_cycle:.2f} MAC/cycle, "
+          f"{result.gops():.2f} GOPS @ 1.2 GHz")
+"""
+
+from .core import (
+    BinSegSpec,
+    BlockingParams,
+    GemmResult,
+    MicroEngine,
+    MixGemm,
+    MixGemmConfig,
+    mix_gemm,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BinSegSpec",
+    "BlockingParams",
+    "GemmResult",
+    "MicroEngine",
+    "MixGemm",
+    "MixGemmConfig",
+    "mix_gemm",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baseline comparators: timing models + published-number registry."""
+
+from .related import (
+    RELATED_WORK,
+    RelatedWork,
+    get_related,
+)
+from .scalar import (
+    BaselineKernel,
+    ScalarGemmModel,
+    blis_dgemm_kernel,
+    blis_int8_kernel,
+    gemmlowp_a53_kernel,
+    openblas_fp32_u740_kernel,
+)
+
+__all__ = [
+    "RELATED_WORK",
+    "RelatedWork",
+    "get_related",
+    "BaselineKernel",
+    "ScalarGemmModel",
+    "blis_dgemm_kernel",
+    "blis_int8_kernel",
+    "gemmlowp_a53_kernel",
+    "openblas_fp32_u740_kernel",
+]

@@ -1,0 +1,184 @@
+"""Published results of related work (paper Table III + Section V).
+
+Table III compares Mix-GEMM against ten systems using numbers "gathered
+from published papers"; those numbers are data, not something a
+reproduction can regenerate, so they live here as a registry.  Mix-GEMM's
+own rows are *measured* by the benchmark harness and placed alongside.
+
+Units follow the paper: GOPS for throughput, TOPS/W for efficiency, GHz,
+nm, mm2.  ``None`` marks cells the paper leaves empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class BenchRange:
+    """A low-high range as Table III reports (single values: lo == hi)."""
+
+    lo: float
+    hi: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.hi is None:
+            object.__setattr__(self, "hi", self.lo)
+
+    def __str__(self) -> str:
+        if self.lo == self.hi:
+            return f"{self.lo:g}"
+        return f"{self.lo:g}-{self.hi:g}"
+
+
+@dataclass(frozen=True)
+class RelatedWork:
+    """One Table III row."""
+
+    key: str
+    citation: str                 # reference tag in the paper
+    data_sizes: str               # e.g. "8b/4b/2b" or "All 8b-2b"
+    mixed_precision: bool
+    soc: str
+    freq_ghz: Optional[float]
+    tech_nm: Optional[int]
+    area_mm2: Optional[float]
+    #: Per-benchmark (GOPS range, TOPS/W range); keys: "convolution",
+    #: "alexnet", "vgg16", "resnet18", "mobilenet_v1", "regnet_x_400mf",
+    #: "efficientnet_b0".
+    perf: dict = field(default_factory=dict)
+    eff: dict = field(default_factory=dict)
+    notes: str = ""
+
+
+RELATED_WORK: dict[str, RelatedWork] = {
+    "baseline_fp32": RelatedWork(
+        key="baseline_fp32", citation="Baseline", data_sizes="FP32",
+        mixed_precision=False, soc="RV64", freq_ghz=1.2, tech_nm=None,
+        area_mm2=None,
+        perf={name: BenchRange(0.9) for name in (
+            "alexnet", "vgg16", "resnet18", "mobilenet_v1",
+            "regnet_x_400mf", "efficientnet_b0")},
+    ),
+    "gemmlowp": RelatedWork(
+        key="gemmlowp", citation="[33]", data_sizes="8b",
+        mixed_precision=False, soc="ARMv8 (NEON)", freq_ghz=1.2,
+        tech_nm=None, area_mm2=None,
+        perf={
+            "alexnet": BenchRange(5.6), "vgg16": BenchRange(5.1),
+            "resnet18": BenchRange(4.7), "mobilenet_v1": BenchRange(5.5),
+            "regnet_x_400mf": BenchRange(4.8),
+            "efficientnet_b0": BenchRange(5.8),
+        },
+        notes="Exploits the Neon SIMD extension",
+    ),
+    "dory": RelatedWork(
+        key="dory", citation="[12]", data_sizes="8b",
+        mixed_precision=False, soc="8xRV32 (GAP-8)", freq_ghz=0.26,
+        tech_nm=None, area_mm2=None,
+        perf={"mobilenet_v1": BenchRange(4.2)},
+        eff={"mobilenet_v1": BenchRange(0.02)},
+        notes="Energy efficiency refers to the entire SoC",
+    ),
+    "cmix_nn": RelatedWork(
+        key="cmix_nn", citation="[13]", data_sizes="8b/4b/2b",
+        mixed_precision=True, soc="ARMv7", freq_ghz=0.48,
+        tech_nm=None, area_mm2=None,
+        perf={"mobilenet_v1": BenchRange(0.3, 0.5)},
+        eff={"mobilenet_v1": BenchRange(0.001, 0.002)},
+    ),
+    "pulp_nn": RelatedWork(
+        key="pulp_nn", citation="[26]", data_sizes="8b/4b/2b",
+        mixed_precision=False, soc="RV32 (PULP)", freq_ghz=0.17,
+        tech_nm=None, area_mm2=None,
+        perf={"convolution": BenchRange(0.2, 0.6)},
+        notes="Casting overheads degrade sub-byte performance",
+    ),
+    "bruschi": RelatedWork(
+        key="bruschi", citation="[11]", data_sizes="8b/4b/2b",
+        mixed_precision=True, soc="8xRV32 (PULP)", freq_ghz=0.17,
+        tech_nm=None, area_mm2=None,
+        perf={"convolution": BenchRange(2.4, 6.1)},
+    ),
+    "ottavi": RelatedWork(
+        key="ottavi", citation="[52]", data_sizes="8b/4b/2b",
+        mixed_precision=True, soc="RV32", freq_ghz=0.25, tech_nm=22,
+        area_mm2=0.002,
+        perf={"convolution": BenchRange(1.1, 3.3)},
+        eff={"convolution": BenchRange(0.2, 0.6)},
+        notes="Area only includes the 4/2-bit MAC FU extension",
+    ),
+    "xpulpnn": RelatedWork(
+        key="xpulpnn", citation="[27]", data_sizes="8b/4b/2b",
+        mixed_precision=False, soc="8xRV32", freq_ghz=0.6, tech_nm=22,
+        area_mm2=0.04,
+        perf={"convolution": BenchRange(19.8, 47.9)},
+        eff={"convolution": BenchRange(0.7, 1.1)},
+    ),
+    "bison_e": RelatedWork(
+        key="bison_e", citation="[58]", data_sizes="8b/4b/2b",
+        mixed_precision=False, soc="RV64", freq_ghz=0.6, tech_nm=22,
+        area_mm2=0.000419,
+        perf={
+            "alexnet": BenchRange(0.4, 1.3),
+            "vgg16": BenchRange(0.6, 2.5),
+        },
+        eff={
+            "alexnet": BenchRange(0.01, 0.5),
+            "vgg16": BenchRange(0.01, 0.03),
+        },
+        notes="Binary segmentation without buffers, DSU or AccMem",
+    ),
+    "eyeriss": RelatedWork(
+        key="eyeriss", citation="[17]", data_sizes="16b",
+        mixed_precision=False, soc="Decoupled", freq_ghz=0.25,
+        tech_nm=65, area_mm2=12.25,
+        perf={"alexnet": BenchRange(74.7), "vgg16": BenchRange(21.4)},
+        eff={"alexnet": BenchRange(0.3), "vgg16": BenchRange(0.09)},
+    ),
+    "unpu": RelatedWork(
+        key="unpu", citation="[41]", data_sizes="a16, w1-w16",
+        mixed_precision=False, soc="Decoupled", freq_ghz=0.2,
+        tech_nm=65, area_mm2=16.0,
+        perf={"alexnet": BenchRange(461.1), "vgg16": BenchRange(567.3)},
+        eff={"alexnet": BenchRange(1.6), "vgg16": BenchRange(1.9)},
+    ),
+}
+
+#: Mix-GEMM's own Table III row, as published (used to validate the
+#: measured rows the harness produces).
+PAPER_MIXGEMM_ROW = RelatedWork(
+    key="mix_gemm_paper", citation="This work", data_sizes="All 8b-2b",
+    mixed_precision=True, soc="RV64", freq_ghz=1.2, tech_nm=22,
+    area_mm2=0.0136,
+    perf={
+        "convolution": BenchRange(4.2, 7.9),
+        "alexnet": BenchRange(5.2, 13.6),
+        "vgg16": BenchRange(5.3, 13.1),
+        "resnet18": BenchRange(5.1, 12.4),
+        "mobilenet_v1": BenchRange(4.8, 9.5),
+        "regnet_x_400mf": BenchRange(5.1, 9.9),
+        "efficientnet_b0": BenchRange(5.1, 13.1),
+    },
+    eff={
+        "convolution": BenchRange(0.4, 0.8),
+        "alexnet": BenchRange(0.5, 1.3),
+        "vgg16": BenchRange(0.5, 1.3),
+        "resnet18": BenchRange(0.5, 1.3),
+        "mobilenet_v1": BenchRange(0.5, 1.2),
+        "regnet_x_400mf": BenchRange(0.5, 0.9),
+        "efficientnet_b0": BenchRange(0.5, 1.3),
+    },
+)
+
+
+def get_related(key: str) -> RelatedWork:
+    """Look up one related-work row by key."""
+    try:
+        return RELATED_WORK[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown related work {key!r}; choose from "
+            f"{sorted(RELATED_WORK)}"
+        ) from None

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the evaluation:
+
+* ``info``            -- library and configuration summary;
+* ``gemm``            -- one simulated GEMM (bit-exact + cycles);
+* ``figure6``         -- the square-GEMM speed-up grid;
+* ``figure7``         -- the accuracy/throughput Pareto points;
+* ``table1|2|3``      -- the three tables;
+* ``network``         -- one CNN's modelled throughput/efficiency ladder;
+* ``explore``         -- per-layer mixed-precision search;
+* ``report``          -- run everything and write a consolidated report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro import __version__
+    from repro.core.config import MixGemmConfig, all_size_combinations
+
+    print(f"repro {__version__} -- Mix-GEMM (HPCA 2023) reproduction")
+    print(f"supported configurations: {len(all_size_combinations())} "
+          f"(a8-w8 ... a2-w2, mixed precision included)")
+    for bw in (8, 6, 4, 3, 2):
+        cfg = MixGemmConfig(bw_a=bw, bw_b=bw)
+        print(f"  {cfg.describe()}")
+    return 0
+
+
+def _cmd_gemm(args: argparse.Namespace) -> int:
+    from repro.core.config import BlockingParams, MixGemmConfig
+    from repro.core.gemm import MixGemm, reference_gemm
+
+    rng = np.random.default_rng(args.seed)
+    lo_a = -(1 << (args.abits - 1))
+    lo_b = -(1 << (args.wbits - 1))
+    a = rng.integers(lo_a, -lo_a, size=(args.m, args.k))
+    b = rng.integers(lo_b, -lo_b, size=(args.k, args.n))
+    cfg = MixGemmConfig(
+        bw_a=args.abits, bw_b=args.wbits,
+        blocking=BlockingParams(mc=16, nc=16, kc=64),
+    )
+    result = MixGemm(cfg, emulate_datapath=False).gemm(a, b)
+    exact = bool(np.array_equal(result.c, reference_gemm(a, b)))
+    print(f"{cfg.name} GEMM {args.m}x{args.k}x{args.n}: exact={exact}")
+    print(f"  {result.macs} MACs / {result.cycles} cycles "
+          f"= {result.macs_per_cycle:.2f} MAC/cycle "
+          f"({result.gops():.2f} GOPS @ 1.2 GHz)")
+    print(f"  instructions: {result.instructions}")
+    return 0 if exact else 1
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    from repro.eval.figures import figure6, int8_blis_speedup
+    from repro.eval.reporting import render_figure6
+
+    print(render_figure6(figure6()))
+    print(f"\nint8 BLIS vs DGEMM: {int8_blis_speedup():.2f}x "
+          f"(paper ~2.5x)")
+    return 0
+
+
+def _cmd_figure7(args: argparse.Namespace) -> int:
+    from repro.eval.figures import figure7
+    from repro.eval.reporting import render_figure7
+
+    print(render_figure7(figure7()))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        from repro.eval.tables import table1
+        t1 = table1()
+        print("Table I (DSE optimum):")
+        print(f"  mc={t1.mc} nc={t1.nc} kc={t1.kc} mr={t1.mr} nr={t1.nr} "
+              f"kua={t1.kua} kub={t1.kub} AccMem={t1.accmem} "
+              f"SourceBuffers={t1.source_buffers}")
+    elif args.number == 2:
+        from repro.eval.reporting import render_table2
+        from repro.eval.tables import table2
+        print(render_table2(table2()))
+    elif args.number == 3:
+        from repro.eval.reporting import render_table3
+        from repro.eval.tables import table3
+        print(render_table3(table3()))
+    else:
+        print(f"no table {args.number} in the paper", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from repro.core.config import MixGemmConfig
+    from repro.eval.accuracy import CONFIG_LADDER, top1_accuracy
+    from repro.models.inventory import get_network
+    from repro.sim.energy import EnergyModel
+    from repro.sim.perf import MixGemmPerfModel
+
+    inventory = get_network(args.name)
+    perf = MixGemmPerfModel()
+    energy = EnergyModel()
+    print(f"{args.name}: {inventory.conv_macs / 1e9:.2f} conv GMAC")
+    print(f"{'config':8s} {'GOPS':>7s} {'GOPS/W':>8s} {'TOP-1':>7s}")
+    for bw_a, bw_b in CONFIG_LADDER:
+        cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+        r = perf.network(inventory, cfg)
+        eff = energy.from_perf(r, cfg)
+        print(f"{cfg.name:8s} {r.gops:7.2f} {eff.gops_per_watt:8.1f} "
+              f"{top1_accuracy(args.name, bw_a, bw_b):7.2f}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.config import MixGemmConfig
+    from repro.eval.profiler import profile_network, render_profile
+    from repro.models.inventory import get_network
+
+    cfg = MixGemmConfig(bw_a=args.abits, bw_b=args.wbits)
+    profile = profile_network(get_network(args.name), cfg)
+    print(render_profile(profile, top=args.top))
+    shares = profile.share_by_kind()
+    print("\ntime by layer kind: " + ", ".join(
+        f"{kind}={share:.1%}" for kind, share in sorted(shares.items())
+    ))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.eval.layerwise import LayerwiseOptimizer
+    from repro.models.inventory import get_network
+
+    optimizer = LayerwiseOptimizer(args.name, get_network(args.name))
+    mixed = optimizer.optimize(args.budget)
+    uniform = optimizer.best_uniform_within(args.budget)
+    print(f"{args.name} @ {args.budget}% loss budget:")
+    print(f"  mixed:   {mixed.throughput_gops():.2f} GOPS "
+          f"(mean {mixed.mean_bits:.1f} bits, predicted loss "
+          f"{mixed.predicted_loss:.2f}%)")
+    print(f"  uniform: {uniform.throughput_gops():.2f} GOPS")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.full_report import write_full_report
+
+    path = write_full_report(args.output)
+    print(f"report written to {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mix-GEMM (HPCA 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library summary").set_defaults(
+        func=_cmd_info)
+
+    p = sub.add_parser("gemm", help="simulate one quantized GEMM")
+    p.add_argument("-m", type=int, default=16)
+    p.add_argument("-k", type=int, default=96)
+    p.add_argument("-n", type=int, default=16)
+    p.add_argument("--abits", type=int, default=8)
+    p.add_argument("--wbits", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_gemm)
+
+    sub.add_parser("figure6", help="square-GEMM speed-up grid"
+                   ).set_defaults(func=_cmd_figure6)
+    sub.add_parser("figure7", help="accuracy/throughput Pareto points"
+                   ).set_defaults(func=_cmd_figure7)
+
+    p = sub.add_parser("table", help="regenerate Table I/II/III")
+    p.add_argument("number", type=int, choices=(1, 2, 3))
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("network", help="one CNN's configuration ladder")
+    p.add_argument("name")
+    p.set_defaults(func=_cmd_network)
+
+    p = sub.add_parser("profile", help="per-layer performance breakdown")
+    p.add_argument("name")
+    p.add_argument("--abits", type=int, default=8)
+    p.add_argument("--wbits", type=int, default=8)
+    p.add_argument("--top", type=int, default=None,
+                   help="show only the N hottest layers")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("explore", help="per-layer mixed-precision search")
+    p.add_argument("name")
+    p.add_argument("--budget", type=float, default=1.5,
+                   help="max TOP-1 loss in percentage points")
+    p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser("report", help="write the consolidated report")
+    p.add_argument("--output", default="REPORT.md")
+    p.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

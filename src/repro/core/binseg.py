@@ -1,0 +1,322 @@
+"""Binary segmentation arithmetic (paper Section II-B, Equations 3-7).
+
+Binary segmentation packs several narrow-integer elements into a single wide
+machine word (an *input-cluster*) so that one wide multiplication computes the
+inner product of the packed elements.  The Mix-GEMM micro-engine builds its
+whole datapath on this technique; this module is the exact functional model.
+
+Terminology follows the paper:
+
+* ``bw_a`` / ``bw_b``     -- bitwidths of the two narrow operand vectors.
+* ``cw``                  -- clustering width: bits reserved per packed element
+                             (Equation 3).
+* ``input_cluster_size``  -- elements packed per wide word (Equation 4).
+* ``slice``               -- bit range of the wide product that holds the
+                             inner product of one cluster pair (Equations 5-7).
+
+Worked example reproduced in the tests (paper Figure 1): with a 16-bit
+multiplier and 3-bit x 2-bit operands, ``cw = 8`` and two elements fit per
+cluster, so ``[4, 7] . [3, 2]`` is computed as ``1031 * 515`` whose middle
+base-256 digit is ``26``.
+
+Signedness: packed integers are formed over the integers (a negative element
+contributes a negative term), which makes the product's base-``2**cw`` digit
+at the slice position exactly the inner product.  Recovering that digit from
+the two's-complement product needs a one-bit borrow correction whenever the
+digits below the slice are negative; the bit just below the slice tells us
+exactly when (see :func:`extract_inner_product`).  Equation 3's headroom
+guarantees the correction is always representable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Multiplier width of the scalar RV64 core the paper integrates with.
+DEFAULT_MUL_WIDTH = 64
+
+#: Data sizes supported by Mix-GEMM (paper Section I: "all data size
+#: combinations from 8- to 2-bit").
+SUPPORTED_BITWIDTHS = (2, 3, 4, 5, 6, 7, 8)
+
+
+class BinSegError(ValueError):
+    """Raised for configurations binary segmentation cannot support."""
+
+
+def _check_bitwidth(bw: int, name: str) -> None:
+    if bw not in SUPPORTED_BITWIDTHS:
+        raise BinSegError(
+            f"{name}={bw} is outside the supported range "
+            f"{SUPPORTED_BITWIDTHS[0]}-{SUPPORTED_BITWIDTHS[-1]} bits"
+        )
+
+
+def clustering_width(bw_a: int, bw_b: int, cluster_size: int) -> int:
+    """Minimum clustering width for ``cluster_size`` elements (Equation 3).
+
+    ``cw >= 1 + bw_a + bw_b + ceil(log2(cluster_size + 1))``.
+    """
+    if cluster_size < 1:
+        raise BinSegError(f"cluster_size must be >= 1, got {cluster_size}")
+    return 1 + bw_a + bw_b + math.ceil(math.log2(cluster_size + 1))
+
+
+def input_cluster_size(
+    bw_a: int, bw_b: int, mul_width: int = DEFAULT_MUL_WIDTH
+) -> int:
+    """Largest cluster size a ``mul_width``-bit multiplier supports (Eq. 4).
+
+    Equations 3 and 4 are mutually dependent (the width per element grows
+    with the cluster size), so we take the largest ``n`` with
+    ``n * clustering_width(bw_a, bw_b, n) <= mul_width``.
+    """
+    _check_bitwidth(bw_a, "bw_a")
+    _check_bitwidth(bw_b, "bw_b")
+    best = 0
+    n = 1
+    while n * clustering_width(bw_a, bw_b, n) <= mul_width:
+        best = n
+        n += 1
+    if best == 0:
+        raise BinSegError(
+            f"multiplier of {mul_width} bits cannot hold even one "
+            f"{bw_a}x{bw_b}-bit product cluster"
+        )
+    return best
+
+
+def slice_bounds(cluster_size: int, cw: int) -> tuple[int, int]:
+    """Bit range of the product holding the inner product (Equations 6-7).
+
+    Returns ``(slice_msb, slice_lsb)``, both inclusive.
+    """
+    slice_lsb = (cluster_size - 1) * cw
+    slice_msb = slice_lsb + cw - 1
+    return slice_msb, slice_lsb
+
+
+def value_range(bw: int, signed: bool) -> tuple[int, int]:
+    """Representable ``[min, max]`` for a ``bw``-bit element (Equation 2)."""
+    if signed:
+        return -(1 << (bw - 1)), (1 << (bw - 1)) - 1
+    return 0, (1 << bw) - 1
+
+
+def _check_elements(
+    values: Sequence[int], bw: int, signed: bool, name: str
+) -> None:
+    lo, hi = value_range(bw, signed)
+    for v in values:
+        if not lo <= int(v) <= hi:
+            raise BinSegError(
+                f"{name} element {int(v)} does not fit {bw}-bit "
+                f"{'signed' if signed else 'unsigned'} range [{lo}, {hi}]"
+            )
+
+
+def pack_cluster(values: Sequence[int], cw: int, *, reverse: bool) -> int:
+    """Pack elements into one input-cluster integer.
+
+    Element 0 lands in the most-significant ``cw``-bit digit; passing
+    ``reverse=True`` applies the order reversal the paper prescribes for the
+    ``b`` operand (Figure 1, green stage), which turns the product's middle
+    digit into the inner product.  The result is an integer over Z: negative
+    elements contribute negative terms, so the value itself may be negative.
+    """
+    ordered = list(values)[::-1] if reverse else list(values)
+    packed = 0
+    top = len(ordered) - 1
+    for i, v in enumerate(ordered):
+        packed += int(v) << ((top - i) * cw)
+    return packed
+
+
+def extract_inner_product(product: int, cluster_size: int, cw: int) -> int:
+    """Pull the cluster inner product out of a wide multiplication (Eq. 5).
+
+    The digit of ``product`` in base ``2**cw`` at position
+    ``cluster_size - 1`` is the inner product.  Because lower digits may be
+    negative, the floor-division residue below the slice can borrow one unit
+    from it; the borrow happened exactly when the bit just below the slice is
+    set (the residue then exceeds half the slice weight, which Equation 3's
+    headroom makes otherwise impossible).  This mirrors the single-bit
+    correction the hardware Data Filtering Unit applies.
+    """
+    _, slice_lsb = slice_bounds(cluster_size, cw)
+    raw = (product >> slice_lsb) & ((1 << cw) - 1)
+    # Interpret the slice as a signed cw-bit value.
+    if raw >= 1 << (cw - 1):
+        raw -= 1 << cw
+    if slice_lsb == 0:
+        return raw
+    borrow = (product >> (slice_lsb - 1)) & 1
+    return raw + borrow
+
+
+def cluster_inner_product(
+    a_values: Sequence[int],
+    b_values: Sequence[int],
+    bw_a: int,
+    bw_b: int,
+    *,
+    signed_a: bool = True,
+    signed_b: bool = True,
+    mul_width: int = DEFAULT_MUL_WIDTH,
+) -> int:
+    """Inner product of one sub-u-vector pair via a single wide multiply.
+
+    Models the pink + blue + orange pipeline stages of Figure 1: pack both
+    operands (with ``b`` reversed), multiply, then slice-extract.
+    """
+    if len(a_values) != len(b_values):
+        raise BinSegError(
+            f"cluster operands differ in length: "
+            f"{len(a_values)} vs {len(b_values)}"
+        )
+    n = len(a_values)
+    max_n = input_cluster_size(bw_a, bw_b, mul_width)
+    if n > max_n:
+        raise BinSegError(
+            f"cluster of {n} elements exceeds input_cluster_size={max_n} "
+            f"for {bw_a}x{bw_b}-bit data on a {mul_width}-bit multiplier"
+        )
+    _check_elements(a_values, bw_a, signed_a, "a")
+    _check_elements(b_values, bw_b, signed_b, "b")
+    cw = clustering_width(bw_a, bw_b, max_n)
+    a_cluster = pack_cluster(a_values, cw, reverse=False)
+    b_cluster = pack_cluster(b_values, cw, reverse=True)
+    return extract_inner_product(a_cluster * b_cluster, n, cw)
+
+
+def segmented_inner_product(
+    a: Sequence[int],
+    b: Sequence[int],
+    bw_a: int,
+    bw_b: int,
+    *,
+    signed_a: bool = True,
+    signed_b: bool = True,
+    mul_width: int = DEFAULT_MUL_WIDTH,
+) -> int:
+    """Full-vector inner product computed cluster by cluster (Figure 1).
+
+    Splits ``a`` and ``b`` into sub-u-vectors of at most
+    ``input_cluster_size`` elements, evaluates each pair with one wide
+    multiplication, and accumulates the partial inner products (grey stage).
+    """
+    if len(a) != len(b):
+        raise BinSegError(f"length mismatch: {len(a)} vs {len(b)}")
+    size = input_cluster_size(bw_a, bw_b, mul_width)
+    total = 0
+    for start in range(0, len(a), size):
+        total += cluster_inner_product(
+            a[start:start + size],
+            b[start:start + size],
+            bw_a,
+            bw_b,
+            signed_a=signed_a,
+            signed_b=signed_b,
+            mul_width=mul_width,
+        )
+    return total
+
+
+def multiplications_required(
+    n_elements: int, bw_a: int, bw_b: int, mul_width: int = DEFAULT_MUL_WIDTH
+) -> int:
+    """Wide multiplications needed for an ``n_elements`` inner product."""
+    size = input_cluster_size(bw_a, bw_b, mul_width)
+    return math.ceil(n_elements / size)
+
+
+def arithmetic_reduction(
+    n_elements: int, bw_a: int, bw_b: int, mul_width: int = DEFAULT_MUL_WIDTH
+) -> float:
+    """Arithmetic complexity reduction over one-MAC-per-element baselines.
+
+    The paper's Figure 1 example (4 elements, 3x2 bits, 16-bit multiplier)
+    needs 2 multiplications and 1 addition instead of 4 multiplications and
+    3 additions, a 7/3 = 2.33x reduction.  We count one multiply plus one add
+    per scalar MAC against one multiply per cluster plus one add per partial
+    accumulation.
+    """
+    muls = multiplications_required(n_elements, bw_a, bw_b, mul_width)
+    baseline_ops = 2 * n_elements - 1
+    segmented_ops = muls + (muls - 1)
+    return baseline_ops / segmented_ops
+
+
+@dataclass(frozen=True)
+class BinSegSpec:
+    """Resolved binary-segmentation parameters for one (bw_a, bw_b) pair.
+
+    This is what ``bs.set`` loads into the micro-engine Control Unit: the
+    element widths and signedness plus every derived constant the datapath
+    stages need (Section III-B).
+    """
+
+    bw_a: int
+    bw_b: int
+    signed_a: bool = True
+    signed_b: bool = True
+    mul_width: int = DEFAULT_MUL_WIDTH
+
+    def __post_init__(self) -> None:
+        _check_bitwidth(self.bw_a, "bw_a")
+        _check_bitwidth(self.bw_b, "bw_b")
+        if self.mul_width < 8:
+            raise BinSegError(f"mul_width too small: {self.mul_width}")
+
+    @property
+    def input_cluster_size(self) -> int:
+        """Elements processed per multiplier pass (the MAC/cycle rate)."""
+        return input_cluster_size(self.bw_a, self.bw_b, self.mul_width)
+
+    @property
+    def cw(self) -> int:
+        return clustering_width(self.bw_a, self.bw_b, self.input_cluster_size)
+
+    @property
+    def slice_msb(self) -> int:
+        return slice_bounds(self.input_cluster_size, self.cw)[0]
+
+    @property
+    def slice_lsb(self) -> int:
+        return slice_bounds(self.input_cluster_size, self.cw)[1]
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak MAC throughput; the paper's 3-7 MAC/cycle range at 64 bits."""
+        return self.input_cluster_size
+
+    def inner_product(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Convenience wrapper over :func:`segmented_inner_product`."""
+        return segmented_inner_product(
+            a,
+            b,
+            self.bw_a,
+            self.bw_b,
+            signed_a=self.signed_a,
+            signed_b=self.signed_b,
+            mul_width=self.mul_width,
+        )
+
+    def describe(self) -> str:
+        """One-line summary in the paper's aX-wY notation."""
+        return (
+            f"a{self.bw_a}-w{self.bw_b}: cw={self.cw}, "
+            f"cluster={self.input_cluster_size} elements, "
+            f"{self.macs_per_cycle} MAC/cycle, "
+            f"slice=[{self.slice_msb}:{self.slice_lsb}]"
+        )
+
+
+def reference_inner_product(a: Sequence[int], b: Sequence[int]) -> int:
+    """Ground-truth integer inner product (for verification only)."""
+    return int(np.dot(np.asarray(a, dtype=np.int64),
+                      np.asarray(b, dtype=np.int64)))

@@ -1,0 +1,257 @@
+"""Mix-GEMM configuration: data sizes, u-vector layout and blocking.
+
+Gathers every tunable the paper exposes (Sections III-A, III-C, Table I):
+
+* the activation/weight bitwidths (``a8-w8`` ... ``a2-w2`` notation),
+* the u-vector layout -- how many narrow elements one 64-bit word packs,
+* the ``kua`` / ``kub`` balancing factors for mixed-precision streams,
+* the BLIS blocking parameters ``mc, nc, kc, mr, nr``,
+* micro-engine sizing: AccMem slots and Source Buffer depth.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field, replace
+
+from .binseg import (
+    SUPPORTED_BITWIDTHS,
+    BinSegError,
+    BinSegSpec,
+    DEFAULT_MUL_WIDTH,
+)
+
+#: 64-bit architectural word the library compresses u-vectors into.
+WORD_BITS = 64
+
+#: Upper bound for kua/kub found by the paper's DSE (Section III-C): with a
+#: 32-register RF and mr = nr = 4, holding kua*mr + kub*nr u-vectors caps
+#: both factors at 4.
+MAX_KU = 4
+
+
+def elements_per_uvector(bw: int, word_bits: int = WORD_BITS) -> int:
+    """Narrow elements one u-vector packs: 8 at 8-bit up to 32 at 2-bit."""
+    if bw not in SUPPORTED_BITWIDTHS:
+        raise BinSegError(f"unsupported element width: {bw}")
+    return word_bits // bw
+
+
+def select_ku(
+    bw_a: int,
+    bw_b: int,
+    max_ku: int = MAX_KU,
+    word_bits: int = WORD_BITS,
+) -> tuple[int, int]:
+    """Choose ``(kua, kub)`` balancing the two u-vector streams (Fig. 4).
+
+    Each innermost u-kernel iteration issues ``kua`` A u-vectors and ``kub``
+    B u-vectors; the logical elements consumed from both streams must match,
+    and any slot surplus on the wider stream is zero padding.  We pick the
+    pair that minimises the padded-slot fraction, breaking ties toward
+    larger groups (better RF utilisation, up to the RF-imposed ``max_ku``).
+
+    Reproduces the paper's choices: a8-w8 -> (4, 4); a8-w6 -> (4, 3);
+    a6-w4 -> (3, 2).
+    """
+    ea = elements_per_uvector(bw_a, word_bits)
+    eb = elements_per_uvector(bw_b, word_bits)
+    best_key: tuple[float, int, int] | None = None
+    chosen = (1, 1)
+    for kua, kub in itertools.product(range(1, max_ku + 1), repeat=2):
+        slots = kua * ea + kub * eb
+        group = min(kua * ea, kub * eb)
+        pad_fraction = 1.0 - (2 * group) / slots
+        # Least padding first, then largest group, then least RF pressure.
+        key = (pad_fraction, -group, kua + kub)
+        if best_key is None or key < best_key:
+            best_key = key
+            chosen = (kua, kub)
+    return chosen
+
+
+@dataclass(frozen=True)
+class UVectorLayout:
+    """How one (bw_a, bw_b) pair maps onto 64-bit u-vector streams."""
+
+    bw_a: int
+    bw_b: int
+    kua: int
+    kub: int
+    word_bits: int = WORD_BITS
+
+    @property
+    def elems_a(self) -> int:
+        return elements_per_uvector(self.bw_a, self.word_bits)
+
+    @property
+    def elems_b(self) -> int:
+        return elements_per_uvector(self.bw_b, self.word_bits)
+
+    @property
+    def slots_a(self) -> int:
+        """A-stream element slots per innermost iteration."""
+        return self.kua * self.elems_a
+
+    @property
+    def slots_b(self) -> int:
+        return self.kub * self.elems_b
+
+    @property
+    def group_elements(self) -> int:
+        """Logical k elements consumed per innermost u-kernel iteration."""
+        return min(self.slots_a, self.slots_b)
+
+    @property
+    def padded_slots(self) -> int:
+        """Zero-padded slots per group on the surplus stream."""
+        return max(self.slots_a, self.slots_b) - self.group_elements
+
+    @property
+    def padding_fraction(self) -> float:
+        """Padded fraction of all issued slots (paper: 2.4% on average)."""
+        total = self.slots_a + self.slots_b
+        return self.padded_slots / total
+
+    def groups_for_k(self, k: int) -> int:
+        """Innermost iterations needed to cover a k-long inner product."""
+        return math.ceil(k / self.group_elements)
+
+
+# ---------------------------------------------------------------------------
+# Blocking parameters (BLIS heritage, Table I)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockingParams:
+    """BLIS cache/register blocking (Table I: mc = nc = kc = 256).
+
+    ``mc``/``nc`` count rows/columns; ``kc`` counts **64-bit u-vectors**
+    along k (the unit the BLIS machinery sees, since the library abstracts
+    each compressed chunk as one 64-bit element).  The *logical* k span of
+    one k-block is therefore ``kc * elements_per_uvector(bw_a)`` -- it
+    grows as the data narrows, which is exactly the compression benefit:
+    the same L1 budget holds 8x more 8-bit and 32x more 2-bit elements
+    than the DGEMM baseline.  ``mr``/``nr`` size the register u-panel.
+    """
+
+    mc: int = 256
+    nc: int = 256
+    kc: int = 256
+    mr: int = 4
+    nr: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("mc", "nc", "kc", "mr", "nr"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be positive")
+        if self.mr > self.mc:
+            raise ValueError("mr cannot exceed mc")
+        if self.nr > self.nc:
+            raise ValueError("nr cannot exceed nc")
+
+    @property
+    def accmem_slots(self) -> int:
+        """AccMem entries needed for one C u-panel (Table I: 16)."""
+        return self.mr * self.nr
+
+
+@dataclass(frozen=True)
+class MixGemmConfig:
+    """Complete configuration of the Mix-GEMM HW-SW stack.
+
+    The notation ``aX-wY`` names the activation (A matrix) and weight
+    (B matrix) bitwidths.  Everything else either derives from them via
+    binary segmentation or is a DSE-chosen constant (Table I).
+    """
+
+    bw_a: int = 8
+    bw_b: int = 8
+    signed_a: bool = True
+    signed_b: bool = True
+    blocking: BlockingParams = field(default_factory=BlockingParams)
+    source_buffer_depth: int = 16
+    mul_width: int = DEFAULT_MUL_WIDTH
+    word_bits: int = WORD_BITS
+    kua: int | None = None
+    kub: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.source_buffer_depth < 1:
+            raise ValueError("source_buffer_depth must be positive")
+        if self.kua is None or self.kub is None:
+            kua, kub = select_ku(self.bw_a, self.bw_b, word_bits=self.word_bits)
+            object.__setattr__(self, "kua", self.kua or kua)
+            object.__setattr__(self, "kub", self.kub or kub)
+
+    @property
+    def name(self) -> str:
+        """Paper notation, e.g. ``a8-w8`` or ``a6-w4``."""
+        return f"a{self.bw_a}-w{self.bw_b}"
+
+    @property
+    def binseg(self) -> BinSegSpec:
+        return BinSegSpec(
+            bw_a=self.bw_a,
+            bw_b=self.bw_b,
+            signed_a=self.signed_a,
+            signed_b=self.signed_b,
+            mul_width=self.mul_width,
+        )
+
+    @property
+    def layout(self) -> UVectorLayout:
+        return UVectorLayout(
+            bw_a=self.bw_a,
+            bw_b=self.bw_b,
+            kua=self.kua,
+            kub=self.kub,
+            word_bits=self.word_bits,
+        )
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak micro-engine throughput for this configuration."""
+        return self.binseg.macs_per_cycle
+
+    @property
+    def compression_vs_fp64(self) -> tuple[float, float]:
+        """Per-matrix problem-size reduction versus the 64-bit DGEMM
+        baseline (paper: "from 8x to 32x")."""
+        return self.word_bits / self.bw_a, self.word_bits / self.bw_b
+
+    def with_sizes(self, bw_a: int, bw_b: int) -> "MixGemmConfig":
+        """Derive a config for different data sizes, re-solving kua/kub."""
+        return replace(self, bw_a=bw_a, bw_b=bw_b, kua=None, kub=None)
+
+    def describe(self) -> str:
+        lay = self.layout
+        return (
+            f"{self.name}: {self.macs_per_cycle} MAC/cycle, "
+            f"kua={self.kua}, kub={self.kub}, "
+            f"group={lay.group_elements} elements, "
+            f"padding={lay.padding_fraction:.1%}, "
+            f"blocking mc={self.blocking.mc} nc={self.blocking.nc} "
+            f"kc={self.blocking.kc} mr={self.blocking.mr} nr={self.blocking.nr}"
+        )
+
+
+def all_size_combinations() -> list[tuple[int, int]]:
+    """Every (bw_a, bw_b) pair Mix-GEMM supports: 7 x 7 = 49 combinations."""
+    return [
+        (a, w)
+        for a in SUPPORTED_BITWIDTHS[::-1]
+        for w in SUPPORTED_BITWIDTHS[::-1]
+    ]
+
+
+#: The 12 configurations plotted in the paper's Figure 6.
+FIGURE6_CONFIGS = (
+    (8, 8), (8, 6), (8, 4), (8, 2),
+    (6, 6), (6, 4), (6, 2),
+    (4, 4), (4, 2),
+    (3, 3), (3, 2),
+    (2, 2),
+)

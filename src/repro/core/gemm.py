@@ -1,0 +1,317 @@
+"""The Mix-GEMM software library: Algorithm 1 on top of the u-engine.
+
+This is the BLIS-derived narrow-precision GEMM of Section III-A.  The three
+procedures of Algorithm 1 map one-to-one onto methods here:
+
+* :meth:`MixGemm.gemm`          -- ``M-GEMM``: panel decomposition over
+  ``n/nc``, ``k/kc``, ``m/mc`` plus the single ``bs.set``;
+* :meth:`MixGemm._macro_kernel` -- ``MACRO-KERNEL``: u-panel extraction over
+  ``nc/nr`` and ``mc/mr``;
+* :meth:`MixGemm._micro_kernel` -- ``u-KERNEL``: the bs.ip issue loops and
+  the mr x nr bs.get collection, with ``kua``/``kub`` balancing for mixed
+  precision.
+
+The library drives a :class:`~repro.core.microengine.MicroEngine` instance,
+so every run is simultaneously a bit-exact computation *and* a timing
+measurement: the returned :class:`GemmResult` carries the output matrix, the
+engine PMU, and the modelled cycle count including the scalar core's load
+and loop-overhead instructions (see :class:`KernelCosts`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .binseg import BinSegError
+from .config import MixGemmConfig
+from .microengine import MicroEngine, PmuCounters
+from .packing import (
+    MicroPanel,
+    PackedMatrix,
+    aligned_kc,
+    create_micro_panel,
+    pack_matrix_a,
+    pack_matrix_b,
+)
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Scalar-core instruction costs surrounding the bs.* intrinsics.
+
+    The paper's Sargantana host is a 7-stage, in-order, single-issue core:
+    every instruction occupies the issue slot for one cycle, and the
+    u-engine overlaps with independent loads/branches (Section III-B).  The
+    u-kernel's non-bs.ip work therefore costs issue cycles:
+
+    * one cycle per u-vector load that misses the register file (the RF
+      holds the current kua*mr + kub*nr u-vectors, so each is loaded from
+      L1 once per k-group);
+    * ``inner_loop_overhead`` covers address generation/branch per innermost
+      iteration that the compiler cannot fold away;
+    * ``kgroup_overhead`` covers the per-k-group pointer bumps
+      (LoadNextAddress in Algorithm 1);
+    * ``c_update_cost`` covers the load + add + store per output element
+      when folding the collected u-panel into C.
+
+    Defaults were fixed once against the paper's steady-state a8-w8 speedup
+    (Section IV-B) and left untouched for every other configuration; the
+    cross-configuration scaling then *emerges* from the DSU schedule.
+    """
+
+    load_cost: int = 1
+    inner_loop_overhead: int = 4
+    kgroup_overhead: int = 4
+    c_update_cost: int = 3
+    get_cost: int = 1
+
+
+@dataclass
+class GemmResult:
+    """Output of one Mix-GEMM run: values plus performance accounting."""
+
+    c: np.ndarray
+    cycles: int
+    macs: int
+    pmu: PmuCounters
+    config: MixGemmConfig
+    instructions: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+    def gops(self, freq_ghz: float = 1.2) -> float:
+        """Throughput in GOPS (2 ops per MAC) at ``freq_ghz``."""
+        return 2.0 * self.macs_per_cycle * freq_ghz
+
+
+def reference_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Ground-truth integer GEMM used to verify the simulated datapath."""
+    return np.asarray(a, dtype=np.int64) @ np.asarray(b, dtype=np.int64)
+
+
+class MixGemm:
+    """Narrow-precision GEMM executor bound to one u-engine instance.
+
+    Parameters
+    ----------
+    config:
+        Data sizes, blocking and buffer depth.  ``kc`` is re-aligned to a
+        whole number of accumulation groups so packed k-slices never split
+        a u-vector.
+    emulate_datapath:
+        Forwarded to the engine: route every accumulation through the
+        binary-segmentation pack/multiply/slice pipeline (slow, bit-exact
+        by construction) or compute group products directly (identical
+        values, faster).
+    costs:
+        Scalar-core cost model; see :class:`KernelCosts`.
+    memory:
+        Optional cache-backed memory system (duck-typed: ``load_a(run,
+        word)``, ``load_b(run, word)`` and ``update_c(row, col)``, each
+        returning a latency in cycles -- see
+        :class:`repro.sim.trace.GemmMemorySystem`).  When given, u-vector
+        loads and C updates are charged simulated cache latencies instead
+        of the constant :class:`KernelCosts` figures.
+    """
+
+    def __init__(
+        self,
+        config: MixGemmConfig,
+        *,
+        emulate_datapath: bool = True,
+        costs: KernelCosts | None = None,
+        memory=None,
+    ) -> None:
+        self.config = config
+        self.costs = costs or KernelCosts()
+        self.memory = memory
+        self.engine = MicroEngine(emulate_datapath=emulate_datapath)
+        # kc counts 64-bit u-vectors; convert to logical elements and align
+        # to whole accumulation groups so k-slices never split a u-vector.
+        self._kc = aligned_kc(config.blocking.kc * config.layout.elems_a,
+                              config.layout.group_elements)
+
+    # -- public API -----------------------------------------------------------
+
+    def gemm(self, a: np.ndarray, b: np.ndarray,
+             c: np.ndarray | None = None) -> GemmResult:
+        """Compute ``C (+)= A @ B`` with quantized narrow-integer operands.
+
+        ``a`` is the m x k activation matrix at ``bw_a`` bits, ``b`` the
+        k x n weight matrix at ``bw_b`` bits.  The accumulator matrix ``c``
+        (int64) is updated in place when given, matching GEMM semantics.
+        """
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise BinSegError("gemm expects 2-D operands")
+        m, k = a.shape
+        kb, n = b.shape
+        if k != kb:
+            raise BinSegError(f"inner dimensions differ: {k} vs {kb}")
+        if c is None:
+            c = np.zeros((m, n), dtype=np.int64)
+        elif c.shape != (m, n):
+            raise BinSegError(f"C shape {c.shape} does not match ({m}, {n})")
+
+        packed_a = pack_matrix_a(a, self.config)
+        packed_b = pack_matrix_b(b, self.config)
+
+        blk = self.config.blocking
+        self.engine.set_config(self.config)  # bs.set, once per GEMM
+
+        # M-GEMM: jc over n, pc over k, ic over m (Algorithm 1 lines 21-28).
+        for jc in range(0, n, blk.nc):
+            nc = min(blk.nc, n - jc)
+            for pc in range(0, k, self._kc):
+                kc = min(self._kc, k - pc)
+                for ic in range(0, m, blk.mc):
+                    mc = min(blk.mc, m - ic)
+                    self._macro_kernel(
+                        packed_a, packed_b, c,
+                        ic, mc, jc, nc, pc, pc + kc,
+                    )
+
+        macs = m * n * k
+        pmu = self.engine.pmu
+        pmu.cycles_total = self.engine.now
+        return GemmResult(
+            c=c,
+            cycles=self.engine.now,
+            macs=macs,
+            pmu=pmu,
+            config=self.config,
+            instructions={
+                "bs.set": pmu.set_instructions,
+                "bs.ip": pmu.ip_instructions,
+                "bs.get": pmu.get_instructions,
+            },
+        )
+
+    # -- Algorithm 1 internals --------------------------------------------------
+
+    def _macro_kernel(
+        self,
+        packed_a: PackedMatrix,
+        packed_b: PackedMatrix,
+        c: np.ndarray,
+        ic: int, mc: int, jc: int, nc: int, k_lo: int, k_hi: int,
+    ) -> None:
+        blk = self.config.blocking
+        for jr in range(jc, jc + nc, blk.nr):
+            b_up = create_micro_panel(packed_b, jr, blk.nr, k_lo, k_hi)
+            for ir in range(ic, ic + mc, blk.mr):
+                a_up = create_micro_panel(packed_a, ir, blk.mr, k_lo, k_hi)
+                self._micro_kernel(a_up, b_up, c, ir, jr)
+
+    def _micro_kernel(
+        self,
+        a_up: MicroPanel,
+        b_up: MicroPanel,
+        c: np.ndarray,
+        ir: int, jr: int,
+    ) -> None:
+        """u-KERNEL: stream u-vector pairs group by group, then collect.
+
+        Issue order matches Algorithm 1: for every k-group, all nr x mr
+        (i, j) cells receive their kua/kub u-vectors, so the engine's
+        modulo-AccMem addressing lines up with slot ``j + i * mr``.
+        """
+        blk = self.config.blocking
+        lay = self.config.layout
+        costs = self.costs
+        engine = self.engine
+        n_groups = a_up.runs[0].n_groups
+        ku_iters = max(lay.kua, lay.kub)
+
+        group_base = a_up.k_offset // lay.group_elements
+
+        for g in range(n_groups):
+            # The k-group's u-vectors are loaded from L1 into the RF once
+            # (kua*mr + kub*nr loads) and reused across the i/j loops.
+            if self.memory is None:
+                engine.advance(
+                    costs.load_cost
+                    * (lay.kua * blk.mr + lay.kub * blk.nr)
+                    + costs.kgroup_overhead
+                )
+            else:
+                cycles = costs.kgroup_overhead
+                for j in range(min(blk.mr, a_up.valid_runs)):
+                    for w in range(lay.kua):
+                        cycles += self.memory.load_a(
+                            ir + j, (group_base + g) * lay.kua + w
+                        )
+                for i in range(min(blk.nr, b_up.valid_runs)):
+                    for w in range(lay.kub):
+                        cycles += self.memory.load_b(
+                            jr + i, (group_base + g) * lay.kub + w
+                        )
+                engine.advance(cycles)
+            for i in range(blk.nr):
+                for j in range(blk.mr):
+                    engine.advance(costs.inner_loop_overhead)
+                    a_words = a_up.runs[j].group_words(g)
+                    b_words = b_up.runs[i].group_words(g)
+                    for ku in range(ku_iters):
+                        push_a = ku < lay.kua
+                        push_b = ku < lay.kub
+                        engine.push_pair(
+                            a_words[ku] if push_a else 0,
+                            b_words[ku] if push_b else 0,
+                            push_a=push_a,
+                            push_b=push_b,
+                        )
+
+        # Collection loop (Algorithm 1 lines 11-14) + C update.
+        for i in range(blk.nr):
+            for j in range(blk.mr):
+                value, _ = engine.read_slot(j + i * blk.mr)
+                row, col = ir + j, jr + i
+                if row < c.shape[0] and col < c.shape[1]:
+                    if self.memory is None:
+                        engine.advance(costs.c_update_cost)
+                    else:
+                        engine.advance(self.memory.update_c(row, col))
+                    c[row, col] += value
+
+
+def mix_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    bw_a: int,
+    bw_b: int,
+    *,
+    signed_a: bool = True,
+    signed_b: bool = True,
+    emulate_datapath: bool = True,
+    config: MixGemmConfig | None = None,
+) -> GemmResult:
+    """One-call convenience wrapper: quantized ``A @ B`` via Mix-GEMM."""
+    if config is None:
+        config = MixGemmConfig(
+            bw_a=bw_a, bw_b=bw_b, signed_a=signed_a, signed_b=signed_b,
+        )
+    executor = MixGemm(config, emulate_datapath=emulate_datapath)
+    return executor.gemm(a, b)
+
+
+def macs_for(m: int, n: int, k: int) -> int:
+    """MAC count of an m x n x k GEMM."""
+    return m * n * k
+
+
+def uvector_loads(m: int, n: int, k: int, config: MixGemmConfig) -> int:
+    """Total u-vector loads a full GEMM performs (for memory accounting)."""
+    lay = config.layout
+    blk = config.blocking
+    groups_per_run = math.ceil(k / lay.group_elements)
+    m_tiles = math.ceil(m / blk.mr)
+    n_tiles = math.ceil(n / blk.nr)
+    per_kernel = groups_per_run * (lay.kua * blk.mr + lay.kub * blk.nr)
+    return m_tiles * n_tiles * per_kernel

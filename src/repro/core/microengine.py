@@ -1,0 +1,519 @@
+"""Cycle-level functional model of the Mix-GEMM u-engine (Section III-B).
+
+The u-engine is a computational pipeline living next to the scalar core's
+functional units:
+
+* two **Source Buffers** (16 u-vectors deep after the DSE) absorb the
+  ``bs.ip`` operand pairs so the core does not wait for their completion;
+* the **Data Selection Unit (DSU)** picks up to ``input_cluster_size``
+  element pairs per cycle, reloading from a Source Buffer whenever one
+  u-vector runs out (Figure 4);
+* the **Data Conversion Unit (DCU)** sign/zero-extends the selected
+  sub-u-vectors into clustering-width fields, forming the input-clusters;
+* the shared **64-bit processor multiplier** computes one cluster product
+  per cycle;
+* the **Data Filtering Unit (DFU)** slices the inner product out of the
+  product (Equation 5) and the internal adder accumulates it into the
+  **AccMem**, whose address the **Control Unit** advances after each
+  accumulation group;
+* a **PMU** counts busy/stall cycles -- the paper uses it for the Source
+  Buffer depth DSE (Section III-C).
+
+Two views are provided with the same underlying DSU schedule:
+
+* :class:`MicroEngine` -- executes an instruction stream bit-exactly while
+  tracking time at u-vector granularity (discrete events, not a per-cycle
+  loop, so it stays fast enough for whole small GEMMs);
+* :func:`dsu_walk` / :func:`group_cycles` -- the closed-form per-group
+  schedule the analytic performance model reuses for large problems.
+
+Reference checks embedded in the tests: the walk yields 12, 12 and 9
+accumulation cycles for the paper's a8-w8, a8-w6 and a6-w4 examples.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from .binseg import BinSegSpec, cluster_inner_product
+from .config import MixGemmConfig, UVectorLayout
+from .isa import BsGet, BsInstruction, BsIp, BsSet, InstructionStream
+from .packing import unpack_word
+
+
+class MicroEngineError(RuntimeError):
+    """Raised on protocol violations (e.g. bs.ip before bs.set)."""
+
+
+def distribute_elements(n: int, n_words: int, per_word: int) -> list[int]:
+    """Spread ``n`` logical elements densely over ``n_words`` u-vectors.
+
+    Elements fill words front to back; the zero padding therefore sits at
+    the tail of the group, matching the packing layout and Figure 4.
+    """
+    if n > n_words * per_word:
+        raise MicroEngineError(
+            f"{n} elements cannot fit {n_words} words of {per_word}"
+        )
+    return [max(0, min(per_word, n - i * per_word)) for i in range(n_words)]
+
+
+@dataclass(frozen=True)
+class GroupSchedule:
+    """DSU schedule for one accumulation group of kua + kub u-vectors.
+
+    ``chunks[c]`` is the number of element pairs the DSU selects on walk
+    cycle ``c``; ``a_release[w]``/``b_release[w]`` give the walk cycle
+    (1-based, i.e. cycles elapsed) after which u-vector ``w`` of the
+    respective stream has been fully consumed and its Source Buffer slot
+    frees up; ``a_needed[w]``/``b_needed[w]`` give the walk cycle (0-based)
+    at which the DSU first reads that u-vector.
+    """
+
+    chunks: tuple[int, ...]
+    a_release: tuple[int, ...]
+    b_release: tuple[int, ...]
+    a_needed: tuple[int, ...]
+    b_needed: tuple[int, ...]
+    n_elements: int
+
+    @property
+    def cycles(self) -> int:
+        """Multiplier passes (= accumulations) this group costs."""
+        return len(self.chunks)
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.n_elements / self.cycles
+
+
+@functools.lru_cache(maxsize=None)
+def dsu_walk(
+    elems_a: int,
+    elems_b: int,
+    kua: int,
+    kub: int,
+    cluster_size: int,
+    n_elements: int,
+) -> GroupSchedule:
+    """Simulate the DSU selection for one group (Figure 4 semantics).
+
+    Each cycle the DSU selects ``min(cluster_size, remaining in the current
+    A u-vector, remaining in the current B u-vector, remaining in the
+    group)`` element pairs; when a u-vector empties, the next one is pulled
+    from its Source Buffer on the following cycle.
+    """
+    a_counts = distribute_elements(n_elements, kua, elems_a)
+    b_counts = distribute_elements(n_elements, kub, elems_b)
+    chunks: list[int] = []
+    a_release = [0] * kua
+    b_release = [0] * kub
+    a_needed = [0] * kua
+    b_needed = [0] * kub
+    ai = bi = 0
+    rem_a, rem_b = a_counts[0], b_counts[0]
+    remaining = n_elements
+    cycle = 0
+    while remaining > 0:
+        while rem_a == 0:  # zero-count words (over-padded group tail)
+            a_release[ai] = cycle
+            ai += 1
+            rem_a = a_counts[ai]
+            a_needed[ai] = cycle
+        while rem_b == 0:
+            b_release[bi] = cycle
+            bi += 1
+            rem_b = b_counts[bi]
+            b_needed[bi] = cycle
+        chunk = min(cluster_size, rem_a, rem_b, remaining)
+        cycle += 1
+        chunks.append(chunk)
+        rem_a -= chunk
+        rem_b -= chunk
+        remaining -= chunk
+        if rem_a == 0 and remaining > 0:
+            a_release[ai] = cycle
+            ai += 1
+            rem_a = a_counts[ai] if ai < kua else 0
+            if ai < kua:
+                a_needed[ai] = cycle
+        if rem_b == 0 and remaining > 0:
+            b_release[bi] = cycle
+            bi += 1
+            rem_b = b_counts[bi] if bi < kub else 0
+            if bi < kub:
+                b_needed[bi] = cycle
+    # Whatever is still held (including pure-padding tail words) releases
+    # when the group completes.
+    for w in range(ai, kua):
+        a_release[w] = cycle
+    for w in range(bi, kub):
+        b_release[w] = cycle
+    return GroupSchedule(
+        chunks=tuple(chunks),
+        a_release=tuple(a_release),
+        b_release=tuple(b_release),
+        a_needed=tuple(a_needed),
+        b_needed=tuple(b_needed),
+        n_elements=n_elements,
+    )
+
+
+def group_schedule(config: MixGemmConfig,
+                   n_elements: int | None = None) -> GroupSchedule:
+    """DSU schedule for one full (or partial) group of ``config``."""
+    lay = config.layout
+    n = lay.group_elements if n_elements is None else n_elements
+    return dsu_walk(
+        lay.elems_a, lay.elems_b, lay.kua, lay.kub,
+        config.binseg.input_cluster_size, n,
+    )
+
+
+def group_cycles(config: MixGemmConfig,
+                 n_elements: int | None = None) -> int:
+    """Multiplier cycles for one accumulation group (12/12/9 in Fig. 4)."""
+    return group_schedule(config, n_elements).cycles
+
+
+def effective_macs_per_cycle(config: MixGemmConfig) -> float:
+    """Steady-state engine throughput including u-vector boundary losses.
+
+    The paper notes a2-w2 loses ~15% against its theoretical bound because
+    32-element u-vectors drain in 5 cycles at 7 MAC/cycle; this number is
+    that effect, derived from the DSU schedule rather than assumed.
+    """
+    return group_schedule(config).macs_per_cycle
+
+
+# ---------------------------------------------------------------------------
+# Performance monitoring unit
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PmuCounters:
+    """Micro-engine PMU, as used for the Section III-C buffer-depth DSE."""
+
+    cycles_total: int = 0
+    engine_busy_cycles: int = 0
+    buffer_full_stall_cycles: int = 0
+    get_stall_cycles: int = 0
+    macs: int = 0
+    groups: int = 0
+    ip_instructions: int = 0
+    get_instructions: int = 0
+    set_instructions: int = 0
+
+    @property
+    def buffer_stall_fraction(self) -> float:
+        if self.cycles_total == 0:
+            return 0.0
+        return self.buffer_full_stall_cycles / self.cycles_total
+
+    @property
+    def get_stall_fraction(self) -> float:
+        if self.cycles_total == 0:
+            return 0.0
+        return self.get_stall_cycles / self.cycles_total
+
+    @property
+    def macs_per_cycle(self) -> float:
+        if self.cycles_total == 0:
+            return 0.0
+        return self.macs / self.cycles_total
+
+
+# ---------------------------------------------------------------------------
+# The micro-engine proper
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _PendingWord:
+    word: int
+    arrival: int  # CPU cycle at which bs.ip delivered it
+
+
+@dataclass
+class EngineRun:
+    """Result of executing an instruction stream."""
+
+    values: list[int] = field(default_factory=list)
+    pmu: PmuCounters = field(default_factory=PmuCounters)
+
+
+class MicroEngine:
+    """Bit-exact, event-timed model of the u-engine.
+
+    Drive it either through :meth:`execute` with an
+    :class:`~repro.core.isa.InstructionStream`, or instruction by
+    instruction via :meth:`set_config`, :meth:`push_pair` and
+    :meth:`read_slot` (each returns the stall cycles the CPU observes,
+    letting the SoC model interleave other instructions).
+
+    Parameters
+    ----------
+    config:
+        Full Mix-GEMM configuration (data sizes, kua/kub, buffer depth,
+        AccMem slots from the blocking parameters).
+    emulate_datapath:
+        When true (default) every accumulation goes through the binary
+        segmentation pack/multiply/slice pipeline; when false the group
+        inner product is computed directly (identical result -- asserted
+        by the test-suite -- but faster for large functional runs).
+    """
+
+    def __init__(self, config: MixGemmConfig | None = None, *,
+                 emulate_datapath: bool = True) -> None:
+        self._emulate_datapath = emulate_datapath
+        self._configured = False
+        self._cpu_time = 0
+        self._engine_time = 0
+        self.pmu = PmuCounters()
+        self._a_queue: deque[_PendingWord] = deque()
+        self._b_queue: deque[_PendingWord] = deque()
+        # Cycle at which each already-scheduled (but not yet drained)
+        # u-vector frees its Source Buffer slot; kept sorted because groups
+        # are processed in order and releases are monotone within a group.
+        self._a_releases: deque[int] = deque()
+        self._b_releases: deque[int] = deque()
+        self._group_counter = 0
+        if config is not None:
+            self.set_config(config)
+
+    # -- configuration ------------------------------------------------------
+
+    def set_config(self, config: MixGemmConfig) -> int:
+        """Model ``bs.set``: single-cycle Control Unit reconfiguration."""
+        self._config = config
+        self._spec: BinSegSpec = config.binseg
+        self._layout: UVectorLayout = config.layout
+        self._depth = config.source_buffer_depth
+        self._accmem = [0] * config.blocking.accmem_slots
+        self._group_counter = 0
+        self._configured = True
+        self._cpu_time += 1
+        self.pmu.set_instructions += 1
+        return 0
+
+    @property
+    def accmem(self) -> list[int]:
+        return list(self._accmem)
+
+    @property
+    def now(self) -> int:
+        """Current CPU-visible cycle."""
+        return self._cpu_time
+
+    def advance(self, cycles: int) -> None:
+        """Let the CPU spend cycles on unrelated instructions (loads etc.)."""
+        if cycles < 0:
+            raise ValueError("cannot advance time backwards")
+        self._cpu_time += cycles
+
+    # -- bs.ip ---------------------------------------------------------------
+
+    def push_pair(self, a_word: int, b_word: int, *,
+                  push_a: bool = True, push_b: bool = True) -> int:
+        """Model ``bs.ip``: buffer one u-vector (pair).  Returns the stall
+        cycles the CPU spent waiting for Source Buffer space."""
+        if not self._configured:
+            raise MicroEngineError("bs.ip before bs.set")
+        issue_at = self._cpu_time
+        # The instruction needs a free slot in each buffer it writes; a
+        # slot is occupied from push until the DSU releases the u-vector.
+        targets = []
+        if push_a:
+            targets.append((self._a_queue, self._a_releases))
+        if push_b:
+            targets.append((self._b_queue, self._b_releases))
+        wait_until = issue_at
+        for queue, releases in targets:
+            wait_until = max(
+                wait_until, self._time_for_free_slot(queue, releases,
+                                                     wait_until)
+            )
+        stall = wait_until - issue_at
+        self._cpu_time = wait_until + 1
+        self.pmu.buffer_full_stall_cycles += stall
+        self.pmu.ip_instructions += 1
+        if push_a:
+            self._a_queue.append(_PendingWord(a_word, self._cpu_time))
+        if push_b:
+            self._b_queue.append(_PendingWord(b_word, self._cpu_time))
+        self._try_process_groups()
+        return stall
+
+    def _time_for_free_slot(self, queue: deque[_PendingWord],
+                            releases: deque[int], now: int) -> int:
+        """Earliest cycle at which ``queue``'s buffer has a free slot."""
+        self._prune_releases(now)
+        occupancy = len(queue) + len(releases)
+        if occupancy < self._depth:
+            return now
+        # Pending (ungrouped) words have no release time yet; schedule as
+        # many complete groups as possible to learn theirs.
+        self._try_process_groups()
+        self._prune_releases(now)
+        occupancy = len(queue) + len(releases)
+        if occupancy < self._depth:
+            return now
+        # Waiting only drains scheduled words; pending (ungrouped) ones need
+        # future pushes to complete their group, which cannot happen while
+        # the CPU is stalled on this push.
+        overflow = occupancy - self._depth
+        if len(releases) < overflow + 1:
+            raise MicroEngineError(
+                "Source Buffer full of unscheduled u-vectors; buffer depth "
+                "is smaller than the configuration's kua/kub group size"
+            )
+        free_at = sorted(releases)[overflow]
+        return max(now, free_at)
+
+    def _prune_releases(self, now: int) -> None:
+        for releases in (self._a_releases, self._b_releases):
+            while releases and releases[0] <= now:
+                releases.popleft()
+
+    # -- bs.get ---------------------------------------------------------------
+
+    def read_slot(self, slot: int) -> tuple[int, int]:
+        """Model ``bs.get``: read (and clear) one AccMem slot.
+
+        Returns ``(value, stall_cycles)``.  The CPU stalls until every
+        buffered u-vector has been consumed, because the slot may still
+        have accumulations in flight (the paper observed such stalls only
+        with 32-deep buffers).
+        """
+        if not self._configured:
+            raise MicroEngineError("bs.get before bs.set")
+        if not 0 <= slot < len(self._accmem):
+            raise MicroEngineError(f"AccMem slot {slot} out of range")
+        stall = 0
+        self._process_all_available()
+        if self._engine_time > self._cpu_time:
+            # The C u-panel may still have accumulations in flight; the
+            # first bs.get of the collection loop absorbs the drain.
+            stall = self._engine_time - self._cpu_time
+            self._cpu_time = self._engine_time
+        self._cpu_time += 1
+        self.pmu.get_stall_cycles += stall
+        self.pmu.get_instructions += 1
+        value = self._accmem[slot]
+        self._accmem[slot] = 0
+        return value, stall
+
+    # -- whole-stream execution ----------------------------------------------
+
+    def execute(self, stream: InstructionStream,
+                config: MixGemmConfig | None = None) -> EngineRun:
+        """Run a full instruction stream; gather bs.get values and the PMU."""
+        run = EngineRun()
+        for instr in stream:
+            self._dispatch(instr, run, config)
+        run.pmu = self.pmu
+        self.pmu.cycles_total = max(self._cpu_time, self._engine_time)
+        return run
+
+    def _dispatch(self, instr: BsInstruction, run: EngineRun,
+                  config: MixGemmConfig | None) -> None:
+        if isinstance(instr, BsSet):
+            if config is None and not self._configured:
+                raise MicroEngineError(
+                    "stream execution needs a MixGemmConfig for bs.set"
+                )
+            if config is not None:
+                self.set_config(config)
+            else:
+                self._cpu_time += 1
+                self.pmu.set_instructions += 1
+        elif isinstance(instr, BsIp):
+            self.push_pair(instr.a_word, instr.b_word,
+                           push_a=instr.push_a, push_b=instr.push_b)
+        elif isinstance(instr, BsGet):
+            value, _ = self.read_slot(instr.slot)
+            run.values.append(value)
+        else:  # pragma: no cover - defensive
+            raise MicroEngineError(f"unknown instruction {instr!r}")
+
+    # -- engine internals ------------------------------------------------------
+
+    def _group_ready(self) -> bool:
+        return (len(self._a_queue) >= self._layout.kua
+                and len(self._b_queue) >= self._layout.kub)
+
+    def _try_process_groups(self) -> None:
+        while self._group_ready():
+            self._process_group()
+
+    def _process_all_available(self) -> None:
+        self._try_process_groups()
+        # A trailing partial group cannot exist in a well-formed stream;
+        # leftover words simply wait for their group to complete.
+
+    def _process_group(self) -> None:
+        lay = self._layout
+        a_words = [self._a_queue.popleft() for _ in range(lay.kua)]
+        b_words = [self._b_queue.popleft() for _ in range(lay.kub)]
+        sched = dsu_walk(
+            lay.elems_a, lay.elems_b, lay.kua, lay.kub,
+            self._spec.input_cluster_size, lay.group_elements,
+        )
+        # Group start: engine free and the first u-vector of each stream
+        # delivered; each walk cycle additionally waits for the u-vectors it
+        # first touches.
+        start = max(self._engine_time,
+                    a_words[0].arrival, b_words[0].arrival)
+        finish = start
+        for w, needed in enumerate(sched.a_needed):
+            finish = max(finish, a_words[w].arrival + sched.cycles - needed)
+        for w, needed in enumerate(sched.b_needed):
+            finish = max(finish, b_words[w].arrival + sched.cycles - needed)
+        finish = max(finish, start + sched.cycles)
+        self._engine_time = finish
+        self.pmu.engine_busy_cycles += sched.cycles
+        # Each u-vector keeps its Source Buffer slot until the DSU finishes
+        # with it; anchor the relative release offsets to the group finish.
+        for rel in sched.a_release:
+            self._a_releases.append(finish - (sched.cycles - rel))
+        for rel in sched.b_release:
+            self._b_releases.append(finish - (sched.cycles - rel))
+        # Functional accumulation.
+        value = self._group_inner_product(a_words, b_words, sched)
+        slot = self._group_counter % len(self._accmem)
+        self._accmem[slot] += value
+        self._group_counter += 1
+        self.pmu.groups += 1
+        self.pmu.macs += sched.n_elements
+
+    def _group_inner_product(self, a_words: list[_PendingWord],
+                             b_words: list[_PendingWord],
+                             sched: GroupSchedule) -> int:
+        lay = self._layout
+        a_counts = distribute_elements(sched.n_elements, lay.kua, lay.elems_a)
+        b_counts = distribute_elements(sched.n_elements, lay.kub, lay.elems_b)
+        a_elems: list[int] = []
+        for pw, count in zip(a_words, a_counts):
+            a_elems.extend(unpack_word(pw.word, lay.bw_a, count,
+                                       signed=self._spec.signed_a))
+        b_elems: list[int] = []
+        for pw, count in zip(b_words, b_counts):
+            b_elems.extend(unpack_word(pw.word, lay.bw_b, count,
+                                       signed=self._spec.signed_b))
+        if not self._emulate_datapath:
+            return sum(a * b for a, b in zip(a_elems, b_elems))
+        total = 0
+        pos = 0
+        for chunk in sched.chunks:
+            total += cluster_inner_product(
+                a_elems[pos:pos + chunk], b_elems[pos:pos + chunk],
+                self._spec.bw_a, self._spec.bw_b,
+                signed_a=self._spec.signed_a, signed_b=self._spec.signed_b,
+                mul_width=self._spec.mul_width,
+            )
+            pos += chunk
+        return total

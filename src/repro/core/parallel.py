@@ -1,0 +1,135 @@
+"""Multi-core Mix-GEMM (paper Section III-B scalability).
+
+"The performance benefits of Mix-GEMM also apply to processors hosting
+multiple cores.  Indeed, our BLIS-based library can easily enable
+multi-threading support [73] while retaining performance-per-core close
+to the single-threaded implementation [67], and a u-engine can be
+instantiated on every processor core."
+
+This module implements that claim functionally: the many-threaded BLIS
+strategy parallelizes the ``jc``/``jr`` loops -- each core owns a slice of
+the N dimension, with its own u-engine, its own AccMem, and a barrier at
+the end.  Results are bit-exact (each core runs the ordinary
+:class:`~repro.core.gemm.MixGemm` on its slice) and the timing is the
+slowest core plus a synchronization cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .binseg import BinSegError
+from .config import MixGemmConfig
+from .gemm import GemmResult, KernelCosts, MixGemm
+from .microengine import PmuCounters
+
+#: Barrier cost per synchronization point (cycles): a sense-reversing
+#: barrier over a snoopy bus at edge-SoC scale.
+DEFAULT_BARRIER_CYCLES = 200
+
+
+@dataclass
+class ParallelGemmResult:
+    """Combined outcome of a multi-core GEMM."""
+
+    c: np.ndarray
+    cycles: int                     # slowest core + barrier
+    macs: int
+    per_core: list[GemmResult] = field(default_factory=list)
+
+    @property
+    def cores(self) -> int:
+        return len(self.per_core)
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """Achieved speedup over one core, divided by the core count."""
+        serial = sum(r.cycles for r in self.per_core)
+        return serial / (self.cycles * self.cores) if self.cycles else 0.0
+
+    def gops(self, freq_ghz: float = 1.2) -> float:
+        return 2.0 * self.macs_per_cycle * freq_ghz
+
+
+class ParallelMixGemm:
+    """N-dimension-parallel Mix-GEMM over per-core u-engines."""
+
+    def __init__(
+        self,
+        config: MixGemmConfig,
+        cores: int = 2,
+        *,
+        emulate_datapath: bool = False,
+        costs: KernelCosts | None = None,
+        barrier_cycles: int = DEFAULT_BARRIER_CYCLES,
+    ) -> None:
+        if cores < 1:
+            raise ValueError(f"need at least one core, got {cores}")
+        self.config = config
+        self.cores = cores
+        self.barrier_cycles = barrier_cycles
+        self._executors = [
+            MixGemm(config, emulate_datapath=emulate_datapath, costs=costs)
+            for _ in range(cores)
+        ]
+
+    def _partition(self, n: int) -> list[tuple[int, int]]:
+        """Split N into per-core column slices, nr-aligned when possible."""
+        nr = self.config.blocking.nr
+        chunk = math.ceil(n / self.cores)
+        chunk = max(nr, math.ceil(chunk / nr) * nr)
+        slices = []
+        start = 0
+        while start < n:
+            end = min(n, start + chunk)
+            slices.append((start, end))
+            start = end
+        return slices
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> ParallelGemmResult:
+        """Compute ``A @ B`` across the cores; bit-exact, max-core timing."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise BinSegError("parallel gemm expects conformable 2-D "
+                              "operands")
+        m, k = a.shape
+        n = b.shape[1]
+        c = np.zeros((m, n), dtype=np.int64)
+        per_core: list[GemmResult] = []
+        for executor, (lo, hi) in zip(self._executors,
+                                      self._partition(n)):
+            result = executor.gemm(a, b[:, lo:hi])
+            c[:, lo:hi] = result.c
+            per_core.append(result)
+        slowest = max((r.cycles for r in per_core), default=0)
+        return ParallelGemmResult(
+            c=c,
+            cycles=slowest + self.barrier_cycles,
+            macs=m * n * k,
+            per_core=per_core,
+        )
+
+
+def combined_pmu(result: ParallelGemmResult) -> PmuCounters:
+    """Aggregate PMU counters across cores (diagnostics)."""
+    total = PmuCounters()
+    for r in result.per_core:
+        p = r.pmu
+        total.engine_busy_cycles += p.engine_busy_cycles
+        total.buffer_full_stall_cycles += p.buffer_full_stall_cycles
+        total.get_stall_cycles += p.get_stall_cycles
+        total.macs += p.macs
+        total.groups += p.groups
+        total.ip_instructions += p.ip_instructions
+        total.get_instructions += p.get_instructions
+        total.set_instructions += p.set_instructions
+    total.cycles_total = result.cycles
+    return total

@@ -1,0 +1,191 @@
+"""Per-layer mixed-precision assignment (the paper's flexibility claim).
+
+Section III-B: "the data sizes of weights and activations can be easily
+tuned for each layer of the model, providing a further degree of freedom
+when exploring the data size configurations" -- the Control Unit
+reconfigures in a single cycle, so switching precision between layers is
+free.  This module turns that degree of freedom into an optimizer:
+
+* a per-layer **sensitivity model**, anchored to the network-level QAT
+  registry: with uniform bits the predicted loss reproduces the
+  Figure 7 registry exactly, and per-layer weights distribute that loss
+  using a documented proxy (fewer parameters and depthwise layers are
+  more fragile -- the standard mixed-precision heuristic);
+* a **greedy knapsack**: start everything at the narrowest supported
+  precision and repeatedly widen the layer with the best
+  loss-reduction-per-extra-cycle ratio until the accuracy budget holds.
+
+The result demonstrates the paper's point quantitatively: per-layer
+assignments dominate the best *uniform* configuration at equal accuracy
+budgets (asserted in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import MixGemmConfig
+from repro.models.inventory import LayerSpec, NetworkInventory
+from repro.sim.perf import MixGemmPerfModel
+
+from .accuracy import accuracy_loss
+
+#: Uniform ladder the optimizer picks per layer (act == weight bits,
+#: descending, all supported by the registry anchors).
+BIT_CHOICES = (8, 6, 5, 4, 3, 2)
+
+#: Ladder entries mapped onto registry configurations for loss anchoring.
+_REGISTRY_CONFIG = {8: (8, 8), 6: (6, 6), 5: (5, 5), 4: (4, 4),
+                    3: (3, 3), 2: (2, 2)}
+
+
+def layer_fragility(layer: LayerSpec) -> float:
+    """Relative quantization fragility of one layer (unitless proxy).
+
+    Documented heuristic (per-layer ImageNet sensitivities are not
+    published): fragility falls with parameter count (more redundancy)
+    and rises 3x for depthwise layers, whose per-channel filters have no
+    cross-channel redundancy -- the reason MobileNet/EfficientNet collapse
+    at 2 bits in the paper's Figure 7.
+    """
+    base = 1.0 / np.sqrt(max(layer.weight_elements, 1))
+    if layer.kind == "depthwise":
+        base *= 3.0
+    return float(base)
+
+
+@dataclass
+class LayerwiseSensitivity:
+    """Loss model: predicted_loss(assignment) anchored to the registry."""
+
+    network: str
+    inventory: NetworkInventory
+    weights: dict[str, float] = field(init=False)
+
+    def __post_init__(self) -> None:
+        raw = {l.name: layer_fragility(l)
+               for l in self.inventory.conv_layers}
+        total = sum(raw.values())
+        self.weights = {k: v / total for k, v in raw.items()}
+
+    def predicted_loss(self, assignment: dict[str, int]) -> float:
+        """TOP-1 loss (points) of a per-layer bit assignment.
+
+        With a uniform assignment this returns exactly the registry loss
+        of the matching aX-wX configuration; mixed assignments combine
+        per-layer contributions weighted by fragility.
+        """
+        loss = 0.0
+        for layer in self.inventory.conv_layers:
+            bits = assignment[layer.name]
+            uniform = accuracy_loss(self.network, *_REGISTRY_CONFIG[bits])
+            loss += self.weights[layer.name] * uniform
+        return loss
+
+
+@dataclass
+class LayerAssignment:
+    """Result of the optimizer."""
+
+    network: str
+    bits: dict[str, int]
+    predicted_loss: float
+    total_cycles: float
+    macs: int
+
+    def throughput_gops(self, freq_ghz: float = 1.2) -> float:
+        return 2.0 * self.macs / self.total_cycles * freq_ghz
+
+    @property
+    def mean_bits(self) -> float:
+        return float(np.mean(list(self.bits.values())))
+
+
+class LayerwiseOptimizer:
+    """Greedy precision assignment under an accuracy-loss budget."""
+
+    def __init__(self, network: str, inventory: NetworkInventory,
+                 perf_model: MixGemmPerfModel | None = None) -> None:
+        self.network = network
+        self.inventory = inventory
+        self.perf = perf_model or MixGemmPerfModel()
+        self.sensitivity = LayerwiseSensitivity(network, inventory)
+        self._cycle_cache: dict[tuple[str, int], float] = {}
+
+    def _layer_cycles(self, layer: LayerSpec, bits: int) -> float:
+        key = (layer.name, bits)
+        if key not in self._cycle_cache:
+            cfg = MixGemmConfig(bw_a=bits, bw_b=bits)
+            self._cycle_cache[key] = self.perf.conv_layer(
+                layer, cfg
+            ).total_cycles
+        return self._cycle_cache[key]
+
+    def _total_cycles(self, assignment: dict[str, int]) -> float:
+        return sum(
+            self._layer_cycles(l, assignment[l.name])
+            for l in self.inventory.conv_layers
+        )
+
+    def uniform(self, bits: int) -> LayerAssignment:
+        """Baseline: the same precision everywhere."""
+        assignment = {l.name: bits for l in self.inventory.conv_layers}
+        return LayerAssignment(
+            network=self.network,
+            bits=assignment,
+            predicted_loss=self.sensitivity.predicted_loss(assignment),
+            total_cycles=self._total_cycles(assignment),
+            macs=self.inventory.conv_macs,
+        )
+
+    def optimize(self, loss_budget: float) -> LayerAssignment:
+        """Greedy widening from all-2-bit until the budget is met.
+
+        Each step widens (one ladder notch) the layer with the largest
+        loss reduction per extra cycle; terminates at all-8-bit in the
+        worst case.
+        """
+        layers = self.inventory.conv_layers
+        assignment = {l.name: BIT_CHOICES[-1] for l in layers}
+        loss = self.sensitivity.predicted_loss(assignment)
+        while loss > loss_budget:
+            best = None
+            for layer in layers:
+                current = assignment[layer.name]
+                idx = BIT_CHOICES.index(current)
+                if idx == 0:
+                    continue  # already at 8 bits
+                wider = BIT_CHOICES[idx - 1]
+                trial = dict(assignment)
+                trial[layer.name] = wider
+                new_loss = self.sensitivity.predicted_loss(trial)
+                extra = (self._layer_cycles(layer, wider)
+                         - self._layer_cycles(layer, current))
+                gain = (loss - new_loss) / max(extra, 1e-9)
+                if best is None or gain > best[0]:
+                    best = (gain, layer.name, wider, new_loss)
+            if best is None:
+                break  # everything at 8 bits already
+            _, name, wider, loss = best[0], best[1], best[2], best[3]
+            assignment[name] = wider
+        return LayerAssignment(
+            network=self.network,
+            bits=assignment,
+            predicted_loss=self.sensitivity.predicted_loss(assignment),
+            total_cycles=self._total_cycles(assignment),
+            macs=self.inventory.conv_macs,
+        )
+
+    def best_uniform_within(self, loss_budget: float) -> LayerAssignment:
+        """The fastest *uniform* configuration meeting the budget."""
+        feasible = [
+            self.uniform(b) for b in BIT_CHOICES
+            if self.sensitivity.predicted_loss(
+                {l.name: b for l in self.inventory.conv_layers}
+            ) <= loss_budget
+        ]
+        if not feasible:
+            return self.uniform(8)
+        return min(feasible, key=lambda a: a.total_cycles)

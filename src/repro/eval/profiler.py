@@ -1,0 +1,123 @@
+"""Per-layer performance profiler for the six CNN workloads.
+
+Section IV-B's analysis reasons about where each network spends its time
+(depthwise vs pointwise, skinny-k expansions, cache-resident layers);
+this profiler produces that breakdown: per-layer GEMM dimensions, cycle
+counts, MAC/cycle and time share under any aX-wY configuration.
+
+Exposed on the CLI as ``python -m repro profile <network>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MixGemmConfig
+from repro.models.inventory import LayerSpec, NetworkInventory
+from repro.sim.perf import MixGemmPerfModel
+
+from .reporting import render_table
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """One layer's modelled execution profile."""
+
+    name: str
+    kind: str
+    gemm_m: int
+    gemm_k: int
+    gemm_n: int
+    groups: int
+    macs: int
+    cycles: float
+    macs_per_cycle: float
+    time_share: float
+
+
+@dataclass
+class NetworkProfile:
+    """Whole-network profile at one configuration."""
+
+    network: str
+    config: str
+    layers: list[LayerProfile]
+    total_cycles: float
+    total_macs: int
+
+    @property
+    def gops(self) -> float:
+        return 2.0 * self.total_macs / self.total_cycles * 1.2
+
+    def hotspots(self, n: int = 5) -> list[LayerProfile]:
+        """The n layers with the largest time share."""
+        return sorted(self.layers, key=lambda l: -l.time_share)[:n]
+
+    def share_by_kind(self) -> dict[str, float]:
+        """Time share aggregated per layer kind (conv/depthwise/...)."""
+        out: dict[str, float] = {}
+        for layer in self.layers:
+            out[layer.kind] = out.get(layer.kind, 0.0) + layer.time_share
+        return out
+
+
+def profile_network(
+    inventory: NetworkInventory,
+    config: MixGemmConfig,
+    *,
+    perf_model: MixGemmPerfModel | None = None,
+    conv_only: bool = True,
+) -> NetworkProfile:
+    """Profile every layer of a workload under one configuration."""
+    model = perf_model or MixGemmPerfModel()
+    layers = inventory.conv_layers if conv_only else inventory.layers
+    results: list[tuple[LayerSpec, float]] = []
+    for layer in layers:
+        cycles = model.conv_layer(layer, config).total_cycles
+        results.append((layer, cycles))
+    total_cycles = sum(c for _, c in results)
+    total_macs = sum(l.macs for l, _ in results)
+    profiles = []
+    for layer, cycles in results:
+        m, k, n = layer.gemm_dims
+        profiles.append(LayerProfile(
+            name=layer.name,
+            kind=layer.kind,
+            gemm_m=m, gemm_k=k, gemm_n=n,
+            groups=layer.groups,
+            macs=layer.macs,
+            cycles=cycles,
+            macs_per_cycle=layer.macs / cycles,
+            time_share=cycles / total_cycles,
+        ))
+    return NetworkProfile(
+        network=inventory.name,
+        config=config.name,
+        layers=profiles,
+        total_cycles=total_cycles,
+        total_macs=total_macs,
+    )
+
+
+def render_profile(profile: NetworkProfile, *,
+                   top: int | None = None) -> str:
+    """Text table of a profile (optionally only the top-N hotspots)."""
+    layers = profile.hotspots(top) if top else profile.layers
+    headers = ["layer", "kind", "GEMM (m,k,n)", "grp", "MACs",
+               "cycles", "MAC/c", "share"]
+    rows = [
+        [
+            l.name, l.kind,
+            f"({l.gemm_m},{l.gemm_k},{l.gemm_n})",
+            str(l.groups),
+            f"{l.macs / 1e6:.1f}M",
+            f"{l.cycles / 1e6:.2f}M",
+            f"{l.macs_per_cycle:.2f}",
+            f"{l.time_share:.1%}",
+        ]
+        for l in layers
+    ]
+    title = (f"{profile.network} @ {profile.config}: "
+             f"{2 * profile.total_macs / profile.total_cycles * 1.2:.2f} "
+             f"GOPS")
+    return title + "\n" + render_table(headers, rows)

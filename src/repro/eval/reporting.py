@@ -1,0 +1,100 @@
+"""Text rendering of the regenerated figures and tables.
+
+Every benchmark prints its result through these helpers so the harness
+output reads like the paper's own tables -- and so paper-vs-measured
+comparisons are one diff away.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .figures import Figure6Point, Figure7Point
+from .tables import Table2Row, Table3Row
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[str]]) -> str:
+    """Fixed-width text table."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*["-" * w for w in widths])]
+    lines.extend(fmt.format(*row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_figure6(points: list[Figure6Point]) -> str:
+    """Figure 6 as a size x configuration speed-up grid."""
+    sizes = sorted({p.size for p in points})
+    configs = []
+    for p in points:
+        if p.config not in configs:
+            configs.append(p.config)
+    grid = {(p.config, p.size): p.speedup for p in points}
+    headers = ["config"] + [f"n={s}" for s in sizes]
+    rows = [
+        [cfg] + [f"{grid[(cfg, s)]:.1f}x" for s in sizes]
+        for cfg in configs
+    ]
+    return render_table(headers, rows)
+
+
+def render_figure7(points: list[Figure7Point]) -> str:
+    """Figure 7 as per-network annotated (GOPS, TOP-1) lists."""
+    networks = []
+    for p in points:
+        if p.network not in networks:
+            networks.append(p.network)
+    blocks = []
+    for net in networks:
+        headers = ["config", "GOPS", "TOP-1 %", "vs FP32", "Pareto"]
+        rows = [
+            [p.config, f"{p.gops:.2f}", f"{p.top1:.2f}",
+             f"{p.speedup_vs_fp32:.1f}x", "*" if p.on_frontier else ""]
+            for p in points if p.network == net
+        ]
+        blocks.append(f"[{net}]\n" + render_table(headers, rows))
+    return "\n\n".join(blocks)
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    headers = ["Component", "Area [um2]", "SoC Overhead [%]"]
+    body = [
+        [r.component, f"{r.area_um2:.2f}", f"{r.soc_overhead_pct:.2f}"]
+        for r in rows
+    ]
+    return render_table(headers, body)
+
+
+def _fmt_ranges(ranges: dict, keys: Sequence[str]) -> list[str]:
+    return [str(ranges[k]) if k in ranges else "-" for k in keys]
+
+
+def render_table3(rows: list[Table3Row]) -> str:
+    benchmarks = [
+        "convolution", "alexnet", "vgg16", "resnet18",
+        "mobilenet_v1", "regnet_x_400mf", "efficientnet_b0",
+    ]
+    headers = (
+        ["work", "sizes", "mixed", "SoC", "GHz", "nm", "mm2"]
+        + [f"{b}:GOPS" for b in benchmarks]
+    )
+    body = []
+    for r in rows:
+        body.append(
+            [
+                r.citation + (" (measured)" if r.measured else ""),
+                r.data_sizes,
+                "yes" if r.mixed else "no",
+                r.soc,
+                f"{r.freq_ghz:g}" if r.freq_ghz else "-",
+                str(r.tech_nm) if r.tech_nm else "-",
+                f"{r.area_mm2:g}" if r.area_mm2 else "-",
+            ]
+            + _fmt_ranges(r.perf, benchmarks)
+        )
+    return render_table(headers, body)

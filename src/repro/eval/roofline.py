@@ -1,0 +1,110 @@
+"""Roofline analysis of Mix-GEMM workloads.
+
+Classifies each layer of a workload as compute- or memory-bound on the
+Mix-GEMM SoC: the classic roofline with the peak set by the u-engine's
+per-configuration MAC/cycle and the slope by the modelled DRAM bandwidth.
+Narrowing the data moves both lines -- the peak up (more MAC/cycle) *and*
+the knee left (operands shrink, so arithmetic intensity in MAC/byte
+rises) -- which is the visual form of the paper's claim that performance
+"scales with the decreasing of the computational data sizes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import MixGemmConfig
+from repro.core.microengine import effective_macs_per_cycle
+from repro.models.inventory import LayerSpec, NetworkInventory
+from repro.sim.params import DEFAULT_MEMORY_COSTS, PAPER_SOC, SocParams
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer on the roofline."""
+
+    name: str
+    intensity: float          # MACs per DRAM byte
+    attained_macs_per_cycle: float
+    bound: str                # "compute" or "memory"
+
+    @property
+    def is_compute_bound(self) -> bool:
+        return self.bound == "compute"
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """The machine model: peak throughput and bandwidth slope."""
+
+    peak_macs_per_cycle: float
+    dram_bytes_per_cycle: float
+
+    @property
+    def knee_intensity(self) -> float:
+        """MAC/byte at which memory stops limiting the kernel."""
+        return self.peak_macs_per_cycle / self.dram_bytes_per_cycle
+
+    def attainable(self, intensity: float) -> float:
+        """Roofline bound at a given arithmetic intensity."""
+        return min(self.peak_macs_per_cycle,
+                   intensity * self.dram_bytes_per_cycle)
+
+
+def machine_roofline(config: MixGemmConfig,
+                     soc: SocParams = PAPER_SOC) -> Roofline:
+    """The SoC's roofline for one data-size configuration."""
+    bandwidth = soc.line_bytes / DEFAULT_MEMORY_COSTS.dram_line_stall
+    return Roofline(
+        peak_macs_per_cycle=effective_macs_per_cycle(config),
+        dram_bytes_per_cycle=bandwidth,
+    )
+
+
+def layer_intensity(layer: LayerSpec, config: MixGemmConfig) -> float:
+    """Arithmetic intensity in MACs per DRAM byte (compulsory traffic).
+
+    Counts each operand once (the blocking keeps reuse on-chip) plus the
+    requantized output: the best-case intensity the blocked GEMM can
+    approach.
+    """
+    m, k, n = layer.gemm_dims
+    bytes_a = m * k * config.bw_a / 8
+    bytes_b = k * n * config.bw_b / 8
+    bytes_out = m * n  # requantized to one byte
+    per_group = m * k * n / (bytes_a + bytes_b + bytes_out)
+    return per_group
+
+
+def analyze_network(
+    inventory: NetworkInventory,
+    config: MixGemmConfig,
+    *,
+    soc: SocParams = PAPER_SOC,
+) -> list[RooflinePoint]:
+    """Roofline classification of every conv layer of a workload."""
+    from repro.sim.perf import MixGemmPerfModel
+
+    roof = machine_roofline(config, soc)
+    perf = MixGemmPerfModel(soc)
+    points = []
+    for layer in inventory.conv_layers:
+        intensity = layer_intensity(layer, config)
+        attained = perf.conv_layer(layer, config).macs_per_cycle
+        bound = "compute" if intensity >= roof.knee_intensity \
+            else "memory"
+        points.append(RooflinePoint(
+            name=layer.name,
+            intensity=intensity,
+            attained_macs_per_cycle=attained,
+            bound=bound,
+        ))
+    return points
+
+
+def bound_fractions(points: list[RooflinePoint]) -> dict[str, float]:
+    """Fraction of layers in each regime."""
+    if not points:
+        return {"compute": 0.0, "memory": 0.0}
+    compute = sum(p.is_compute_bound for p in points) / len(points)
+    return {"compute": compute, "memory": 1.0 - compute}

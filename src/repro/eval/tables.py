@@ -1,0 +1,157 @@
+"""Table regenerators: Tables I, II and III of the evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.related import (
+    PAPER_MIXGEMM_ROW,
+    RELATED_WORK,
+    BenchRange,
+    RelatedWork,
+)
+from repro.core.config import MixGemmConfig
+from repro.models.inventory import get_network, table3_convolution
+from repro.sim.area import UEngineArea
+from repro.sim.dse import TableI, table1 as _dse_table1
+from repro.sim.energy import EnergyModel
+from repro.sim.perf import MixGemmPerfModel
+
+from .workloads import NETWORK_ORDER
+
+
+def table1() -> TableI:
+    """Table I: the DSE-optimal Mix-GEMM parameters."""
+    return _dse_table1()
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    component: str
+    area_um2: float
+    soc_overhead_pct: float
+
+
+def table2(engine: UEngineArea | None = None) -> list[Table2Row]:
+    """Table II: u-engine area breakdown (post-PnR calibrated)."""
+    engine = engine or UEngineArea()
+    display = {
+        "source_buffers": "Src Buffers",
+        "dsu": "DSU",
+        "dcu": "DCU",
+        "dfu": "DFU",
+        "adder": "Adder",
+        "accmem": "AccMem",
+        "control_unit": "Control Unit",
+    }
+    rows = [
+        Table2Row(
+            component=display[name],
+            area_um2=area,
+            soc_overhead_pct=pct,
+        )
+        for name, (area, pct) in engine.breakdown().items()
+    ]
+    rows.append(Table2Row(
+        component="Total: u-engine",
+        area_um2=engine.total_um2,
+        soc_overhead_pct=100 * engine.soc_overhead(),
+    ))
+    return rows
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One comparison row: published or measured."""
+
+    key: str
+    citation: str
+    data_sizes: str
+    mixed: bool
+    soc: str
+    freq_ghz: Optional[float]
+    tech_nm: Optional[int]
+    area_mm2: Optional[float]
+    perf: dict
+    eff: dict
+    measured: bool = False
+
+
+def _measured_mixgemm_row() -> Table3Row:
+    """Mix-GEMM's Table III row, measured by the models of this repo.
+
+    Ranges span the slowest (a8-w8) and fastest (a2-w2) supported
+    configurations, as in the paper.
+    """
+    perf_model = MixGemmPerfModel()
+    energy_model = EnergyModel()
+    lo_cfg = MixGemmConfig(bw_a=8, bw_b=8)
+    hi_cfg = MixGemmConfig(bw_a=2, bw_b=2)
+    perf: dict[str, BenchRange] = {}
+    eff: dict[str, BenchRange] = {}
+
+    conv = table3_convolution()
+    conv_lo = perf_model.conv_layer(conv, lo_cfg)
+    conv_hi = perf_model.conv_layer(conv, hi_cfg)
+    perf["convolution"] = BenchRange(round(conv_lo.gops, 1),
+                                    round(conv_hi.gops, 1))
+    eff["convolution"] = BenchRange(
+        round(energy_model.from_perf(conv_lo, lo_cfg).tops_per_watt, 2),
+        round(energy_model.from_perf(conv_hi, hi_cfg).tops_per_watt, 2),
+    )
+    for name in NETWORK_ORDER:
+        inventory = get_network(name)
+        r_lo = perf_model.network(inventory, lo_cfg)
+        r_hi = perf_model.network(inventory, hi_cfg)
+        perf[name] = BenchRange(round(r_lo.gops, 1), round(r_hi.gops, 1))
+        eff[name] = BenchRange(
+            round(energy_model.from_perf(r_lo, lo_cfg).tops_per_watt, 2),
+            round(energy_model.from_perf(r_hi, hi_cfg).tops_per_watt, 2),
+        )
+    return Table3Row(
+        key="mix_gemm",
+        citation="This work",
+        data_sizes="All 8b-2b",
+        mixed=True,
+        soc="RV64",
+        freq_ghz=1.2,
+        tech_nm=22,
+        area_mm2=round(UEngineArea().total_mm2, 4),
+        perf=perf,
+        eff=eff,
+        measured=True,
+    )
+
+
+def _published_row(work: RelatedWork) -> Table3Row:
+    return Table3Row(
+        key=work.key,
+        citation=work.citation,
+        data_sizes=work.data_sizes,
+        mixed=work.mixed_precision,
+        soc=work.soc,
+        freq_ghz=work.freq_ghz,
+        tech_nm=work.tech_nm,
+        area_mm2=work.area_mm2,
+        perf=work.perf,
+        eff=work.eff,
+    )
+
+
+def table3(include_measured: bool = True) -> list[Table3Row]:
+    """Table III: comparison with the state of the art.
+
+    Related-work rows carry published numbers; Mix-GEMM's row is measured
+    by this repository's models (the paper's published row is available
+    via :data:`repro.baselines.related.PAPER_MIXGEMM_ROW` for checking).
+    """
+    rows = [_published_row(w) for w in RELATED_WORK.values()]
+    if include_measured:
+        rows.append(_measured_mixgemm_row())
+    return rows
+
+
+def paper_mixgemm_row() -> Table3Row:
+    """The paper's own Mix-GEMM row (for paper-vs-measured reporting)."""
+    return _published_row(PAPER_MIXGEMM_ROW)

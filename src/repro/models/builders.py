@@ -1,0 +1,354 @@
+"""Runnable scaled-down variants of the six evaluated CNNs.
+
+The full ImageNet networks exist here as *inventories* (shapes only, see
+:mod:`repro.models.inventory`); training them is out of scope without the
+dataset.  For end-to-end QAT experiments the same architectural motifs are
+needed at laptop scale, so each builder produces a small trainable network
+preserving its family's structure:
+
+* AlexNet/VGG  -- plain conv stacks + FC head;
+* ResNet       -- residual basic blocks with identity/projection shortcuts;
+* MobileNet-V1 -- depthwise-separable blocks;
+* RegNet-X     -- bottleneck-free group-conv residual blocks;
+* EfficientNet -- MBConv with expansion, depthwise conv and squeeze-excite.
+
+All linear layers are quantization-aware (:class:`QuantConv2d` /
+:class:`QuantLinear`), so :func:`repro.quant.qat.set_model_bits` retargets
+any built model to any aX-wY configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    BatchNorm2d,
+    Flatten,
+    GlobalAvgPool2d,
+    LayerQuantSpec,
+    MaxPool2d,
+    Module,
+    QuantConv2d,
+    QuantLinear,
+    ReLU,
+    Sequential,
+)
+
+
+def _spec(act_bits: int | None, weight_bits: int | None,
+          signed: bool = False) -> LayerQuantSpec:
+    return LayerQuantSpec(act_bits=act_bits, weight_bits=weight_bits,
+                          act_signed=signed)
+
+
+class ConvBnRelu(Module):
+    """Conv -> BN -> ReLU, the basic building unit."""
+
+    def __init__(self, in_ch: int, out_ch: int, kernel: int, *,
+                 stride: int = 1, padding: int = 0, groups: int = 1,
+                 spec: LayerQuantSpec) -> None:
+        super().__init__()
+        self.conv = QuantConv2d(
+            in_ch, out_ch, kernel, spec=spec, stride=stride,
+            padding=padding, groups=groups, bias=False,
+        )
+        self.bn = BatchNorm2d(out_ch)
+        self.act = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.bn(self.conv(x)))
+
+
+class BasicBlock(Module):
+    """ResNet basic block: two 3x3 convs + shortcut."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int,
+                 spec: LayerQuantSpec) -> None:
+        super().__init__()
+        self.conv1 = QuantConv2d(in_ch, out_ch, 3, spec=spec,
+                                 stride=stride, padding=1, bias=False)
+        self.bn1 = BatchNorm2d(out_ch)
+        self.conv2 = QuantConv2d(out_ch, out_ch, 3, spec=spec,
+                                 padding=1, bias=False)
+        self.bn2 = BatchNorm2d(out_ch)
+        self.relu = ReLU()
+        if stride != 1 or in_ch != out_ch:
+            self.shortcut_conv = QuantConv2d(
+                in_ch, out_ch, 1, spec=spec, stride=stride, bias=False
+            )
+            self.shortcut_bn = BatchNorm2d(out_ch)
+            self._project = True
+        else:
+            self._project = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        identity = x
+        if self._project:
+            identity = self.shortcut_bn(self.shortcut_conv(x))
+        return self.relu(out + identity)
+
+
+class DepthwiseSeparable(Module):
+    """MobileNet-V1 block: depthwise 3x3 + pointwise 1x1."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int,
+                 spec: LayerQuantSpec) -> None:
+        super().__init__()
+        self.dw = ConvBnRelu(in_ch, in_ch, 3, stride=stride, padding=1,
+                             groups=in_ch, spec=spec)
+        self.pw = ConvBnRelu(in_ch, out_ch, 1, spec=spec)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pw(self.dw(x))
+
+
+class RegNetBlock(Module):
+    """RegNet-X block: 1x1 -> 3x3 group conv -> 1x1, residual."""
+
+    def __init__(self, in_ch: int, out_ch: int, stride: int,
+                 group_width: int, spec: LayerQuantSpec) -> None:
+        super().__init__()
+        groups = max(1, out_ch // group_width)
+        self.a = ConvBnRelu(in_ch, out_ch, 1, spec=spec)
+        self.b = ConvBnRelu(out_ch, out_ch, 3, stride=stride, padding=1,
+                            groups=groups, spec=spec)
+        self.c = QuantConv2d(out_ch, out_ch, 1, spec=spec, bias=False)
+        self.c_bn = BatchNorm2d(out_ch)
+        self.relu = ReLU()
+        if stride != 1 or in_ch != out_ch:
+            self.sc_conv = QuantConv2d(in_ch, out_ch, 1, spec=spec,
+                                       stride=stride, bias=False)
+            self.sc_bn = BatchNorm2d(out_ch)
+            self._project = True
+        else:
+            self._project = False
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.c_bn(self.c(self.b(self.a(x))))
+        identity = x
+        if self._project:
+            identity = self.sc_bn(self.sc_conv(x))
+        return self.relu(out + identity)
+
+
+class SqueezeExcite(Module):
+    """Channel attention: global pool -> reduce -> expand -> sigmoid."""
+
+    def __init__(self, channels: int, reduced: int,
+                 spec: LayerQuantSpec) -> None:
+        super().__init__()
+        self.pool = GlobalAvgPool2d()
+        self.reduce = QuantLinear(channels, reduced, spec=spec)
+        self.expand = QuantLinear(reduced, channels, spec=spec)
+        self.relu = ReLU()
+        self.channels = channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        s = self.pool(x)
+        s = self.relu(self.reduce(s))
+        s = self.expand(s).sigmoid()
+        n, c = s.shape
+        return x * s.reshape(n, c, 1, 1)
+
+
+class MBConv(Module):
+    """EfficientNet inverted-residual block with squeeze-excite."""
+
+    def __init__(self, in_ch: int, out_ch: int, *, expansion: int,
+                 kernel: int, stride: int, spec: LayerQuantSpec) -> None:
+        super().__init__()
+        mid = in_ch * expansion
+        self.expand = (
+            ConvBnRelu(in_ch, mid, 1, spec=spec)
+            if expansion != 1 else None
+        )
+        self.dw = ConvBnRelu(mid, mid, kernel, stride=stride,
+                             padding=kernel // 2, groups=mid, spec=spec)
+        self.se = SqueezeExcite(mid, max(1, in_ch // 4), spec)
+        self.project = QuantConv2d(mid, out_ch, 1, spec=spec, bias=False)
+        self.project_bn = BatchNorm2d(out_ch)
+        self._residual = stride == 1 and in_ch == out_ch
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x if self.expand is None else self.expand(x)
+        out = self.dw(out)
+        out = self.se(out)
+        out = self.project_bn(self.project(out))
+        if self._residual:
+            out = out + x
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Tiny network builders
+# ---------------------------------------------------------------------------
+
+
+def tiny_alexnet(spec: LayerQuantSpec, n_classes: int = 4,
+                 in_channels: int = 1) -> Module:
+    """Conv stack + FC head in the AlexNet spirit (12x12 inputs)."""
+    in_spec = LayerQuantSpec(spec.act_bits, spec.weight_bits,
+                             act_signed=True)
+    return Sequential(
+        QuantConv2d(in_channels, 8, 3, spec=in_spec, padding=1),
+        ReLU(),
+        MaxPool2d(2),
+        QuantConv2d(8, 16, 3, spec=spec, padding=1),
+        ReLU(),
+        MaxPool2d(2),
+        QuantConv2d(16, 16, 3, spec=spec, padding=1),
+        ReLU(),
+        Flatten(),
+        QuantLinear(16 * 3 * 3, 32, spec=spec),
+        ReLU(),
+        QuantLinear(32, n_classes, spec=spec),
+    )
+
+
+def tiny_vgg16(spec: LayerQuantSpec, n_classes: int = 4,
+               in_channels: int = 1) -> Module:
+    """Double-conv stages + pooling, VGG style."""
+    in_spec = LayerQuantSpec(spec.act_bits, spec.weight_bits,
+                             act_signed=True)
+    return Sequential(
+        QuantConv2d(in_channels, 8, 3, spec=in_spec, padding=1),
+        ReLU(),
+        QuantConv2d(8, 8, 3, spec=spec, padding=1),
+        ReLU(),
+        MaxPool2d(2),
+        QuantConv2d(8, 16, 3, spec=spec, padding=1),
+        ReLU(),
+        QuantConv2d(16, 16, 3, spec=spec, padding=1),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        QuantLinear(16 * 3 * 3, 32, spec=spec),
+        ReLU(),
+        QuantLinear(32, n_classes, spec=spec),
+    )
+
+
+class _TinyResNet(Module):
+    def __init__(self, spec: LayerQuantSpec, n_classes: int,
+                 in_channels: int) -> None:
+        super().__init__()
+        in_spec = LayerQuantSpec(spec.act_bits, spec.weight_bits,
+                                 act_signed=True)
+        self.stem = ConvBnRelu(in_channels, 8, 3, padding=1, spec=in_spec)
+        self.block1 = BasicBlock(8, 8, 1, spec)
+        self.block2 = BasicBlock(8, 16, 2, spec)
+        self.pool = GlobalAvgPool2d()
+        self.fc = QuantLinear(16, n_classes, spec=spec)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.block1(x)
+        x = self.block2(x)
+        return self.fc(self.pool(x))
+
+
+def tiny_resnet18(spec: LayerQuantSpec, n_classes: int = 4,
+                  in_channels: int = 1) -> Module:
+    return _TinyResNet(spec, n_classes, in_channels)
+
+
+class _TinyMobileNet(Module):
+    def __init__(self, spec: LayerQuantSpec, n_classes: int,
+                 in_channels: int) -> None:
+        super().__init__()
+        in_spec = LayerQuantSpec(spec.act_bits, spec.weight_bits,
+                                 act_signed=True)
+        self.stem = ConvBnRelu(in_channels, 8, 3, stride=2, padding=1,
+                               spec=in_spec)
+        self.ds1 = DepthwiseSeparable(8, 16, 1, spec)
+        self.ds2 = DepthwiseSeparable(16, 32, 2, spec)
+        self.pool = GlobalAvgPool2d()
+        self.fc = QuantLinear(32, n_classes, spec=spec)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.ds1(x)
+        x = self.ds2(x)
+        return self.fc(self.pool(x))
+
+
+def tiny_mobilenet_v1(spec: LayerQuantSpec, n_classes: int = 4,
+                      in_channels: int = 1) -> Module:
+    return _TinyMobileNet(spec, n_classes, in_channels)
+
+
+class _TinyRegNet(Module):
+    def __init__(self, spec: LayerQuantSpec, n_classes: int,
+                 in_channels: int) -> None:
+        super().__init__()
+        in_spec = LayerQuantSpec(spec.act_bits, spec.weight_bits,
+                                 act_signed=True)
+        self.stem = ConvBnRelu(in_channels, 8, 3, padding=1, spec=in_spec)
+        self.block1 = RegNetBlock(8, 16, 2, group_width=8, spec=spec)
+        self.block2 = RegNetBlock(16, 16, 1, group_width=8, spec=spec)
+        self.pool = GlobalAvgPool2d()
+        self.fc = QuantLinear(16, n_classes, spec=spec)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.block1(x)
+        x = self.block2(x)
+        return self.fc(self.pool(x))
+
+
+def tiny_regnet_x_400mf(spec: LayerQuantSpec, n_classes: int = 4,
+                        in_channels: int = 1) -> Module:
+    return _TinyRegNet(spec, n_classes, in_channels)
+
+
+class _TinyEfficientNet(Module):
+    def __init__(self, spec: LayerQuantSpec, n_classes: int,
+                 in_channels: int) -> None:
+        super().__init__()
+        in_spec = LayerQuantSpec(spec.act_bits, spec.weight_bits,
+                                 act_signed=True)
+        self.stem = ConvBnRelu(in_channels, 8, 3, stride=2, padding=1,
+                               spec=in_spec)
+        self.mb1 = MBConv(8, 8, expansion=1, kernel=3, stride=1, spec=spec)
+        self.mb2 = MBConv(8, 16, expansion=4, kernel=3, stride=2, spec=spec)
+        self.pool = GlobalAvgPool2d()
+        self.fc = QuantLinear(16, n_classes, spec=spec)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.stem(x)
+        x = self.mb1(x)
+        x = self.mb2(x)
+        return self.fc(self.pool(x))
+
+
+def tiny_efficientnet_b0(spec: LayerQuantSpec, n_classes: int = 4,
+                         in_channels: int = 1) -> Module:
+    return _TinyEfficientNet(spec, n_classes, in_channels)
+
+
+#: Registry of the scaled trainable variants, keyed like the inventories.
+TINY_BUILDERS: dict[str, Callable[..., Module]] = {
+    "alexnet": tiny_alexnet,
+    "vgg16": tiny_vgg16,
+    "resnet18": tiny_resnet18,
+    "mobilenet_v1": tiny_mobilenet_v1,
+    "regnet_x_400mf": tiny_regnet_x_400mf,
+    "efficientnet_b0": tiny_efficientnet_b0,
+}
+
+
+def build_tiny(name: str, *, act_bits: int | None = 8,
+               weight_bits: int | None = 8, n_classes: int = 4,
+               in_channels: int = 1) -> Module:
+    """Build a laptop-scale QAT-ready variant of one of the six CNNs."""
+    try:
+        builder = TINY_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown network {name!r}; choose from {sorted(TINY_BUILDERS)}"
+        ) from None
+    return builder(_spec(act_bits, weight_bits), n_classes=n_classes,
+                   in_channels=in_channels)

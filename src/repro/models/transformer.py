@@ -1,0 +1,128 @@
+"""Transformer (BERT) workload model -- the paper's NLP extension.
+
+Section IV motivates Mix-GEMM beyond CNNs: "recent works have
+demonstrated competitive quality of results for low mixed-precision
+quantization of BERT ... whose compute expansive kernels based on
+matrix-matrix multiplications could be accelerated exploiting Mix-GEMM".
+This module makes that projection concrete: a BERT-base encoder described
+as the exact GEMM sequence it executes, so the same performance/energy
+models that evaluate the CNNs can evaluate BERT.
+
+Unlike convolutions, transformer GEMMs need no im2col: the linear
+projections and attention products are already matrix-matrix multiplies
+over the sequence dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class GemmWorkloadItem:
+    """One GEMM of the workload: C[m x n] = A[m x k] @ B[k x n]."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    repeats: int = 1
+    #: Whether the B operand is a *weight* (static, quantizable offline)
+    #: or an *activation* (attention products quantize both sides
+    #: dynamically).
+    weight_operand: bool = True
+
+    @property
+    def macs(self) -> int:
+        return self.repeats * self.m * self.k * self.n
+
+
+@dataclass
+class GemmWorkload:
+    """A named sequence of GEMMs (the transformer analogue of
+    :class:`~repro.models.inventory.NetworkInventory`)."""
+
+    name: str
+    items: list[GemmWorkloadItem] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[GemmWorkloadItem]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(item.macs for item in self.items)
+
+    @property
+    def weight_macs_fraction(self) -> float:
+        weight = sum(i.macs for i in self.items if i.weight_operand)
+        return weight / self.total_macs
+
+
+def bert_encoder_layer(
+    seq_len: int,
+    hidden: int,
+    heads: int,
+    ffn: int,
+    layer_idx: int = 0,
+) -> list[GemmWorkloadItem]:
+    """The GEMM sequence of one BERT encoder layer (batch 1)."""
+    head_dim = hidden // heads
+    p = f"layer{layer_idx}"
+    return [
+        # Q, K, V projections: three (S x H) @ (H x H).
+        GemmWorkloadItem(f"{p}.qkv", seq_len, hidden, hidden, repeats=3),
+        # Attention scores per head: (S x d) @ (d x S).
+        GemmWorkloadItem(f"{p}.scores", seq_len, head_dim, seq_len,
+                         repeats=heads, weight_operand=False),
+        # Attention-weighted values per head: (S x S) @ (S x d).
+        GemmWorkloadItem(f"{p}.context", seq_len, seq_len, head_dim,
+                         repeats=heads, weight_operand=False),
+        # Output projection.
+        GemmWorkloadItem(f"{p}.proj", seq_len, hidden, hidden),
+        # Feed-forward up/down.
+        GemmWorkloadItem(f"{p}.ffn_up", seq_len, hidden, ffn),
+        GemmWorkloadItem(f"{p}.ffn_down", seq_len, ffn, hidden),
+    ]
+
+
+def bert_base(seq_len: int = 128) -> GemmWorkload:
+    """BERT-base encoder stack: 12 layers, hidden 768, 12 heads, FFN 3072.
+
+    At seq_len 128 this is ~11 GMAC per sequence -- the "compute
+    expansive" workload the paper points at.
+    """
+    workload = GemmWorkload(name=f"bert_base_s{seq_len}")
+    for layer in range(12):
+        workload.items.extend(
+            bert_encoder_layer(seq_len, 768, 12, 3072, layer)
+        )
+    return workload
+
+
+def bert_tiny(seq_len: int = 64) -> GemmWorkload:
+    """A 2-layer miniature (hidden 128, 2 heads) for fast experiments."""
+    workload = GemmWorkload(name=f"bert_tiny_s{seq_len}")
+    for layer in range(2):
+        workload.items.extend(
+            bert_encoder_layer(seq_len, 128, 2, 512, layer)
+        )
+    return workload
+
+
+def project_gemm_workload(workload: GemmWorkload, perf_model, config):
+    """Run every GEMM of a workload through a Mix-GEMM performance model.
+
+    Returns the combined :class:`~repro.sim.perf.PerfResult` -- the
+    paper-style projection of BERT on the Mix-GEMM SoC.
+    """
+    from repro.sim.perf import combine
+
+    results = []
+    for item in workload:
+        r = perf_model.gemm(item.m, item.n, item.k, config)
+        results.append(r.scaled(item.repeats) if item.repeats > 1 else r)
+    return combine(results)

@@ -1,0 +1,207 @@
+"""Fused autograd ops: convolution and pooling on :class:`Tensor`.
+
+Convolution is lowered to GEMM with im2row, exactly the path the paper
+accelerates; its backward reuses the same machinery (row2im scatter-add).
+Grouped convolution covers MobileNet-V1's depthwise layers and RegNet's
+group convs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+from .im2col import (
+    conv_geometry,
+    im2row,
+    nchw_to_rows,
+    row2im,
+    rows_to_nchw,
+    weight_matrix,
+)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution, NCHW x OIHW -> NCHW, via im2row + GEMM."""
+    geo = conv_geometry(x.shape, weight.shape, stride, padding, groups)
+    cpg = geo.in_channels // groups   # channels per group
+    fpg = geo.out_channels // groups  # filters per group
+
+    rows_per_group: list[np.ndarray] = []
+    outs: list[np.ndarray] = []
+    for g in range(groups):
+        xg = x.data[:, g * cpg:(g + 1) * cpg]
+        wg = weight.data[g * fpg:(g + 1) * fpg]
+        rows = im2row(xg, geo.kernel_h, geo.kernel_w, stride, padding)
+        rows_per_group.append(rows)
+        outs.append(rows @ weight_matrix(wg))
+    y_rows = np.concatenate(outs, axis=1)
+    out_data = rows_to_nchw(y_rows, geo.batch, geo.out_h, geo.out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, -1, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad: np.ndarray) -> None:
+        g_rows = nchw_to_rows(grad)
+        if bias is not None:
+            Tensor._accumulate(bias, grad.sum(axis=(0, 2, 3)))
+        dx_groups: list[np.ndarray] = []
+        dw = np.empty_like(weight.data)
+        for g in range(groups):
+            gr = g_rows[:, g * fpg:(g + 1) * fpg]
+            wg = weight.data[g * fpg:(g + 1) * fpg]
+            # dX: back through the GEMM then scatter-add to image layout.
+            if x.requires_grad:
+                d_rows = gr @ weight_matrix(wg).T
+                dx_groups.append(
+                    row2im(
+                        d_rows,
+                        (geo.batch, cpg, geo.in_h, geo.in_w),
+                        geo.kernel_h, geo.kernel_w, stride, padding,
+                    )
+                )
+            # dW: rows^T @ grad-rows, reshaped back to OIHW.
+            dw_mat = rows_per_group[g].T @ gr
+            dw[g * fpg:(g + 1) * fpg] = dw_mat.T.reshape(
+                fpg, cpg, geo.kernel_h, geo.kernel_w
+            )
+        if x.requires_grad:
+            Tensor._accumulate(x, np.concatenate(dx_groups, axis=1))
+        Tensor._accumulate(weight, dw)
+
+    return Tensor._node(out_data, parents, backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fully-connected layer: ``x @ W.T + b`` with (out, in) weights."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over NCHW spatial dims (kernel == window, no padding)."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    sn, sc, sh, sw = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, oh, ow, kernel * kernel)
+    arg = flat.argmax(axis=-1)
+    out_data = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+
+    def backward(grad: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        ki, kj = np.unravel_index(arg, (kernel, kernel))
+        n_idx, c_idx, i_idx, j_idx = np.indices((n, c, oh, ow))
+        np.add.at(
+            dx,
+            (n_idx, c_idx, i_idx * stride + ki, j_idx * stride + kj),
+            grad,
+        )
+        Tensor._accumulate(x, dx)
+
+    return Tensor._node(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over NCHW spatial dims."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    sn, sc, sh, sw = x.data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    out_data = windows.mean(axis=(-2, -1))
+    norm = 1.0 / (kernel * kernel)
+
+    def backward(grad: np.ndarray) -> None:
+        dx = np.zeros_like(x.data)
+        for i in range(kernel):
+            for j in range(kernel):
+                dx[:, :, i:i + stride * oh:stride,
+                   j:j + stride * ow:stride] += grad * norm
+        Tensor._accumulate(x, dx)
+
+    return Tensor._node(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Global average pooling: NCHW -> (N, C)."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    *,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalization over NCHW channels.
+
+    Running statistics are updated in place when ``training``; the fused
+    backward implements the standard batch-norm gradient.
+    """
+    if training:
+        mean = x.data.mean(axis=(0, 2, 3))
+        var = x.data.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean, var = running_mean, running_var
+
+    mean_b = mean.reshape(1, -1, 1, 1)
+    std_b = np.sqrt(var + eps).reshape(1, -1, 1, 1)
+    x_hat = (x.data - mean_b) / std_b
+    out_data = gamma.data.reshape(1, -1, 1, 1) * x_hat \
+        + beta.data.reshape(1, -1, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        Tensor._accumulate(gamma, (grad * x_hat).sum(axis=(0, 2, 3)))
+        Tensor._accumulate(beta, grad.sum(axis=(0, 2, 3)))
+        if not x.requires_grad:
+            return
+        g = grad * gamma.data.reshape(1, -1, 1, 1)
+        if training:
+            m = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+            sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
+            sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+            dx = (g - sum_g / m - x_hat * sum_gx / m) / std_b
+        else:
+            dx = g / std_b
+        Tensor._accumulate(x, dx)
+
+    return Tensor._node(out_data, (x, gamma, beta), backward)
+
+
+def flatten(x: Tensor) -> Tensor:
+    """Collapse all but the batch axis."""
+    return x.reshape(x.shape[0], -1)

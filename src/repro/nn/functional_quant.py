@@ -1,0 +1,124 @@
+"""Quantization-aware training primitives (Section IV-A).
+
+Two fake-quantization ops on autograd tensors:
+
+* :func:`fake_quant_ste` -- fixed scale, straight-through estimator on the
+  data (used for weights: per-channel absmax scale recomputed each step,
+  which is the behaviour of Brevitas' default weight quantizer the paper
+  uses);
+* :func:`fake_quant_learned` -- LSQ-style quantizer whose scale is a
+  trained parameter in the **log domain**, matching "activations are
+  quantized per-tensor with scale learned in log domain" (ref [34], Jain
+  et al., trained quantization thresholds).
+
+Both clamp to the Equation-2 integer grid and are exact fixed points for
+already-quantized inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.binseg import value_range
+
+from .autograd import Tensor
+
+
+def _grid(bits: int, signed: bool) -> tuple[int, int]:
+    return value_range(bits, signed)
+
+
+def fake_quant_ste(
+    x: Tensor,
+    scale: np.ndarray,
+    bits: int,
+    *,
+    signed: bool = True,
+    channel_axis: int | None = None,
+) -> Tensor:
+    """Quantize-dequantize with a straight-through estimator.
+
+    ``scale`` is a positive scalar or per-channel vector (along
+    ``channel_axis``).  Gradients pass through unchanged inside the clip
+    range and are zeroed outside it.
+    """
+    qmin, qmax = _grid(bits, signed)
+    scale = np.asarray(scale, dtype=np.float64)
+    if channel_axis is not None:
+        shape = [1] * x.ndim
+        shape[channel_axis] = scale.size
+        scale = scale.reshape(shape)
+    q = np.round(x.data / scale)
+    inside = (q >= qmin) & (q <= qmax)
+    q = np.clip(q, qmin, qmax)
+    out_data = q * scale
+
+    def backward(grad: np.ndarray) -> None:
+        Tensor._accumulate(x, grad * inside)
+
+    return Tensor._node(out_data, (x,), backward)
+
+
+def weight_absmax_scale(
+    weight: np.ndarray, bits: int, *, channel_axis: int = 0,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """Per-channel absmax scale, recomputed from the live weights.
+
+    This is the paper's weight quantizer: "weights are quantized
+    per-channel with scale computed from the absmax of the weight tensor".
+    """
+    axes = tuple(i for i in range(weight.ndim) if i != channel_axis)
+    absmax = np.abs(weight).max(axis=axes)
+    qmax = _grid(bits, True)[1]
+    return np.maximum(absmax / qmax, eps)
+
+
+def fake_quant_learned(
+    x: Tensor,
+    log_scale: Tensor,
+    bits: int,
+    *,
+    signed: bool = False,
+    grad_scale: float | None = None,
+) -> Tensor:
+    """LSQ fake quantization with the scale trained in the log domain.
+
+    ``log_scale`` is a scalar parameter p with s = exp(p).  Gradients:
+
+    * w.r.t. x: straight-through inside the grid, zero outside;
+    * w.r.t. s (chain-ruled into p by ds/dp = s):
+      ``(q - x/s)`` inside the grid, ``qmin``/``qmax`` at the clip rails
+      (Esser et al. LSQ; Jain et al. train the threshold in log2 domain).
+
+    ``grad_scale`` rescales the scale gradient (LSQ uses
+    ``1/sqrt(n * qmax)``); defaults to that recipe.
+    """
+    qmin, qmax = _grid(bits, signed)
+    s = float(np.exp(log_scale.data))
+    ratio = x.data / s
+    q = np.round(ratio)
+    below = q < qmin
+    above = q > qmax
+    inside = ~(below | above)
+    q = np.clip(q, qmin, qmax)
+    out_data = q * s
+    if grad_scale is None:
+        grad_scale = 1.0 / np.sqrt(max(x.size * max(qmax, 1), 1))
+
+    def backward(grad: np.ndarray) -> None:
+        Tensor._accumulate(x, grad * inside)
+        ds = np.where(inside, q - ratio,
+                      np.where(below, float(qmin), float(qmax)))
+        # Chain rule through s = exp(p): dL/dp = dL/ds * s.
+        dp = float((grad * ds).sum()) * s * grad_scale
+        Tensor._accumulate(log_scale, np.asarray(dp))
+
+    return Tensor._node(out_data, (x, log_scale), backward)
+
+
+def init_log_scale(initial_scale: float) -> Tensor:
+    """Create the trainable log-domain scale parameter."""
+    if initial_scale <= 0:
+        raise ValueError("scale must be positive")
+    return Tensor(np.log(initial_scale), requires_grad=True)

@@ -1,0 +1,139 @@
+"""Winograd F(2x2, 3x3) convolution -- the fast algorithm the paper skips.
+
+Section II-A surveys convolution strategies: direct, FFT/Winograd, and
+GEMM-based.  The paper picks GEMM for generality and because fast
+algorithms "have additional limitations when applied to quantized values"
+(ref [49], Meng & Brothers).  This module makes both halves of that
+argument executable:
+
+* a correct float Winograd F(2x2, 3x3): 2.25x fewer multiplications than
+  direct convolution for 3x3 kernels (16 multiplies per 4 outputs vs 36);
+* :func:`winograd_range_expansion` quantifying *why* it breaks narrow
+  quantization: the input/weight transforms inflate the dynamic range
+  (the B^T d B transform multiplies values by up to 4, G g G^T by up to
+  1), so transformed operands need ~2 extra integer bits -- at 2-4 bit
+  precision that erases the entire quantization benefit.
+
+Transforms (Lavin & Gray):
+
+    B^T = [[1, 0, -1, 0], [0, 1, 1, 0], [0, -1, 1, 0], [0, 1, 0, -1]]
+    G   = [[1, 0, 0], [.5, .5, .5], [.5, -.5, .5], [0, 0, 1]]
+    A^T = [[1, 1, 1, 0], [0, 1, -1, -1]]
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+B_T = np.array([
+    [1, 0, -1, 0],
+    [0, 1, 1, 0],
+    [0, -1, 1, 0],
+    [0, 1, 0, -1],
+], dtype=np.float64)
+
+G = np.array([
+    [1.0, 0.0, 0.0],
+    [0.5, 0.5, 0.5],
+    [0.5, -0.5, 0.5],
+    [0.0, 0.0, 1.0],
+], dtype=np.float64)
+
+A_T = np.array([
+    [1, 1, 1, 0],
+    [0, 1, -1, -1],
+], dtype=np.float64)
+
+
+def transform_filter(g: np.ndarray) -> np.ndarray:
+    """3x3 filter -> 4x4 Winograd domain: ``G g G^T``."""
+    if g.shape != (3, 3):
+        raise ValueError(f"expected a 3x3 filter, got {g.shape}")
+    return G @ g @ G.T
+
+
+def transform_input_tile(d: np.ndarray) -> np.ndarray:
+    """4x4 input tile -> Winograd domain: ``B^T d B``."""
+    if d.shape != (4, 4):
+        raise ValueError(f"expected a 4x4 tile, got {d.shape}")
+    return B_T @ d @ B_T.T
+
+
+def transform_output(m: np.ndarray) -> np.ndarray:
+    """4x4 elementwise product -> 2x2 outputs: ``A^T m A``."""
+    return A_T @ m @ A_T.T
+
+
+def winograd_conv2d(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Valid 3x3 convolution via F(2x2, 3x3), NCHW x OIHW -> NCHW.
+
+    Spatial dims must produce even output sizes (tiles of 2).  Float
+    only -- the point of this module is explaining why the quantized
+    variant is unattractive, not shipping one.
+    """
+    n, c, h, wid = x.shape
+    f, cw, kh, kw = w.shape
+    if (kh, kw) != (3, 3):
+        raise ValueError("F(2x2, 3x3) requires 3x3 kernels")
+    if cw != c:
+        raise ValueError(f"channel mismatch: {c} vs {cw}")
+    oh, ow = h - 2, wid - 2
+    if oh % 2 or ow % 2:
+        raise ValueError(
+            f"output {oh}x{ow} not tileable by 2 (pad the input)"
+        )
+    # Pre-transform all filters: (f, c, 4, 4).
+    u = np.einsum("ij,fcjk,lk->fcil", G, w, G)
+    out = np.zeros((n, f, oh, ow))
+    for ti in range(0, oh, 2):
+        for tj in range(0, ow, 2):
+            d = x[:, :, ti:ti + 4, tj:tj + 4]
+            v = np.einsum("ij,ncjk,lk->ncil", B_T, d, B_T)
+            m = np.einsum("fcil,ncil->nfil", u, v)
+            out[:, :, ti:ti + 2, tj:tj + 2] = np.einsum(
+                "ij,nfjk,lk->nfil", A_T, m, A_T
+            )
+    return out
+
+
+def multiplication_counts(oh: int, ow: int, channels: int,
+                          filters: int) -> tuple[int, int]:
+    """(direct, winograd) multiplication counts for a 3x3 conv layer."""
+    direct = oh * ow * 9 * channels * filters
+    tiles = (oh // 2) * (ow // 2)
+    winograd = tiles * 16 * channels * filters
+    return direct, winograd
+
+
+def winograd_range_expansion(bits: int) -> dict[str, float]:
+    """Worst-case dynamic-range growth through the Winograd transforms.
+
+    For ``bits``-bit signed inputs/weights, returns the extra integer
+    bits the *transformed* operands need.  ``B^T d B`` sums four inputs
+    with coefficients in {-1, 0, 1} applied twice (rows then columns), so
+    a transformed input can reach 4x the input magnitude (+2 bits);
+    ``G g G^T`` keeps weights within 2.25x (+ ~1.2 bits) but introduces
+    halves (0.25 granularity), costing 2 fractional bits to represent
+    exactly.
+
+    At 8 bits these costs are absorbable; at 2-4 bits they wipe out the
+    compression Mix-GEMM exploits -- the quantitative form of ref [49]'s
+    caveat and the justification for the paper's GEMM-only focus.
+    """
+    # Worst case over output positions: product of the largest absolute
+    # row sums of the row and column transforms.
+    input_worst = float(np.abs(B_T).sum(axis=1).max()) ** 2
+    weight_worst = float(np.abs(G).sum(axis=1).max()) ** 2
+    extra_input_bits = float(np.ceil(np.log2(input_worst)))
+    extra_weight_bits = float(np.log2(weight_worst))
+    fractional_bits = 2.0  # G introduces quarters
+    return {
+        "input_range_gain": input_worst,
+        "weight_range_gain": weight_worst,
+        "extra_input_bits": extra_input_bits,
+        "extra_weight_bits": extra_weight_bits,
+        "weight_fractional_bits": fractional_bits,
+        "effective_input_bits": bits + extra_input_bits,
+        "effective_weight_bits": bits + extra_weight_bits
+        + fractional_bits,
+    }

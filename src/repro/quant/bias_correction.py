@@ -1,0 +1,82 @@
+"""Bias correction for post-training quantization (Nagel et al., ref [50]).
+
+Quantizing weights shifts the expected value of a layer's output:
+``E[W_q x] != E[W x]`` because the quantization error ``dW = W_q_dequant - W``
+is not zero-mean per channel.  The paper applies bias correction during its
+activation calibration phase ("performing bias correction for 8 more
+batches", Section IV-A, with an exception for VGG-16 where it would
+overflow).
+
+Given calibration activations, the correction subtracts the empirical
+output-mean shift from the layer bias::
+
+    b_corrected = b - E[dW @ x]
+
+computed per output channel over the calibration batches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .affine import QuantParams, fake_quantize
+
+
+def weight_quantization_error(weight: np.ndarray,
+                              qp: QuantParams) -> np.ndarray:
+    """Per-element error introduced by (fake-)quantizing the weights."""
+    weight = np.asarray(weight, dtype=np.float64)
+    return fake_quantize(weight, qp) - weight
+
+
+def bias_correction_linear(
+    weight: np.ndarray,
+    qp: QuantParams,
+    activations: np.ndarray,
+) -> np.ndarray:
+    """Bias correction for a fully-connected layer.
+
+    ``weight`` has shape (out_features, in_features); ``activations`` is a
+    calibration batch of shape (batch, in_features).  Returns the per-output
+    correction to *subtract* from the layer bias.
+    """
+    d_w = weight_quantization_error(weight, qp)
+    mean_x = np.asarray(activations, dtype=np.float64).mean(axis=0)
+    return d_w @ mean_x
+
+
+def bias_correction_conv(
+    weight: np.ndarray,
+    qp: QuantParams,
+    activations: np.ndarray,
+) -> np.ndarray:
+    """Bias correction for a conv layer with NCHW activations.
+
+    ``weight`` has shape (out_ch, in_ch, kh, kw); the expected input is
+    approximated channel-wise (spatially stationary statistics), which is
+    the standard analytic form of the correction.
+    """
+    d_w = weight_quantization_error(weight, qp)
+    x = np.asarray(activations, dtype=np.float64)
+    mean_c = x.mean(axis=(0, 2, 3))  # per input channel
+    return np.einsum("oikl,i->o", d_w, mean_c)
+
+
+def apply_bias_correction(
+    bias: np.ndarray | None,
+    correction: np.ndarray,
+    *,
+    clip: float | None = None,
+) -> np.ndarray:
+    """Fold a correction into a bias vector.
+
+    ``clip`` bounds the correction magnitude; the paper skips bias
+    correction on VGG-16 "where bias correction would lead to overflow",
+    which a caller reproduces by passing ``clip=0``.
+    """
+    correction = np.asarray(correction, dtype=np.float64)
+    if clip is not None:
+        correction = np.clip(correction, -clip, clip)
+    if bias is None:
+        return -correction
+    return np.asarray(bias, dtype=np.float64) - correction

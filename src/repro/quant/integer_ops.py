@@ -1,0 +1,178 @@
+"""Integer-arithmetic layer kernels: the bridge into Mix-GEMM.
+
+A quantized linear/conv layer evaluates, entirely in integers::
+
+    acc = (x_q - z_x) @ (w_q - z_w)          # wide-integer GEMM
+    y   = acc * (s_x * s_w) + bias           # float requantization
+
+The wide-integer GEMM is exactly what the u-engine computes; these helpers
+express the layer math so that the same code path can run on
+
+* plain numpy (``backend="numpy"``, fast reference), or
+* the bit-exact Mix-GEMM simulator (``backend="mixgemm"``), which also
+  returns cycle counts.
+
+With the paper's training constraint "both activation and weights are
+trained with zero-point equal to zero" the zero-point subtraction
+disappears and operands stream into the GEMM untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.core.config import MixGemmConfig
+from repro.core.gemm import GemmResult, MixGemm
+
+from .affine import QuantParams, dequantize, quantize, requantize_scale
+
+Backend = Literal["numpy", "mixgemm"]
+
+
+@dataclass
+class IntegerGemmOutput:
+    """Integer accumulator plus optional simulator performance data."""
+
+    acc: np.ndarray
+    gemm_result: Optional[GemmResult] = None
+
+
+def integer_gemm(
+    x_q: np.ndarray,
+    w_q: np.ndarray,
+    x_qp: QuantParams,
+    w_qp: QuantParams,
+    *,
+    backend: Backend = "numpy",
+    config: MixGemmConfig | None = None,
+) -> IntegerGemmOutput:
+    """Wide-integer GEMM of quantized codes, zero-points folded out.
+
+    ``x_q`` is (m, k), ``w_q`` is (k, n); both int codes from
+    :func:`~repro.quant.affine.quantize`.
+    """
+    x_int = np.asarray(x_q, dtype=np.int64)
+    w_int = np.asarray(w_q, dtype=np.int64)
+    if not x_qp.is_symmetric:
+        x_int = x_int - x_qp.zero_point.astype(np.int64)
+    if not w_qp.is_symmetric:
+        w_int = w_int - w_qp.zero_point.astype(np.int64)
+    if backend == "numpy":
+        return IntegerGemmOutput(acc=x_int @ w_int)
+    if backend == "mixgemm":
+        # Zero-point folding widens the code range by at most one bit; the
+        # paper trains with zero-point 0 so codes pass through unchanged.
+        cfg = config or MixGemmConfig(
+            bw_a=x_qp.bits, bw_b=w_qp.bits,
+            signed_a=x_qp.signed or not x_qp.is_symmetric,
+            signed_b=w_qp.signed or not w_qp.is_symmetric,
+        )
+        result = MixGemm(cfg, emulate_datapath=False).gemm(x_int, w_int)
+        return IntegerGemmOutput(acc=result.c, gemm_result=result)
+    raise ValueError(f"unknown backend: {backend}")
+
+
+def integer_gemm_asymmetric(
+    x_q: np.ndarray,
+    w_q: np.ndarray,
+    x_qp: QuantParams,
+    w_qp: QuantParams,
+    *,
+    backend: Backend = "numpy",
+    config: MixGemmConfig | None = None,
+) -> IntegerGemmOutput:
+    """Asymmetric GEMM with hardware-friendly zero-point folding.
+
+    Instead of widening the operands by subtracting zero-points before
+    the GEMM (as :func:`integer_gemm` does), expand the product::
+
+        (x - zx) @ (w - zw) = x@w - zx * colsum(w) - rowsum(x) * zw
+                              + k * zx * zw
+
+    The raw ``x @ w`` runs on the narrow datapath (this is how GEMMLowp
+    and QNNPACK execute asymmetric quantization); the rank-1 corrections
+    are O(m*k + k*n) integer reductions.  Must agree exactly with
+    :func:`integer_gemm` -- asserted in the tests.
+    """
+    x_int = np.asarray(x_q, dtype=np.int64)
+    w_int = np.asarray(w_q, dtype=np.int64)
+    if x_qp.is_per_channel or w_qp.zero_point.size != 1:
+        raise ValueError(
+            "zero-point folding needs per-tensor zero-points"
+        )
+    zx = float(x_qp.zero_point)
+    zw = float(w_qp.zero_point.reshape(-1)[0]) \
+        if w_qp.zero_point.size == 1 else 0.0
+    k = x_int.shape[1]
+    if backend == "numpy":
+        raw = x_int @ w_int
+    elif backend == "mixgemm":
+        cfg = config or MixGemmConfig(
+            bw_a=x_qp.bits, bw_b=w_qp.bits,
+            signed_a=x_qp.signed, signed_b=w_qp.signed,
+        )
+        result = MixGemm(cfg, emulate_datapath=False).gemm(x_int, w_int)
+        raw = result.c
+    else:
+        raise ValueError(f"unknown backend: {backend}")
+    col_sums = w_int.sum(axis=0)          # (n,)
+    row_sums = x_int.sum(axis=1)          # (m,)
+    acc = (
+        raw
+        - np.int64(round(zx)) * col_sums[None, :]
+        - row_sums[:, None] * np.int64(round(zw))
+        + np.int64(k) * np.int64(round(zx)) * np.int64(round(zw))
+    )
+    gemm_result = result if backend == "mixgemm" else None
+    return IntegerGemmOutput(acc=acc, gemm_result=gemm_result)
+
+
+def quantized_linear(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    x_qp: QuantParams,
+    w_qp: QuantParams,
+    *,
+    backend: Backend = "numpy",
+    config: MixGemmConfig | None = None,
+) -> tuple[np.ndarray, Optional[GemmResult]]:
+    """Full quantized linear layer: quantize -> integer GEMM -> requantize.
+
+    ``x`` is a real (batch, in) tensor, ``weight`` real (out, in); returns
+    the real-valued output (batch, out) plus the simulator result when the
+    Mix-GEMM backend ran.
+    """
+    x_q = quantize(x, x_qp)
+    w_q = quantize(weight, w_qp)
+    out = integer_gemm(x_q, w_q.T, x_qp, w_qp, backend=backend,
+                       config=config)
+    scale = requantize_scale(x_qp, w_qp)  # scalar or per-out-channel
+    y = out.acc.astype(np.float64) * scale
+    if bias is not None:
+        y = y + bias
+    return y, out.gemm_result
+
+
+def dequantized_reference(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None,
+    x_qp: QuantParams,
+    w_qp: QuantParams,
+) -> np.ndarray:
+    """Reference: fake-quantize both operands, multiply in floating point.
+
+    The integer pipeline must match this exactly (up to float rounding);
+    the equivalence is asserted in the test-suite and is the correctness
+    contract that lets Mix-GEMM replace the FP32 computation.
+    """
+    x_dq = dequantize(quantize(x, x_qp), x_qp)
+    w_dq = dequantize(quantize(weight, w_qp), w_qp)
+    y = x_dq @ w_dq.T
+    if bias is not None:
+        y = y + bias
+    return y

@@ -1,0 +1,121 @@
+"""Integer-only requantization (the fixed-point alternative to floats).
+
+The paper keeps "quantization scales and biases ... in floating-point";
+production integer runtimes (GEMMLowp/TFLite, ref [33]) instead encode the
+combined scale ``s_x * s_w / s_y`` as a fixed-point multiplier::
+
+    M = M0 * 2^(-shift),   M0 in [0.5, 1) as a Q31 integer
+
+and requantize accumulators with a saturating rounding doubling high
+multiply plus a rounding right shift -- no floating point anywhere on the
+inference path.  This module implements that machinery bit-exactly
+(matching the reference GEMMLowp semantics), so the Mix-GEMM pipeline can
+run scale application on the same integer datapath.
+
+The tests assert both (a) exact agreement with the published fixed-point
+reference behaviour on corner cases and (b) <= 1 LSB deviation from the
+floating-point requantization across random tensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+
+
+class RequantError(ValueError):
+    """Raised for unencodable multipliers."""
+
+
+@dataclass(frozen=True)
+class FixedPointMultiplier:
+    """A positive real encoded as ``m0 * 2^(-shift)`` with m0 in Q31."""
+
+    m0: int
+    shift: int
+
+    @property
+    def real_value(self) -> float:
+        return self.m0 / (1 << 31) / (1 << self.shift)
+
+
+def quantize_multiplier(value: float) -> FixedPointMultiplier:
+    """Encode a positive real multiplier (typically < 1) as Q31 + shift."""
+    if not 0 < value < 1e6:
+        raise RequantError(f"multiplier out of range: {value}")
+    shift = 0
+    while value < 0.5:
+        value *= 2.0
+        shift += 1
+    while value >= 1.0:
+        value /= 2.0
+        shift -= 1
+    m0 = int(round(value * (1 << 31)))
+    if m0 == (1 << 31):  # rounding overflowed into 1.0
+        m0 //= 2
+        shift -= 1
+    if shift < 0:
+        raise RequantError(
+            "multipliers >= 1 are not supported on this path (the "
+            "combined scale of a quantized layer is < 1 by construction)"
+        )
+    return FixedPointMultiplier(m0=m0, shift=shift)
+
+
+def saturating_rounding_doubling_high_mul(
+    a: np.ndarray, b: int
+) -> np.ndarray:
+    """GEMMLowp's SRDHM: ``round((a * b) / 2^31)`` with saturation.
+
+    The single overflow case ``a == b == INT32_MIN`` saturates to
+    INT32_MAX.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    overflow = (a == INT32_MIN) & (b == INT32_MIN)
+    ab = a * np.int64(b)
+    nudge = np.where(ab >= 0, np.int64(1 << 30), np.int64(1 - (1 << 30)))
+    result = (ab + nudge) >> 31
+    result = np.clip(result, INT32_MIN, INT32_MAX)
+    return np.where(overflow, np.int64(INT32_MAX), result)
+
+
+def rounding_right_shift(x: np.ndarray, shift: int) -> np.ndarray:
+    """Arithmetic right shift with round-half-away-from-zero."""
+    if shift == 0:
+        return np.asarray(x, dtype=np.int64)
+    x = np.asarray(x, dtype=np.int64)
+    mask = np.int64((1 << shift) - 1)
+    remainder = x & mask
+    threshold = (mask >> 1) + np.where(x < 0, np.int64(1), np.int64(0))
+    return (x >> shift) + (remainder > threshold).astype(np.int64)
+
+
+def requantize_int(
+    acc: np.ndarray,
+    multiplier: FixedPointMultiplier,
+    *,
+    zero_point: int = 0,
+    qmin: int = -128,
+    qmax: int = 127,
+) -> np.ndarray:
+    """int32 accumulators -> quantized outputs, integer arithmetic only."""
+    scaled = saturating_rounding_doubling_high_mul(acc, multiplier.m0)
+    shifted = rounding_right_shift(scaled, multiplier.shift)
+    return np.clip(shifted + zero_point, qmin, qmax).astype(np.int64)
+
+
+def requantize_reference(
+    acc: np.ndarray,
+    real_multiplier: float,
+    *,
+    zero_point: int = 0,
+    qmin: int = -128,
+    qmax: int = 127,
+) -> np.ndarray:
+    """Floating-point requantization (what the paper's pipeline does)."""
+    scaled = np.round(np.asarray(acc, dtype=np.float64) * real_multiplier)
+    return np.clip(scaled + zero_point, qmin, qmax).astype(np.int64)

@@ -1,0 +1,26 @@
+"""Deployment runtime: graph IR, JSON model format, inference engine."""
+
+from .engine import InferenceEngine, InferenceResult, LayerStats
+from .export_modules import export_into, export_model
+from .graph import (
+    FORMAT_VERSION,
+    GraphBuilder,
+    GraphError,
+    GraphModel,
+    NodeSpec,
+    export_sequential,
+)
+
+__all__ = [
+    "InferenceEngine",
+    "InferenceResult",
+    "LayerStats",
+    "export_into",
+    "export_model",
+    "FORMAT_VERSION",
+    "GraphBuilder",
+    "GraphError",
+    "GraphModel",
+    "NodeSpec",
+    "export_sequential",
+]

@@ -1,0 +1,319 @@
+"""Inference engine over the deployment IR (the ONNX-Runtime stage).
+
+Executes a :class:`~repro.runtime.graph.GraphModel` with a pluggable GEMM
+backend:
+
+* ``backend="numpy"`` -- fast integer reference;
+* ``backend="mixgemm"`` -- the bit-exact u-engine simulator; per-layer
+  cycle counts are collected so a deployment run doubles as a
+  performance measurement (what the paper's FPGA runs produce).
+
+Quantized layers replay the exact training-time arithmetic: activations
+quantize per-tensor with the learned scale shipped in the graph, weights
+per-channel with absmax scales recomputed from the shipped weights (the
+same rule QAT trained against), zero-points are zero -- so the integer
+pipeline reproduces the QAT forward bit for bit (asserted in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import BlockingParams, MixGemmConfig
+from repro.core.gemm import GemmResult, MixGemm
+from repro.nn.functional_quant import weight_absmax_scale
+from repro.nn.im2col import conv_geometry, im2row, rows_to_nchw
+from repro.quant.affine import QuantParams, quantize
+
+from .graph import GraphError, GraphModel, NodeSpec
+
+#: Blocking used by the simulator backend for runtime layers: small tiles
+#: keep the event-driven engine fast on laptop-scale models.
+_SIM_BLOCKING = BlockingParams(mc=16, nc=16, kc=64)
+
+
+@dataclass
+class LayerStats:
+    """Per-quantized-layer execution record (mixgemm backend only)."""
+
+    op: str
+    config: str
+    macs: int
+    cycles: int
+
+    @property
+    def macs_per_cycle(self) -> float:
+        return self.macs / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class InferenceResult:
+    """Output batch plus accumulated simulator statistics."""
+
+    output: np.ndarray
+    layer_stats: list[LayerStats] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(s.cycles for s in self.layer_stats)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(s.macs for s in self.layer_stats)
+
+    def gops(self, freq_ghz: float = 1.2) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        return 2.0 * self.total_macs / self.total_cycles * freq_ghz
+
+
+class InferenceEngine:
+    """Run a deployment graph on a chosen GEMM backend."""
+
+    def __init__(self, graph: GraphModel, *,
+                 backend: str = "numpy") -> None:
+        if backend not in ("numpy", "mixgemm"):
+            raise GraphError(f"unknown backend: {backend}")
+        self.graph = graph
+        self.backend = backend
+
+    #: Ops consuming more than one upstream tensor.
+    _BINARY_OPS = frozenset({"add", "channel_scale"})
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, x: np.ndarray) -> InferenceResult:
+        """Execute the graph on a batch; NCHW for conv models.
+
+        Nodes without explicit ``inputs`` consume the previous node's
+        output (the Sequential chain); DAG graphs wire branches via node
+        ids, with ``"input"`` naming the model input.
+        """
+        result = InferenceResult(output=np.asarray(x, dtype=np.float64))
+        values: dict[str, np.ndarray] = {"input": result.output}
+        prev = "input"
+        for i, node in enumerate(self.graph):
+            input_ids = node.inputs or [prev]
+            try:
+                arrays = [values[name] for name in input_ids]
+            except KeyError as exc:
+                raise GraphError(
+                    f"node {node.op} references unknown tensor {exc}"
+                ) from None
+            out = self._dispatch(node, arrays, result)
+            prev = node.id or f"n{i}"
+            values[prev] = out
+        result.output = values[prev]
+        return result
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class ids for a batch (softmax-free argmax)."""
+        return self.run(x).output.argmax(axis=1)
+
+    # -- op implementations -------------------------------------------------------
+
+    def _dispatch(self, node: NodeSpec, arrays: list[np.ndarray],
+                  result: InferenceResult) -> np.ndarray:
+        handler = getattr(self, f"_op_{node.op}", None)
+        if handler is None:
+            raise GraphError(f"unsupported op: {node.op}")
+        if node.op in self._BINARY_OPS:
+            if len(arrays) != 2:
+                raise GraphError(
+                    f"{node.op} needs exactly 2 inputs, got {len(arrays)}"
+                )
+            return handler(node, arrays, result)
+        if len(arrays) != 1:
+            raise GraphError(
+                f"{node.op} takes one input, got {len(arrays)}"
+            )
+        return handler(node, arrays[0], result)
+
+    # --- binary ops (DAG topologies) ---
+
+    def _op_add(self, node: NodeSpec, arrays: list[np.ndarray],
+                result: InferenceResult) -> np.ndarray:
+        """Elementwise residual addition."""
+        a, b = arrays
+        if a.shape != b.shape:
+            raise GraphError(
+                f"add shape mismatch: {a.shape} vs {b.shape}"
+            )
+        return a + b
+
+    def _op_channel_scale(self, node: NodeSpec,
+                          arrays: list[np.ndarray],
+                          result: InferenceResult) -> np.ndarray:
+        """Squeeze-excite gating: NCHW features x (N, C) gates."""
+        x, s = arrays
+        if s.shape != x.shape[:2]:
+            raise GraphError(
+                f"channel_scale gates {s.shape} do not match "
+                f"features {x.shape}"
+            )
+        return x * s[:, :, None, None]
+
+    def _op_sigmoid(self, node, x, result):
+        return 1.0 / (1.0 + np.exp(-x))
+
+    # --- quantized linear algebra ---
+
+    def _quant_qparams(self, node: NodeSpec
+                       ) -> tuple[QuantParams, QuantParams]:
+        attrs = node.attrs
+        act_qp = QuantParams(
+            scale=attrs["act_scale"], zero_point=0.0,
+            bits=attrs["act_bits"], signed=attrs["act_signed"],
+        )
+        w = node.tensors["weight"]
+        w_scale = weight_absmax_scale(w, attrs["weight_bits"],
+                                      channel_axis=0)
+        wgt_qp = QuantParams(
+            scale=w_scale, zero_point=0.0,
+            bits=attrs["weight_bits"], signed=True, axis=0,
+        )
+        return act_qp, wgt_qp
+
+    def _integer_gemm(self, x_q: np.ndarray, w_q: np.ndarray,
+                      act_bits: int, weight_bits: int,
+                      act_signed: bool, result: InferenceResult,
+                      op: str) -> np.ndarray:
+        if self.backend == "numpy":
+            return x_q @ w_q
+        config = MixGemmConfig(
+            bw_a=act_bits, bw_b=weight_bits,
+            signed_a=act_signed, signed_b=True,
+            blocking=_SIM_BLOCKING,
+        )
+        executor = MixGemm(config, emulate_datapath=False)
+        gemm: GemmResult = executor.gemm(x_q, w_q)
+        result.layer_stats.append(LayerStats(
+            op=op, config=config.name, macs=gemm.macs, cycles=gemm.cycles,
+        ))
+        return gemm.c
+
+    def _op_quant_linear(self, node: NodeSpec, x: np.ndarray,
+                         result: InferenceResult) -> np.ndarray:
+        act_qp, wgt_qp = self._quant_qparams(node)
+        w = node.tensors["weight"]
+        x_q = quantize(x, act_qp)
+        w_q = quantize(w, wgt_qp)
+        acc = self._integer_gemm(
+            x_q, w_q.T, node.attrs["act_bits"], node.attrs["weight_bits"],
+            node.attrs["act_signed"], result, "quant_linear",
+        )
+        y = acc.astype(np.float64) * (float(act_qp.scale) * wgt_qp.scale)
+        bias = node.tensors.get("bias")
+        return y + bias if bias is not None else y
+
+    def _op_quant_conv2d(self, node: NodeSpec, x: np.ndarray,
+                         result: InferenceResult) -> np.ndarray:
+        act_qp, wgt_qp = self._quant_qparams(node)
+        w = node.tensors["weight"]
+        attrs = node.attrs
+        geo = conv_geometry(x.shape, w.shape, attrs["stride"],
+                            attrs["padding"], attrs["groups"])
+        x_q = quantize(x, act_qp)
+        w_q = quantize(w, wgt_qp)
+        groups = attrs["groups"]
+        cpg = geo.in_channels // groups
+        fpg = geo.out_channels // groups
+        outs = []
+        for g in range(groups):
+            rows = im2row(
+                x_q[:, g * cpg:(g + 1) * cpg],
+                geo.kernel_h, geo.kernel_w, attrs["stride"],
+                attrs["padding"],
+            )
+            wg = w_q[g * fpg:(g + 1) * fpg].reshape(fpg, -1).T
+            outs.append(self._integer_gemm(
+                rows, wg, attrs["act_bits"], attrs["weight_bits"],
+                attrs["act_signed"], result, "quant_conv2d",
+            ))
+        acc = np.concatenate(outs, axis=1)
+        y = acc.astype(np.float64) * (float(act_qp.scale)
+                                      * wgt_qp.scale[None, :])
+        y = rows_to_nchw(y, geo.batch, geo.out_h, geo.out_w)
+        bias = node.tensors.get("bias")
+        if bias is not None:
+            y = y + bias.reshape(1, -1, 1, 1)
+        return y
+
+    # --- float ops ---
+
+    def _op_conv2d(self, node: NodeSpec, x: np.ndarray,
+                   result: InferenceResult) -> np.ndarray:
+        w = node.tensors["weight"]
+        attrs = node.attrs
+        geo = conv_geometry(x.shape, w.shape, attrs["stride"],
+                            attrs["padding"], attrs["groups"])
+        groups = attrs["groups"]
+        cpg = geo.in_channels // groups
+        fpg = geo.out_channels // groups
+        outs = []
+        for g in range(groups):
+            rows = im2row(x[:, g * cpg:(g + 1) * cpg], geo.kernel_h,
+                          geo.kernel_w, attrs["stride"], attrs["padding"])
+            outs.append(rows @ w[g * fpg:(g + 1) * fpg].reshape(fpg, -1).T)
+        y = rows_to_nchw(np.concatenate(outs, axis=1), geo.batch,
+                         geo.out_h, geo.out_w)
+        bias = node.tensors.get("bias")
+        if bias is not None:
+            y = y + bias.reshape(1, -1, 1, 1)
+        return y
+
+    def _op_linear(self, node: NodeSpec, x: np.ndarray,
+                   result: InferenceResult) -> np.ndarray:
+        y = x @ node.tensors["weight"].T
+        bias = node.tensors.get("bias")
+        return y + bias if bias is not None else y
+
+    def _op_batchnorm2d(self, node: NodeSpec, x: np.ndarray,
+                        result: InferenceResult) -> np.ndarray:
+        t = node.tensors
+        std = np.sqrt(t["running_var"] + node.attrs["eps"])
+        scale = (t["gamma"] / std).reshape(1, -1, 1, 1)
+        shift = (t["beta"] - t["gamma"] * t["running_mean"] / std
+                 ).reshape(1, -1, 1, 1)
+        return x * scale + shift
+
+    def _op_relu(self, node, x, result):
+        return np.maximum(x, 0.0)
+
+    def _op_relu6(self, node, x, result):
+        return np.clip(x, 0.0, 6.0)
+
+    def _op_silu(self, node, x, result):
+        return x / (1.0 + np.exp(-x))
+
+    def _pool(self, x, kernel, stride, reducer):
+        n, c, h, w = x.shape
+        oh = (h - kernel) // stride + 1
+        ow = (w - kernel) // stride + 1
+        sn, sc, sh, sw = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x, shape=(n, c, oh, ow, kernel, kernel),
+            strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+            writeable=False,
+        )
+        return reducer(windows, axis=(-2, -1))
+
+    def _op_max_pool2d(self, node, x, result):
+        return self._pool(x, node.attrs["kernel"], node.attrs["stride"],
+                          np.max)
+
+    def _op_avg_pool2d(self, node, x, result):
+        return self._pool(x, node.attrs["kernel"], node.attrs["stride"],
+                          np.mean)
+
+    def _op_global_avg_pool2d(self, node, x, result):
+        return x.mean(axis=(2, 3))
+
+    def _op_flatten(self, node, x, result):
+        return x.reshape(x.shape[0], -1)
+
+    def _op_identity(self, node, x, result):
+        return x

@@ -1,0 +1,249 @@
+"""Deployment graph IR (the paper's ONNX stage, Figure 3).
+
+The paper's workflow exports the QAT-trained PyTorch model to ONNX and
+runs it through ONNX Runtime with Mix-GEMM as the BLAS backend.  This
+module is the offline-equivalent: a declarative operator graph with JSON
+serialization.  :func:`export_sequential` converts a trained
+:class:`~repro.nn.layers.Sequential` model (quant layers included --
+weights, bitwidths and learned activation scales travel with the graph);
+the :mod:`repro.runtime.engine` then executes it on a chosen backend.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    QuantConv2d,
+    QuantLinear,
+    ReLU,
+    ReLU6,
+    Sequential,
+    SiLU,
+)
+
+FORMAT_VERSION = 1
+
+
+class GraphError(ValueError):
+    """Raised for malformed graphs or unsupported layers."""
+
+
+@dataclass
+class NodeSpec:
+    """One operator: a type tag, attributes, and optional tensors.
+
+    ``inputs`` wires the dataflow graph: a list of producer node ids (or
+    the reserved name ``"input"`` for the model input).  When empty, the
+    node implicitly consumes the previous node's output -- the linear
+    chain :func:`export_sequential` emits.  ``id`` names this node's
+    output; when empty the engine assigns ``n<i>``.
+    """
+
+    op: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    tensors: dict[str, np.ndarray] = field(default_factory=dict)
+    inputs: list[str] = field(default_factory=list)
+    id: str = ""
+
+    def to_json(self) -> dict:
+        payload = {
+            "op": self.op,
+            "attrs": self.attrs,
+            "tensors": {
+                name: {"shape": list(t.shape), "data": t.ravel().tolist()}
+                for name, t in self.tensors.items()
+            },
+        }
+        if self.inputs:
+            payload["inputs"] = self.inputs
+        if self.id:
+            payload["id"] = self.id
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "NodeSpec":
+        tensors = {
+            name: np.asarray(spec["data"],
+                             dtype=np.float64).reshape(spec["shape"])
+            for name, spec in payload.get("tensors", {}).items()
+        }
+        return cls(op=payload["op"], attrs=dict(payload.get("attrs", {})),
+                   tensors=tensors,
+                   inputs=list(payload.get("inputs", [])),
+                   id=payload.get("id", ""))
+
+
+@dataclass
+class GraphModel:
+    """A linear operator graph plus metadata."""
+
+    nodes: list[NodeSpec] = field(default_factory=list)
+    name: str = "model"
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "format_version": FORMAT_VERSION,
+            "name": self.name,
+            "nodes": [n.to_json() for n in self.nodes],
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphModel":
+        payload = json.loads(text)
+        version = payload.get("format_version")
+        if version != FORMAT_VERSION:
+            raise GraphError(f"unsupported model format version {version}")
+        return cls(
+            nodes=[NodeSpec.from_json(n) for n in payload["nodes"]],
+            name=payload.get("name", "model"),
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "GraphModel":
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+    def quantized_nodes(self) -> list[NodeSpec]:
+        return [n for n in self.nodes
+                if n.op in ("quant_conv2d", "quant_linear")]
+
+
+def _quant_attrs(layer) -> dict[str, Any]:
+    spec = layer.spec
+    attrs: dict[str, Any] = {
+        "act_bits": spec.act_bits,
+        "weight_bits": spec.weight_bits,
+        "act_signed": spec.act_signed,
+    }
+    if spec.act_bits is not None:
+        attrs["act_scale"] = float(np.exp(layer.act_log_scale.data))
+    return attrs
+
+
+def _export_layer(layer) -> NodeSpec:
+    # Order matters: quant subclasses before their float bases.
+    if isinstance(layer, QuantConv2d):
+        node = NodeSpec(op="quant_conv2d", attrs={
+            "stride": layer.stride, "padding": layer.padding,
+            "groups": layer.groups, **_quant_attrs(layer),
+        })
+        node.tensors["weight"] = layer.weight.data.copy()
+        if layer.bias is not None:
+            node.tensors["bias"] = layer.bias.data.copy()
+        return node
+    if isinstance(layer, QuantLinear):
+        node = NodeSpec(op="quant_linear", attrs=_quant_attrs(layer))
+        node.tensors["weight"] = layer.weight.data.copy()
+        if layer.bias is not None:
+            node.tensors["bias"] = layer.bias.data.copy()
+        return node
+    if isinstance(layer, Conv2d):
+        node = NodeSpec(op="conv2d", attrs={
+            "stride": layer.stride, "padding": layer.padding,
+            "groups": layer.groups,
+        })
+        node.tensors["weight"] = layer.weight.data.copy()
+        if layer.bias is not None:
+            node.tensors["bias"] = layer.bias.data.copy()
+        return node
+    if isinstance(layer, Linear):
+        node = NodeSpec(op="linear")
+        node.tensors["weight"] = layer.weight.data.copy()
+        if layer.bias is not None:
+            node.tensors["bias"] = layer.bias.data.copy()
+        return node
+    if isinstance(layer, BatchNorm2d):
+        node = NodeSpec(op="batchnorm2d", attrs={"eps": layer.eps})
+        node.tensors["gamma"] = layer.gamma.data.copy()
+        node.tensors["beta"] = layer.beta.data.copy()
+        node.tensors["running_mean"] = layer.running_mean.copy()
+        node.tensors["running_var"] = layer.running_var.copy()
+        return node
+    if isinstance(layer, ReLU6):
+        return NodeSpec(op="relu6")
+    if isinstance(layer, ReLU):
+        return NodeSpec(op="relu")
+    if isinstance(layer, SiLU):
+        return NodeSpec(op="silu")
+    if isinstance(layer, MaxPool2d):
+        return NodeSpec(op="max_pool2d", attrs={
+            "kernel": layer.kernel_size, "stride": layer.stride,
+        })
+    if isinstance(layer, AvgPool2d):
+        return NodeSpec(op="avg_pool2d", attrs={
+            "kernel": layer.kernel_size, "stride": layer.stride,
+        })
+    if isinstance(layer, GlobalAvgPool2d):
+        return NodeSpec(op="global_avg_pool2d")
+    if isinstance(layer, Flatten):
+        return NodeSpec(op="flatten")
+    if isinstance(layer, Identity):
+        return NodeSpec(op="identity")
+    raise GraphError(
+        f"cannot export layer of type {type(layer).__name__}; "
+        f"export supports Sequential models of standard layers"
+    )
+
+
+def export_sequential(model: Sequential, name: str = "model") -> GraphModel:
+    """Export a trained Sequential model to the deployment IR."""
+    if not isinstance(model, Sequential):
+        raise GraphError("export_sequential expects a Sequential model")
+    return GraphModel(
+        nodes=[_export_layer(layer) for layer in model],
+        name=name,
+    )
+
+
+class GraphBuilder:
+    """Imperative construction of DAG-shaped deployment graphs.
+
+    Residual and squeeze-excite topologies need explicit wiring; the
+    builder hands out node ids so branches can reference each other::
+
+        b = GraphBuilder("resnet-block")
+        trunk = b.add(conv_node, inputs=["input"])
+        trunk = b.add(NodeSpec(op="relu"), inputs=[trunk])
+        out = b.add(NodeSpec(op="add"), inputs=[trunk, "input"])
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self._graph = GraphModel(name=name)
+        self._counter = 0
+
+    def add(self, node: NodeSpec,
+            inputs: list[str] | None = None) -> str:
+        """Append a node; returns its output id."""
+        if inputs is not None:
+            node.inputs = list(inputs)
+        if not node.id:
+            node.id = f"n{self._counter}"
+        self._counter += 1
+        self._graph.nodes.append(node)
+        return node.id
+
+    def build(self) -> GraphModel:
+        return self._graph

@@ -1,0 +1,162 @@
+"""Physical-design area model (paper Section IV-C, Table II, Figure 8).
+
+The paper implements the SoC in GF 22FDX and reports a post-PnR area
+breakdown of the u-engine (Table II); those figures are the ground truth
+this model is anchored to.  Around them it provides:
+
+* component scaling rules (Source Buffer area vs depth, AccMem vs slots),
+  calibrated to the one scaling point the paper reports (+67.6% u-engine
+  area from 16- to 32-entry buffers);
+* SoC composition (core, caches, u-engine, pad ring) summing to the
+  1.96 mm2 Figure 8 layout, with the cache density implied by the
+  Section IV-B claim that shrinking L1+L2 to 16 KB / 64 KB saves 53%;
+* DeepScaleTool-style technology scaling, anchored to the paper's own
+  65 nm -> 22 nm comparisons against Eyeriss and UNPU.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Post-PnR u-engine component areas in um^2 (paper Table II).
+TABLE2_AREAS_UM2 = {
+    "source_buffers": 4934.63,
+    "dsu": 1094.45,
+    "dcu": 2832.46,
+    "dfu": 1842.25,
+    "adder": 741.58,
+    "accmem": 1214.35,
+    "control_unit": 981.43,
+}
+
+#: Table II total (um^2).
+UENGINE_TOTAL_UM2 = 13641.14
+
+#: SoC overhead percentages (paper Table II, right column).
+TABLE2_OVERHEAD_PCT = {
+    "source_buffers": 0.36,
+    "dsu": 0.08,
+    "dcu": 0.21,
+    "dfu": 0.13,
+    "adder": 0.05,
+    "accmem": 0.09,
+    "control_unit": 0.08,
+}
+
+#: Full SoC die area incl. the IO pad ring (Figure 8).
+SOC_DIE_MM2 = 1.96
+
+#: The area base of Table II's overhead column (u-engine / 1%).
+SOC_LOGIC_MM2 = UENGINE_TOTAL_UM2 / 1e6 / 0.01
+
+#: Power overhead of the u-engine on the SoC (Section IV-C).
+UENGINE_POWER_OVERHEAD = 0.023
+
+#: Source-buffer area growth 16 -> 32 entries (+67.6% on the u-engine
+#: total, Section III-C) implies superlinear buffer scaling; the exponent
+#: is fit to that single point.
+_SB_GROWTH_AT_2X = (UENGINE_TOTAL_UM2 * 0.676
+                    + TABLE2_AREAS_UM2["source_buffers"]) \
+    / TABLE2_AREAS_UM2["source_buffers"]
+SOURCE_BUFFER_EXPONENT = math.log2(_SB_GROWTH_AT_2X)
+
+#: Cache macro density implied by the 53% SoC-area saving when dropping
+#: 496 KB of SRAM (Section IV-B).
+CACHE_MM2_PER_KB = 0.53 * SOC_DIE_MM2 / 496.0
+
+#: DeepScaleTool-style area scale factors to 22 nm, anchored to the
+#: paper's Eyeriss (96.8x) and UNPU (126.5x) comparisons.
+AREA_SCALE_TO_22NM = {
+    22: 1.0,
+    28: 0.65,
+    40: 0.33,
+    65: 0.1077,
+}
+
+
+@dataclass(frozen=True)
+class UEngineArea:
+    """Parametric u-engine area (um^2)."""
+
+    source_buffer_depth: int = 16
+    accmem_slots: int = 16
+    components: dict = field(default_factory=lambda: dict(TABLE2_AREAS_UM2))
+
+    def component_area(self, name: str) -> float:
+        base = self.components[name]
+        if name == "source_buffers":
+            return base * (self.source_buffer_depth / 16) \
+                ** SOURCE_BUFFER_EXPONENT
+        if name == "accmem":
+            return base * self.accmem_slots / 16
+        return base
+
+    @property
+    def total_um2(self) -> float:
+        return sum(self.component_area(n) for n in self.components)
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_um2 / 1e6
+
+    def soc_overhead(self, soc_logic_mm2: float = SOC_LOGIC_MM2) -> float:
+        return self.total_mm2 / soc_logic_mm2
+
+    def breakdown(self) -> dict[str, tuple[float, float]]:
+        """(area um^2, SoC overhead %) per component, Table II layout."""
+        return {
+            name: (
+                self.component_area(name),
+                100 * self.component_area(name) / 1e6 / SOC_LOGIC_MM2,
+            )
+            for name in self.components
+        }
+
+
+@dataclass(frozen=True)
+class SocArea:
+    """SoC floorplan composition (Figure 8)."""
+
+    l1d_kb: int = 32
+    l1i_kb: int = 16
+    l2_kb: int = 512
+    uengine: UEngineArea = field(default_factory=UEngineArea)
+
+    @property
+    def cache_mm2(self) -> float:
+        return (self.l1d_kb + self.l1i_kb + self.l2_kb) * CACHE_MM2_PER_KB
+
+    @property
+    def core_and_pads_mm2(self) -> float:
+        """Everything that is neither cache nor u-engine, fit so the
+        default configuration reproduces the 1.96 mm2 die."""
+        default_caches = (32 + 16 + 512) * CACHE_MM2_PER_KB
+        return SOC_DIE_MM2 - default_caches - UENGINE_TOTAL_UM2 / 1e6
+
+    @property
+    def total_mm2(self) -> float:
+        return self.core_and_pads_mm2 + self.cache_mm2 \
+            + self.uengine.total_mm2
+
+    def area_saving_vs_default(self) -> float:
+        """Fractional die-area saving relative to the Figure 8 SoC."""
+        return 1.0 - self.total_mm2 / SOC_DIE_MM2
+
+
+def scale_area(area_mm2: float, from_nm: int, to_nm: int = 22) -> float:
+    """Scale an area figure between technology nodes (DeepScaleTool-style).
+
+    Only nodes present in :data:`AREA_SCALE_TO_22NM` are supported; the
+    anchor values reproduce the paper's Eyeriss/UNPU comparisons.
+    """
+    try:
+        from_factor = AREA_SCALE_TO_22NM[from_nm]
+        to_factor = AREA_SCALE_TO_22NM[to_nm]
+    except KeyError as exc:
+        raise ValueError(
+            f"no scale factor for node {exc}; known: "
+            f"{sorted(AREA_SCALE_TO_22NM)}"
+        ) from None
+    # factor[n] converts an area at node n into its 22 nm equivalent.
+    return area_mm2 * from_factor / to_factor

@@ -1,0 +1,78 @@
+"""Related-work registry tests (Table III published rows)."""
+
+import pytest
+
+from repro.baselines.related import (
+    PAPER_MIXGEMM_ROW,
+    RELATED_WORK,
+    BenchRange,
+    get_related,
+)
+
+
+class TestBenchRange:
+    def test_single_value(self):
+        r = BenchRange(5.6)
+        assert r.lo == r.hi == 5.6
+        assert str(r) == "5.6"
+
+    def test_range(self):
+        r = BenchRange(0.4, 1.3)
+        assert str(r) == "0.4-1.3"
+
+
+class TestRegistry:
+    def test_eleven_comparison_rows(self):
+        # The FP32 baseline plus ten related systems (Table III).
+        assert len(RELATED_WORK) == 11
+
+    def test_lookup(self):
+        assert get_related("eyeriss").tech_nm == 65
+        with pytest.raises(KeyError):
+            get_related("tpu")
+
+    def test_baseline_fp32_everywhere_09(self):
+        base = get_related("baseline_fp32")
+        for name, value in base.perf.items():
+            assert value.lo == 0.9, name
+
+    def test_gemmlowp_published_band(self):
+        gl = get_related("gemmlowp")
+        values = [v.lo for v in gl.perf.values()]
+        assert min(values) == 4.7
+        assert max(values) == 5.8
+
+    def test_mixed_precision_flags(self):
+        # Only CMix-NN, Bruschi and Ottavi support mixed precision among
+        # the related work (Table III).
+        mixed = {k for k, w in RELATED_WORK.items() if w.mixed_precision}
+        assert mixed == {"cmix_nn", "bruschi", "ottavi"}
+
+    def test_decoupled_accelerators(self):
+        for key in ("eyeriss", "unpu"):
+            assert RELATED_WORK[key].soc == "Decoupled"
+
+    def test_bison_e_smallest_area(self):
+        areas = {k: w.area_mm2 for k, w in RELATED_WORK.items()
+                 if w.area_mm2 is not None}
+        assert min(areas, key=areas.get) == "bison_e"
+
+
+class TestPaperRow:
+    def test_covers_all_benchmarks(self):
+        assert set(PAPER_MIXGEMM_ROW.perf) == {
+            "convolution", "alexnet", "vgg16", "resnet18",
+            "mobilenet_v1", "regnet_x_400mf", "efficientnet_b0",
+        }
+
+    def test_abstract_claims(self):
+        # "from 4.8 GOPS to 13.6 GOPS" and "up to 1.3 TOPS/W".
+        perf = [v for k, v in PAPER_MIXGEMM_ROW.perf.items()
+                if k != "convolution"]
+        assert min(v.lo for v in perf) == 4.8
+        assert max(v.hi for v in perf) == 13.6
+        assert max(v.hi for v in PAPER_MIXGEMM_ROW.eff.values()) == 1.3
+
+    def test_area_is_table2_total(self):
+        assert PAPER_MIXGEMM_ROW.area_mm2 == pytest.approx(0.0136,
+                                                           abs=5e-4)

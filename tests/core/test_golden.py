@@ -1,0 +1,80 @@
+"""Golden-vector suite tests (the RTL-verification artifact)."""
+
+import numpy as np
+import pytest
+
+from repro.core.binseg import BinSegSpec
+from repro.core.golden import (
+    dump_suite,
+    generate_suite,
+    generate_vector,
+    load_suite,
+    verify_vector,
+)
+
+
+class TestGeneration:
+    def test_suite_covers_all_49_configs(self):
+        suite = generate_suite(vectors_per_config=2)
+        configs = {(v.bw_a, v.bw_b) for v in suite}
+        assert len(configs) == 49
+        assert len(suite) == 98
+
+    def test_every_vector_verifies(self):
+        for vector in generate_suite(vectors_per_config=8, seed=3):
+            assert verify_vector(vector), (vector.bw_a, vector.bw_b)
+
+    def test_unsigned_suite_verifies(self):
+        for vector in generate_suite(vectors_per_config=4, signed=False):
+            assert verify_vector(vector)
+            assert min(vector.a_elements) >= 0
+
+    def test_expected_is_true_inner_product(self):
+        rng = np.random.default_rng(0)
+        spec = BinSegSpec(bw_a=5, bw_b=3)
+        v = generate_vector(spec, rng)
+        assert v.expected == int(np.dot(v.a_elements, v.b_elements))
+
+    def test_fields_describe_datapath(self):
+        rng = np.random.default_rng(1)
+        spec = BinSegSpec(bw_a=8, bw_b=8)
+        v = generate_vector(spec, rng)
+        assert v.cluster_size == 3
+        assert v.cw == 19
+        assert v.slice_msb - v.slice_lsb + 1 == v.cw
+        assert 0 <= v.a_cluster < (1 << 64)
+        assert 0 <= v.product < (1 << 128)
+
+    def test_deterministic_by_seed(self):
+        a = generate_suite(vectors_per_config=1, seed=5)
+        b = generate_suite(vectors_per_config=1, seed=5)
+        assert a == b
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        suite = generate_suite(vectors_per_config=2, seed=7)
+        path = tmp_path / "golden.json"
+        dump_suite(str(path), suite)
+        loaded = load_suite(str(path))
+        assert loaded == suite
+
+    def test_loaded_vectors_still_verify(self, tmp_path):
+        suite = generate_suite(vectors_per_config=2, seed=9)
+        path = tmp_path / "golden.json"
+        dump_suite(str(path), suite)
+        for vector in load_suite(str(path)):
+            assert verify_vector(vector)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "other", "vectors": []}')
+        with pytest.raises(ValueError):
+            load_suite(str(path))
+
+    def test_hex_encoding(self, tmp_path):
+        suite = generate_suite(vectors_per_config=1, seed=2)[:1]
+        path = tmp_path / "golden.json"
+        dump_suite(str(path), suite)
+        text = path.read_text()
+        assert "mix-gemm-golden-v1" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the bs.* RISC-V ISA extension encoding."""
+
+import pytest
+
+from repro.core.isa import (
+    CUSTOM0_OPCODE,
+    BsFunct3,
+    BsGet,
+    BsIp,
+    BsSet,
+    InstructionStream,
+    IsaError,
+    SET_FIELDS,
+    decode_rtype,
+    encode_rtype,
+    pack_set_payload,
+    unpack_set_payload,
+)
+
+
+class TestRTypeEncoding:
+    def test_roundtrip(self):
+        word = encode_rtype(BsFunct3.IP, rd=0, rs1=10, rs2=11)
+        f3, rd, rs1, rs2, funct7 = decode_rtype(word)
+        assert f3 is BsFunct3.IP
+        assert (rd, rs1, rs2, funct7) == (0, 10, 11, 0)
+
+    def test_opcode_is_custom0(self):
+        word = encode_rtype(BsFunct3.SET, 0, 5, 0)
+        assert word & 0x7F == CUSTOM0_OPCODE
+
+    def test_all_three_instructions_distinct(self):
+        words = {
+            encode_rtype(f3, 1, 2, 3)
+            for f3 in (BsFunct3.SET, BsFunct3.IP, BsFunct3.GET)
+        }
+        assert len(words) == 3
+
+    def test_register_bounds(self):
+        with pytest.raises(IsaError):
+            encode_rtype(BsFunct3.IP, rd=32, rs1=0, rs2=0)
+        with pytest.raises(IsaError):
+            encode_rtype(BsFunct3.IP, rd=0, rs1=-1, rs2=0)
+
+    def test_funct7_bounds(self):
+        with pytest.raises(IsaError):
+            encode_rtype(BsFunct3.IP, 0, 0, 0, funct7=128)
+
+    def test_decode_rejects_other_opcodes(self):
+        with pytest.raises(IsaError):
+            decode_rtype(0x00000033)  # plain RV add
+
+    def test_decode_rejects_unknown_funct3(self):
+        word = (0b111 << 12) | CUSTOM0_OPCODE
+        with pytest.raises(IsaError):
+            decode_rtype(word)
+
+    def test_encoding_is_32bit(self):
+        word = encode_rtype(BsFunct3.GET, 31, 31, 31, funct7=127)
+        assert 0 <= word < (1 << 32)
+
+
+class TestSetPayload:
+    def test_roundtrip(self):
+        fields = dict(
+            bw_a=8, bw_b=2, signed_a=1, signed_b=1, cluster_size=4,
+            cw=13, kua=4, kub=1, ip_length=32, slice_lsb=39,
+        )
+        word = pack_set_payload(**fields)
+        assert unpack_set_payload(word) == fields
+
+    def test_fields_do_not_overlap(self):
+        spans = []
+        for lsb, width in SET_FIELDS.values():
+            spans.append((lsb, lsb + width))
+        spans.sort()
+        for (lo1, hi1), (lo2, _) in zip(spans, spans[1:]):
+            assert hi1 <= lo2
+
+    def test_fits_64_bits(self):
+        assert max(lsb + w for lsb, w in SET_FIELDS.values()) <= 64
+
+    def test_unknown_field(self):
+        with pytest.raises(IsaError):
+            pack_set_payload(bogus=1)
+
+    def test_out_of_range_value(self):
+        with pytest.raises(IsaError):
+            pack_set_payload(bw_a=16)
+
+
+class TestInstructionStream:
+    def test_counts(self):
+        stream = InstructionStream()
+        stream.append(BsSet(payload=0))
+        stream.extend([BsIp(a_word=1, b_word=2), BsIp(a_word=3, b_word=4)])
+        stream.append(BsGet(slot=0))
+        assert len(stream) == 4
+        assert stream.count("bs.set") == 1
+        assert stream.count("bs.ip") == 2
+        assert stream.count("bs.get") == 1
+
+    def test_iteration_preserves_order(self):
+        stream = InstructionStream()
+        instrs = [BsSet(0), BsIp(1, 2), BsGet(0)]
+        stream.extend(instrs)
+        assert list(stream) == instrs
+
+    def test_push_flags_default_true(self):
+        ip = BsIp(a_word=1, b_word=2)
+        assert ip.push_a and ip.push_b

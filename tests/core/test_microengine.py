@@ -1,0 +1,266 @@
+"""Unit tests for the u-engine: DSU schedule, timing, PMU, AccMem."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    BlockingParams,
+    MixGemmConfig,
+    all_size_combinations,
+)
+from repro.core.isa import BsGet, BsIp, BsSet, InstructionStream
+from repro.core.microengine import (
+    MicroEngine,
+    MicroEngineError,
+    distribute_elements,
+    dsu_walk,
+    effective_macs_per_cycle,
+    group_cycles,
+    group_schedule,
+)
+from repro.core.packing import pack_word
+
+
+class TestDistributeElements:
+    def test_dense_fill(self):
+        assert distribute_elements(30, 4, 8) == [8, 8, 8, 6]
+        assert distribute_elements(30, 3, 10) == [10, 10, 10]
+        assert distribute_elements(30, 2, 16) == [16, 14]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(MicroEngineError):
+            distribute_elements(33, 4, 8)
+
+    def test_zero_tail(self):
+        assert distribute_elements(8, 4, 8) == [8, 0, 0, 0]
+
+
+class TestDsuWalk:
+    @pytest.mark.parametrize(
+        "bw_a, bw_b, expected_cycles",
+        [
+            (8, 8, 12),  # paper Section III-B: 12 accumulations
+            (8, 6, 12),  # paper: 12 accumulations
+            (6, 4, 9),   # paper: 9 accumulations
+        ],
+    )
+    def test_paper_group_cycles(self, bw_a, bw_b, expected_cycles):
+        cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+        assert group_cycles(cfg) == expected_cycles
+
+    def test_chunks_sum_to_elements(self):
+        for bw_a, bw_b in all_size_combinations():
+            cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+            sched = group_schedule(cfg)
+            assert sum(sched.chunks) == cfg.layout.group_elements
+
+    def test_chunks_bounded_by_cluster_size(self):
+        for bw_a, bw_b in all_size_combinations():
+            cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+            ics = cfg.binseg.input_cluster_size
+            sched = group_schedule(cfg)
+            assert all(1 <= c <= ics for c in sched.chunks)
+
+    def test_a2w2_five_cycles_per_uvector(self):
+        # Paper Section IV-B: 32 elements at 7 MAC/cycle need 5 cycles per
+        # u-vector, the source of the 15% penalty at a2-w2.
+        sched = dsu_walk(32, 32, 1, 1, 7, 32)
+        assert sched.cycles == 5
+
+    def test_release_times_monotone(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=6)
+        sched = group_schedule(cfg)
+        assert list(sched.a_release) == sorted(sched.a_release)
+        assert list(sched.b_release) == sorted(sched.b_release)
+        assert sched.a_release[-1] <= sched.cycles
+        assert sched.b_release[-1] <= sched.cycles
+
+    def test_needed_times_before_release(self):
+        for bw_a, bw_b in [(8, 8), (8, 6), (6, 4), (2, 2)]:
+            cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+            sched = group_schedule(cfg)
+            for need, rel in zip(sched.a_needed, sched.a_release):
+                assert need < rel or rel == sched.cycles
+
+    def test_partial_group(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=8)
+        sched = group_schedule(cfg, n_elements=5)
+        assert sum(sched.chunks) == 5
+        assert sched.cycles == 2  # ceil(5 / 3)
+
+    def test_effective_throughput_below_peak(self):
+        for bw_a, bw_b in all_size_combinations():
+            cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+            eff = effective_macs_per_cycle(cfg)
+            assert 0 < eff <= cfg.macs_per_cycle
+
+    def test_a8w8_effective_throughput(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=8)
+        assert effective_macs_per_cycle(cfg) == pytest.approx(32 / 12)
+
+
+def _make_group_words(cfg, a_elems, b_elems):
+    """Pack logical element lists into the kua/kub words of one group."""
+    lay = cfg.layout
+    a_counts = distribute_elements(len(a_elems), lay.kua, lay.elems_a)
+    b_counts = distribute_elements(len(b_elems), lay.kub, lay.elems_b)
+    a_words, pos = [], 0
+    for c in a_counts:
+        a_words.append(pack_word(a_elems[pos:pos + c], cfg.bw_a))
+        pos += c
+    b_words, pos = [], 0
+    for c in b_counts:
+        b_words.append(pack_word(b_elems[pos:pos + c], cfg.bw_b))
+        pos += c
+    return a_words, b_words
+
+
+class TestMicroEngineFunctional:
+    def test_single_group_inner_product(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=8,
+                            kua=1, kub=1)
+        rng = np.random.default_rng(0)
+        a = [int(v) for v in rng.integers(-128, 128, size=8)]
+        b = [int(v) for v in rng.integers(-128, 128, size=8)]
+        engine = MicroEngine(cfg)
+        engine.push_pair(pack_word(a, 8), pack_word(b, 8))
+        value, _ = engine.read_slot(0)
+        assert value == int(np.dot(a, b))
+
+    def test_accumulation_across_kgroups(self):
+        # Two k-groups targeting the same AccMem slot must accumulate.
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, kua=1, kub=1,
+                            blocking=BlockingParams(mr=1, nr=1))
+        engine = MicroEngine(cfg)
+        a = [1] * 8
+        b = [2] * 8
+        engine.push_pair(pack_word(a, 8), pack_word(b, 8))
+        engine.push_pair(pack_word(a, 8), pack_word(b, 8))
+        value, _ = engine.read_slot(0)
+        assert value == 2 * 8 * 2
+
+    def test_read_clears_slot(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, kua=1, kub=1)
+        engine = MicroEngine(cfg)
+        engine.push_pair(pack_word([1] * 8, 8), pack_word([1] * 8, 8))
+        first, _ = engine.read_slot(0)
+        second, _ = engine.read_slot(0)
+        assert first == 8
+        assert second == 0
+
+    def test_datapath_matches_direct(self):
+        rng = np.random.default_rng(3)
+        for bw_a, bw_b in [(8, 8), (8, 6), (6, 4), (3, 2), (2, 2)]:
+            cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+            n = cfg.layout.group_elements
+            a = [int(v) for v in
+                 rng.integers(-(1 << (bw_a - 1)), 1 << (bw_a - 1), size=n)]
+            b = [int(v) for v in
+                 rng.integers(-(1 << (bw_b - 1)), 1 << (bw_b - 1), size=n)]
+            a_words, b_words = _make_group_words(cfg, a, b)
+            results = []
+            for datapath in (True, False):
+                engine = MicroEngine(cfg, emulate_datapath=datapath)
+                for ku in range(max(cfg.kua, cfg.kub)):
+                    engine.push_pair(
+                        a_words[ku] if ku < cfg.kua else 0,
+                        b_words[ku] if ku < cfg.kub else 0,
+                        push_a=ku < cfg.kua,
+                        push_b=ku < cfg.kub,
+                    )
+                value, _ = engine.read_slot(0)
+                results.append(value)
+            assert results[0] == results[1] == int(np.dot(a, b)), \
+                f"a{bw_a}-w{bw_b}"
+
+    def test_protocol_violations(self):
+        engine = MicroEngine()
+        with pytest.raises(MicroEngineError):
+            engine.push_pair(0, 0)
+        with pytest.raises(MicroEngineError):
+            engine.read_slot(0)
+        cfg = MixGemmConfig()
+        engine.set_config(cfg)
+        with pytest.raises(MicroEngineError):
+            engine.read_slot(99)
+
+
+class TestMicroEngineTiming:
+    def test_bs_instructions_cost_one_issue_cycle(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, kua=1, kub=1)
+        engine = MicroEngine(cfg)
+        t0 = engine.now
+        engine.push_pair(0, 0)
+        assert engine.now == t0 + 1  # no buffer stall on an empty engine
+
+    def test_buffer_fills_cause_stalls(self):
+        # A tiny 2-deep buffer must stall a burst of pushes.
+        cfg = MixGemmConfig(bw_a=2, bw_b=2, kua=1, kub=1,
+                            source_buffer_depth=2)
+        engine = MicroEngine(cfg)
+        for _ in range(16):
+            engine.push_pair(0, 0)
+        assert engine.pmu.buffer_full_stall_cycles > 0
+
+    def test_deeper_buffers_stall_less(self):
+        # Section III-C: stall fraction decreases with buffer depth.
+        stalls = {}
+        for depth in (8, 16, 32):
+            cfg = MixGemmConfig(bw_a=2, bw_b=2, kua=1, kub=1,
+                                source_buffer_depth=depth)
+            engine = MicroEngine(cfg)
+            for _ in range(256):
+                engine.push_pair(0, 0)
+            stalls[depth] = engine.pmu.buffer_full_stall_cycles
+        assert stalls[8] >= stalls[16] >= stalls[32]
+
+    def test_get_stall_waits_for_drain(self):
+        cfg = MixGemmConfig(bw_a=2, bw_b=2, kua=1, kub=1,
+                            source_buffer_depth=32)
+        engine = MicroEngine(cfg)
+        for _ in range(8):
+            engine.push_pair(0, 0)
+        _, stall = engine.read_slot(0)
+        assert stall > 0
+        assert engine.pmu.get_stall_cycles == stall
+
+    def test_engine_busy_cycles_track_groups(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=8)
+        engine = MicroEngine(cfg)
+        a = [pack_word([1] * 8, 8)] * 4
+        for ku in range(4):
+            engine.push_pair(a[ku], a[ku])
+        engine.read_slot(0)
+        assert engine.pmu.groups == 1
+        assert engine.pmu.engine_busy_cycles == 12
+        assert engine.pmu.macs == 32
+
+    def test_advance_models_cpu_work(self):
+        cfg = MixGemmConfig()
+        engine = MicroEngine(cfg)
+        t0 = engine.now
+        engine.advance(10)
+        assert engine.now == t0 + 10
+        with pytest.raises(ValueError):
+            engine.advance(-1)
+
+
+class TestStreamExecution:
+    def test_execute_stream(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, kua=1, kub=1)
+        stream = InstructionStream()
+        stream.append(BsSet(payload=0))
+        stream.append(BsIp(pack_word([2] * 8, 8), pack_word([3] * 8, 8)))
+        stream.append(BsGet(slot=0))
+        engine = MicroEngine()
+        run = engine.execute(stream, config=cfg)
+        assert run.values == [2 * 3 * 8]
+        assert run.pmu.ip_instructions == 1
+        assert run.pmu.cycles_total >= 3
+
+    def test_execute_requires_config(self):
+        stream = InstructionStream()
+        stream.append(BsSet(payload=0))
+        engine = MicroEngine()
+        with pytest.raises(MicroEngineError):
+            engine.execute(stream)

@@ -1,0 +1,97 @@
+"""Multi-core Mix-GEMM tests (Section III-B scalability claim)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlockingParams, MixGemmConfig
+from repro.core.gemm import MixGemm
+from repro.core.parallel import ParallelMixGemm, combined_pmu
+
+SMALL = BlockingParams(mc=8, nc=8, kc=64)
+
+
+def _operands(m=8, k=96, n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(-8, 8, size=(m, k)),
+            rng.integers(-8, 8, size=(k, n)))
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("cores", [1, 2, 3, 4])
+    def test_matches_single_core(self, cores):
+        a, b = _operands()
+        cfg = MixGemmConfig(bw_a=4, bw_b=4, blocking=SMALL)
+        single = MixGemm(cfg, emulate_datapath=False).gemm(a, b)
+        parallel = ParallelMixGemm(cfg, cores=cores).gemm(a, b)
+        assert np.array_equal(parallel.c, single.c)
+
+    def test_uneven_split(self):
+        a, b = _operands(n=13)
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL)
+        parallel = ParallelMixGemm(cfg, cores=4).gemm(a, b)
+        assert np.array_equal(
+            parallel.c, a.astype(np.int64) @ b
+        )
+
+    def test_more_cores_than_tiles(self):
+        a, b = _operands(n=4)
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL)
+        parallel = ParallelMixGemm(cfg, cores=8).gemm(a, b)
+        assert np.array_equal(parallel.c, a.astype(np.int64) @ b)
+        assert parallel.cores <= 8
+
+    def test_shape_validation(self):
+        cfg = MixGemmConfig(blocking=SMALL)
+        with pytest.raises(Exception):
+            ParallelMixGemm(cfg, cores=2).gemm(
+                np.zeros((2, 3), dtype=int), np.zeros((4, 2), dtype=int)
+            )
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            ParallelMixGemm(MixGemmConfig(), cores=0)
+
+
+class TestTiming:
+    def test_parallel_is_faster(self):
+        a, b = _operands(m=8, k=192, n=32)
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL)
+        one = ParallelMixGemm(cfg, cores=1, barrier_cycles=0).gemm(a, b)
+        four = ParallelMixGemm(cfg, cores=4, barrier_cycles=0).gemm(a, b)
+        assert four.cycles < one.cycles
+
+    def test_near_linear_efficiency(self):
+        # Paper: "retaining performance-per-core close to the
+        # single-threaded implementation".
+        a, b = _operands(m=8, k=192, n=64)
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL)
+        result = ParallelMixGemm(cfg, cores=4, barrier_cycles=0).gemm(a, b)
+        assert result.parallel_efficiency > 0.8
+
+    def test_barrier_cost_included(self):
+        a, b = _operands()
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL)
+        free = ParallelMixGemm(cfg, cores=2, barrier_cycles=0).gemm(a, b)
+        taxed = ParallelMixGemm(cfg, cores=2,
+                                barrier_cycles=500).gemm(a, b)
+        assert taxed.cycles == free.cycles + 500
+
+    def test_gops_scale(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(-2, 2, size=(8, 192))
+        b = rng.integers(-2, 2, size=(192, 64))
+        cfg = MixGemmConfig(bw_a=2, bw_b=2, blocking=SMALL)
+        one = ParallelMixGemm(cfg, cores=1, barrier_cycles=0).gemm(a, b)
+        four = ParallelMixGemm(cfg, cores=4, barrier_cycles=0).gemm(a, b)
+        assert four.gops() > 2.5 * one.gops()
+
+
+class TestPmuAggregation:
+    def test_combined_counters(self):
+        a, b = _operands()
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL)
+        result = ParallelMixGemm(cfg, cores=2).gemm(a, b)
+        pmu = combined_pmu(result)
+        assert pmu.macs == sum(r.pmu.macs for r in result.per_core)
+        assert pmu.cycles_total == result.cycles
+        assert pmu.ip_instructions > 0

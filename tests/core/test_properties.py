@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the Mix-GEMM core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.binseg import (
+    cluster_inner_product,
+    input_cluster_size,
+    segmented_inner_product,
+    value_range,
+)
+from repro.core.config import MixGemmConfig, elements_per_uvector, select_ku
+from repro.core.gemm import MixGemm, reference_gemm
+from repro.core.config import BlockingParams
+from repro.core.microengine import dsu_walk
+from repro.core.packing import pack_word, unpack_word
+
+bitwidths = st.integers(min_value=2, max_value=8)
+
+
+@st.composite
+def vector_pair(draw, max_len=64):
+    bw_a = draw(bitwidths)
+    bw_b = draw(bitwidths)
+    signed_a = draw(st.booleans())
+    signed_b = draw(st.booleans())
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    lo_a, hi_a = value_range(bw_a, signed_a)
+    lo_b, hi_b = value_range(bw_b, signed_b)
+    a = draw(st.lists(st.integers(lo_a, hi_a), min_size=n, max_size=n))
+    b = draw(st.lists(st.integers(lo_b, hi_b), min_size=n, max_size=n))
+    return a, b, bw_a, bw_b, signed_a, signed_b
+
+
+@given(vector_pair())
+@settings(max_examples=300, deadline=None)
+def test_segmented_inner_product_equals_dot(case):
+    """The segmented datapath is exact for every width/signedness combo."""
+    a, b, bw_a, bw_b, signed_a, signed_b = case
+    got = segmented_inner_product(
+        a, b, bw_a, bw_b, signed_a=signed_a, signed_b=signed_b
+    )
+    expected = int(np.dot(np.asarray(a, dtype=np.int64), b))
+    assert got == expected
+
+
+@given(bitwidths, bitwidths, st.data())
+@settings(max_examples=200, deadline=None)
+def test_single_cluster_exact(bw_a, bw_b, data):
+    """One multiplier pass computes an exact cluster inner product."""
+    n = input_cluster_size(bw_a, bw_b)
+    lo_a, hi_a = value_range(bw_a, True)
+    lo_b, hi_b = value_range(bw_b, True)
+    a = data.draw(st.lists(st.integers(lo_a, hi_a), min_size=n, max_size=n))
+    b = data.draw(st.lists(st.integers(lo_b, hi_b), min_size=n, max_size=n))
+    assert cluster_inner_product(a, b, bw_a, bw_b) == int(
+        np.dot(np.asarray(a, dtype=np.int64), b)
+    )
+
+
+@given(bitwidths, st.booleans(), st.data())
+@settings(max_examples=200, deadline=None)
+def test_word_pack_roundtrip(bw, signed, data):
+    """pack_word / unpack_word are inverse for any fill level."""
+    capacity = 64 // bw
+    n = data.draw(st.integers(min_value=0, max_value=capacity))
+    lo, hi = value_range(bw, signed)
+    values = data.draw(st.lists(st.integers(lo, hi), min_size=n, max_size=n))
+    word = pack_word(values, bw)
+    assert unpack_word(word, bw, n, signed=signed) == values
+    assert 0 <= word < (1 << 64)
+
+
+@given(bitwidths, bitwidths)
+def test_select_ku_balances_streams(bw_a, bw_b):
+    """Chosen kua/kub keep padding under 26% of slots for any pair."""
+    kua, kub = select_ku(bw_a, bw_b)
+    ea, eb = elements_per_uvector(bw_a), elements_per_uvector(bw_b)
+    slots = kua * ea + kub * eb
+    group = min(kua * ea, kub * eb)
+    assert 1 - 2 * group / slots < 0.26
+
+
+@given(bitwidths, bitwidths, st.integers(min_value=1, max_value=128))
+@settings(max_examples=150, deadline=None)
+def test_dsu_walk_invariants(bw_a, bw_b, n_scale):
+    """DSU schedule: chunks cover all elements, never exceed the cluster."""
+    cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+    lay = cfg.layout
+    n = min(n_scale, lay.group_elements)
+    sched = dsu_walk(lay.elems_a, lay.elems_b, lay.kua, lay.kub,
+                     cfg.binseg.input_cluster_size, n)
+    assert sum(sched.chunks) == n
+    ics = cfg.binseg.input_cluster_size
+    assert all(1 <= c <= ics for c in sched.chunks)
+    # Lower bound: can't beat the cluster size; upper bound: one element
+    # per cycle is the worst case.
+    assert np.ceil(n / ics) <= sched.cycles <= n
+
+
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=48),
+    st.integers(min_value=1, max_value=10),
+    bitwidths,
+    bitwidths,
+    st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_gemm_equals_numpy(m, k, n, bw_a, bw_b, seed):
+    """Whole-GEMM exactness for random shapes and width pairs."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-(1 << (bw_a - 1)), 1 << (bw_a - 1), size=(m, k))
+    b = rng.integers(-(1 << (bw_b - 1)), 1 << (bw_b - 1), size=(k, n))
+    cfg = MixGemmConfig(
+        bw_a=bw_a, bw_b=bw_b,
+        blocking=BlockingParams(mc=8, nc=8, kc=64, mr=4, nr=4),
+    )
+    result = MixGemm(cfg, emulate_datapath=False).gemm(a, b)
+    assert np.array_equal(result.c, reference_gemm(a, b))

@@ -1,0 +1,84 @@
+"""Accuracy-registry tests against the Section IV-B loss statements."""
+
+import pytest
+
+from repro.eval.accuracy import (
+    CONFIG_LADDER,
+    FP32_TOP1,
+    accuracy_ladder,
+    accuracy_loss,
+    max_loss_above_4bit,
+    top1_accuracy,
+)
+from repro.eval.workloads import NETWORK_ORDER
+
+
+class TestRegistryStructure:
+    def test_all_networks_covered(self):
+        assert set(FP32_TOP1) == set(NETWORK_ORDER)
+
+    def test_ladder_has_nine_configs(self):
+        assert len(CONFIG_LADDER) == 9
+        assert CONFIG_LADDER[0] == (8, 8)
+        assert CONFIG_LADDER[-1] == (2, 2)
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError):
+            accuracy_loss("lenet", 8, 8)
+
+    def test_off_ladder_config(self):
+        with pytest.raises(KeyError):
+            accuracy_loss("resnet18", 5, 2)
+
+
+class TestPaperStatements:
+    @pytest.mark.parametrize("network", NETWORK_ORDER)
+    def test_above_4bit_loss_below_1_5(self, network):
+        # Section IV-B: "accuracy losses below 1.5%" above 4 bits.
+        assert max_loss_above_4bit(network) < 1.5
+
+    def test_4bit_extremes(self):
+        # "losses ranging from 0.01% for AlexNet, up to 4.2% on
+        # EfficientNet-B0" at the 4-bit point.
+        assert accuracy_loss("alexnet", 4, 4) == pytest.approx(0.01)
+        assert accuracy_loss("efficientnet_b0", 4, 4) == pytest.approx(4.2)
+
+    @pytest.mark.parametrize("network, lo, hi", [
+        ("alexnet", 0.5, 5.1),
+        ("vgg16", 1.2, 6.5),
+        ("resnet18", 2.2, 8.6),
+        ("mobilenet_v1", 7.6, 34.5),
+        ("regnet_x_400mf", 2.6, 13.0),
+        ("efficientnet_b0", 10.3, 32.8),
+    ])
+    def test_sub4bit_ranges(self, network, lo, hi):
+        # The 3-/2-bit loss range endpoints of Section IV-B.
+        losses = [accuracy_loss(network, a, w)
+                  for a, w in ((4, 3), (3, 3), (3, 2), (2, 2))]
+        assert min(losses) == pytest.approx(lo)
+        assert max(losses) == pytest.approx(hi)
+
+    @pytest.mark.parametrize("network", NETWORK_ORDER)
+    def test_loss_monotone_down_ladder(self, network):
+        losses = [accuracy_loss(network, a, w) for a, w in CONFIG_LADDER]
+        assert losses == sorted(losses)
+
+    def test_depthwise_networks_degrade_most(self):
+        # MobileNet/EfficientNet collapse at 2 bits (paper: 34.5%/32.8%).
+        fragile = accuracy_loss("mobilenet_v1", 2, 2)
+        robust = accuracy_loss("alexnet", 2, 2)
+        assert fragile > 4 * robust
+
+
+class TestDerivedViews:
+    def test_top1_is_baseline_minus_loss(self):
+        assert top1_accuracy("resnet18", 8, 8) == pytest.approx(
+            FP32_TOP1["resnet18"]
+        )
+
+    def test_ladder_points(self):
+        ladder = accuracy_ladder("vgg16")
+        assert len(ladder) == len(CONFIG_LADDER)
+        assert ladder[0].config_name == "a8-w8"
+        assert ladder[0].loss_vs_fp32 == pytest.approx(0.0)
+        assert ladder[-1].top1 < ladder[0].top1

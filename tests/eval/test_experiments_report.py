@@ -1,0 +1,61 @@
+"""Tests for the experiment drivers and the consolidated report."""
+
+import pytest
+
+from repro.eval.experiments import (
+    cache_sensitivity_study,
+    energy_efficiency_ranges,
+    qat_bitwidth_sweep,
+)
+from repro.eval.full_report import generate_report, write_full_report
+
+
+class TestExperimentDrivers:
+    def test_cache_study_shape(self):
+        results = cache_sensitivity_study()
+        assert len(results) == 3
+        assert {(r.l1_kb, r.l2_kb) for r in results} == {
+            (16, 512), (32, 64), (16, 64),
+        }
+        for r in results:
+            assert r.penalty >= 0
+            assert 0 <= r.area_saving < 1
+
+    def test_energy_ranges_cover_six_networks(self):
+        results = energy_efficiency_ranges()
+        assert len(results) == 6
+        for r in results:
+            assert r.gops_per_watt_lo < r.gops_per_watt_hi
+
+    def test_qat_sweep_minimal(self):
+        results = qat_bitwidth_sweep(
+            network="alexnet", bit_ladder=(8,), epochs=2, n_samples=80,
+        )
+        assert len(results) == 1
+        assert results[0].bits == 8
+        assert 0 <= results[0].top1 <= 100
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report()
+
+    def test_all_sections_present(self, report):
+        for section in (
+            "Figure 6", "Figure 7", "Table I", "Table II", "Table III",
+            "Section III-C", "Section IV-B", "Section IV-C",
+            "Extensions",
+        ):
+            assert section in report, section
+
+    def test_key_numbers_present(self, report):
+        assert "a2-w2" in report
+        assert "GOPS/W" in report
+        assert "BERT-base" in report
+
+    def test_write_to_disk(self, tmp_path):
+        path = tmp_path / "out.md"
+        written = write_full_report(str(path))
+        assert written == str(path)
+        assert path.read_text().startswith("# Mix-GEMM")

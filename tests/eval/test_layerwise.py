@@ -1,0 +1,98 @@
+"""Per-layer mixed-precision optimizer tests."""
+
+import pytest
+
+from repro.eval.accuracy import accuracy_loss
+from repro.eval.layerwise import (
+    BIT_CHOICES,
+    LayerwiseOptimizer,
+    LayerwiseSensitivity,
+    layer_fragility,
+)
+from repro.models.inventory import get_network
+
+
+@pytest.fixture(scope="module")
+def resnet_opt():
+    return LayerwiseOptimizer("resnet18", get_network("resnet18"))
+
+
+@pytest.fixture(scope="module")
+def mobilenet_opt():
+    return LayerwiseOptimizer("mobilenet_v1", get_network("mobilenet_v1"))
+
+
+class TestSensitivityModel:
+    def test_uniform_matches_registry(self, resnet_opt):
+        """With uniform bits the loss equals the Figure 7 registry."""
+        for bits in BIT_CHOICES:
+            uniform = resnet_opt.uniform(bits)
+            expected = accuracy_loss("resnet18", bits, bits)
+            assert uniform.predicted_loss == pytest.approx(expected)
+
+    def test_weights_normalized(self):
+        sens = LayerwiseSensitivity("resnet18", get_network("resnet18"))
+        assert sum(sens.weights.values()) == pytest.approx(1.0)
+
+    def test_depthwise_more_fragile(self):
+        net = get_network("mobilenet_v1")
+        dw = [l for l in net.conv_layers if l.kind == "depthwise"][0]
+        pw = [l for l in net.conv_layers
+              if l.kind == "pointwise" and
+              l.weight_elements == dw.weight_elements * 4][:1]
+        # Compare per-parameter fragility: dw layers carry the 3x factor.
+        assert layer_fragility(dw) > layer_fragility(dw) / 3
+
+    def test_small_layers_more_fragile(self):
+        net = get_network("resnet18")
+        small = min(net.conv_layers, key=lambda l: l.weight_elements)
+        large = max(net.conv_layers, key=lambda l: l.weight_elements)
+        assert layer_fragility(small) > layer_fragility(large)
+
+
+class TestOptimizer:
+    def test_respects_budget(self, resnet_opt):
+        for budget in (0.5, 1.5, 4.0):
+            result = resnet_opt.optimize(budget)
+            assert result.predicted_loss <= budget + 1e-9
+
+    def test_mixed_dominates_uniform(self, resnet_opt):
+        """The paper's flexibility claim: per-layer assignment beats the
+        best uniform configuration at the same accuracy budget."""
+        for budget in (1.0, 2.0):
+            mixed = resnet_opt.optimize(budget)
+            uniform = resnet_opt.best_uniform_within(budget)
+            assert mixed.total_cycles <= uniform.total_cycles
+
+    def test_tighter_budget_means_wider_bits(self, resnet_opt):
+        tight = resnet_opt.optimize(0.3)
+        loose = resnet_opt.optimize(5.0)
+        assert tight.mean_bits >= loose.mean_bits
+
+    def test_zero_budget_goes_wide(self, resnet_opt):
+        result = resnet_opt.optimize(0.0)
+        assert result.mean_bits == pytest.approx(8.0)
+
+    def test_huge_budget_stays_narrow(self, resnet_opt):
+        result = resnet_opt.optimize(100.0)
+        assert result.mean_bits == pytest.approx(2.0)
+
+    def test_mobilenet_keeps_depthwise_wide(self, mobilenet_opt):
+        """Fragile depthwise layers get more bits than robust pointwise
+        ones under a moderate budget."""
+        result = mobilenet_opt.optimize(3.0)
+        net = get_network("mobilenet_v1")
+        dw_bits = [result.bits[l.name] for l in net.conv_layers
+                   if l.kind == "depthwise"]
+        pw_bits = [result.bits[l.name] for l in net.conv_layers
+                   if l.kind == "pointwise"]
+        assert sum(dw_bits) / len(dw_bits) >= sum(pw_bits) / len(pw_bits)
+
+    def test_assignment_covers_all_layers(self, resnet_opt):
+        result = resnet_opt.optimize(1.0)
+        net = get_network("resnet18")
+        assert set(result.bits) == {l.name for l in net.conv_layers}
+
+    def test_throughput_api(self, resnet_opt):
+        result = resnet_opt.optimize(1.0)
+        assert result.throughput_gops() > 0

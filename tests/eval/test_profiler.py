@@ -1,0 +1,63 @@
+"""Per-layer profiler tests."""
+
+import pytest
+
+from repro.core.config import MixGemmConfig
+from repro.eval.profiler import profile_network, render_profile
+from repro.models.inventory import get_network
+
+
+@pytest.fixture(scope="module")
+def mobilenet_profile():
+    return profile_network(get_network("mobilenet_v1"),
+                           MixGemmConfig(bw_a=8, bw_b=8))
+
+
+class TestProfile:
+    def test_shares_sum_to_one(self, mobilenet_profile):
+        total = sum(l.time_share for l in mobilenet_profile.layers)
+        assert total == pytest.approx(1.0)
+
+    def test_covers_all_conv_layers(self, mobilenet_profile):
+        net = get_network("mobilenet_v1")
+        assert len(mobilenet_profile.layers) == len(net.conv_layers)
+
+    def test_gemm_dims_recorded(self, mobilenet_profile):
+        pw1 = [l for l in mobilenet_profile.layers if l.name == "pw1"][0]
+        assert (pw1.gemm_m, pw1.gemm_k, pw1.gemm_n) == (12544, 32, 64)
+
+    def test_hotspots_sorted(self, mobilenet_profile):
+        hot = mobilenet_profile.hotspots(5)
+        shares = [l.time_share for l in hot]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_kind_shares(self, mobilenet_profile):
+        shares = mobilenet_profile.share_by_kind()
+        assert set(shares) == {"conv", "depthwise", "pointwise"}
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # MobileNet's time is dominated by pointwise convs.
+        assert shares["pointwise"] > 0.5
+
+    def test_gops_consistent_with_perf_model(self, mobilenet_profile):
+        from repro.sim.perf import MixGemmPerfModel
+        direct = MixGemmPerfModel().network(
+            get_network("mobilenet_v1"), MixGemmConfig(bw_a=8, bw_b=8)
+        )
+        assert mobilenet_profile.gops == pytest.approx(direct.gops,
+                                                       rel=0.01)
+
+    def test_render(self, mobilenet_profile):
+        text = render_profile(mobilenet_profile, top=3)
+        assert "mobilenet_v1" in text
+        assert "GEMM" in text
+        assert text.count("\n") < 10  # top-3 only
+
+    def test_full_render_has_all_layers(self, mobilenet_profile):
+        text = render_profile(mobilenet_profile)
+        assert "dw13" in text
+
+    def test_cli_profile(self, capsys):
+        from repro.cli import main
+        assert main(["profile", "mobilenet_v1", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "time by layer kind" in out

@@ -1,0 +1,105 @@
+"""Roofline analysis tests."""
+
+import pytest
+
+from repro.core.config import MixGemmConfig
+from repro.eval.roofline import (
+    Roofline,
+    analyze_network,
+    bound_fractions,
+    layer_intensity,
+    machine_roofline,
+)
+from repro.models.inventory import get_network, table3_convolution
+
+
+class TestRoofline:
+    def test_knee(self):
+        roof = Roofline(peak_macs_per_cycle=4.0, dram_bytes_per_cycle=0.8)
+        assert roof.knee_intensity == pytest.approx(5.0)
+        assert roof.attainable(1.0) == pytest.approx(0.8)
+        assert roof.attainable(100.0) == pytest.approx(4.0)
+
+    def test_machine_peak_follows_config(self):
+        r8 = machine_roofline(MixGemmConfig(bw_a=8, bw_b=8))
+        r2 = machine_roofline(MixGemmConfig(bw_a=2, bw_b=2))
+        assert r2.peak_macs_per_cycle > r8.peak_macs_per_cycle
+        assert r8.peak_macs_per_cycle == pytest.approx(32 / 12)
+
+    def test_narrowing_raises_intensity(self):
+        layer = table3_convolution()
+        i8 = layer_intensity(layer, MixGemmConfig(bw_a=8, bw_b=8))
+        i2 = layer_intensity(layer, MixGemmConfig(bw_a=2, bw_b=2))
+        assert i2 > i8
+
+    def test_large_gemms_compute_bound(self):
+        # VGG's big conv layers sit far right of the knee.
+        points = analyze_network(get_network("vgg16"),
+                                 MixGemmConfig(bw_a=8, bw_b=8))
+        big = [p for p in points if p.name == "conv5"][0]
+        assert big.bound == "compute"
+
+    def test_attained_below_roofline(self):
+        cfg = MixGemmConfig(bw_a=4, bw_b=4)
+        roof = machine_roofline(cfg)
+        for p in analyze_network(get_network("resnet18"), cfg):
+            assert p.attained_macs_per_cycle <= \
+                roof.peak_macs_per_cycle * 1.001, p.name
+
+    def test_bound_fractions_sum_to_one(self):
+        points = analyze_network(get_network("mobilenet_v1"),
+                                 MixGemmConfig(bw_a=8, bw_b=8))
+        fractions = bound_fractions(points)
+        assert fractions["compute"] + fractions["memory"] == \
+            pytest.approx(1.0)
+
+    def test_empty_points(self):
+        assert bound_fractions([]) == {"compute": 0.0, "memory": 0.0}
+
+    def test_most_cnn_layers_compute_bound(self):
+        # The paper's SoC keeps conv inference largely compute-bound at
+        # 8-bit (that is what makes the u-engine worthwhile).
+        points = analyze_network(get_network("resnet18"),
+                                 MixGemmConfig(bw_a=8, bw_b=8))
+        assert bound_fractions(points)["compute"] > 0.7
+
+
+class TestBatching:
+    def test_batching_amortizes_small_layers(self):
+        from repro.sim.perf import MixGemmPerfModel
+
+        perf = MixGemmPerfModel()
+        cfg = MixGemmConfig(bw_a=8, bw_b=8)
+        net = get_network("efficientnet_b0")
+        single = perf.network(net, cfg, batch=1)
+        batched = perf.network(net, cfg, batch=8)
+        assert batched.macs_per_cycle >= single.macs_per_cycle
+
+    def test_invalid_batch(self):
+        from repro.sim.perf import MixGemmPerfModel
+
+        perf = MixGemmPerfModel()
+        layer = get_network("alexnet").conv_layers[0]
+        with pytest.raises(ValueError):
+            perf.conv_layer(layer, MixGemmConfig(), batch=0)
+
+
+class TestDisassembler:
+    def test_roundtrip(self):
+        from repro.core.isa import assemble, disassemble
+
+        word = assemble("bs.ip", rd=0, rs1=10, rs2=11)
+        assert disassemble(word) == "bs.ip x0, x10, x11"
+
+    def test_all_mnemonics(self):
+        from repro.core.isa import assemble, disassemble
+
+        for mnemonic in ("bs.set", "bs.ip", "bs.get"):
+            word = assemble(mnemonic, rd=1, rs1=2, rs2=3)
+            assert disassemble(word).startswith(mnemonic)
+
+    def test_unknown_mnemonic(self):
+        from repro.core.isa import IsaError, assemble
+
+        with pytest.raises(IsaError):
+            assemble("bs.frobnicate")

@@ -1,0 +1,174 @@
+"""End-to-end integration tests: the whole stack in one flow.
+
+These cross-module tests assert consistency properties no single unit
+suite can: the Figure 3 pipeline (train -> calibrate -> QAT -> export ->
+deploy -> verify), agreement between the evaluation harness and the
+models underneath it, and whole-system invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlockingParams, MixGemmConfig
+from repro.core.gemm import MixGemm
+from repro.core.parallel import ParallelMixGemm
+from repro.eval.figures import figure7
+from repro.eval.tables import table3
+from repro.models.builders import build_tiny
+from repro.models.inventory import get_network
+from repro.nn.autograd import Tensor
+from repro.nn.data import synthetic_image_dataset
+from repro.nn.layers import (
+    GlobalAvgPool2d,
+    LayerQuantSpec,
+    QuantConv2d,
+    QuantLinear,
+    ReLU,
+    Sequential,
+    seed_init,
+)
+from repro.quant.qat import (
+    QatRecipe,
+    calibrate_activations,
+    evaluate,
+    train_qat,
+)
+from repro.runtime import InferenceEngine, GraphModel, export_sequential
+from repro.sim.energy import EnergyModel
+from repro.sim.perf import MixGemmPerfModel
+
+
+@pytest.fixture(scope="module")
+def data():
+    return synthetic_image_dataset(
+        n_classes=4, n_samples=200, image_size=12, seed=5
+    ).split(0.8)
+
+
+class TestFigure3Workflow:
+    """Train -> quantize -> export -> deploy, checked at every joint."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, data):
+        train, val = data
+        seed_init(21)
+        spec_in = LayerQuantSpec(act_bits=8, weight_bits=8,
+                                 act_signed=True)
+        spec = LayerQuantSpec(act_bits=5, weight_bits=4)
+        model = Sequential(
+            QuantConv2d(1, 8, 3, spec=spec_in, padding=1),
+            ReLU(),
+            QuantConv2d(8, 12, 3, spec=spec, padding=1, stride=2),
+            ReLU(),
+            GlobalAvgPool2d(),
+            QuantLinear(12, 4, spec=spec),
+        )
+        calibrate_activations(model, train, batch_size=16, batches=4)
+        recipe = QatRecipe(lr=0.05, epochs=6, lr_step=4, batch_size=32)
+        history = train_qat(model, train, val, recipe, seed=0)
+        model.eval()
+        return model, history
+
+    def test_training_learned(self, trained):
+        _, history = trained
+        assert history.best_val_accuracy > 0.5
+
+    def test_export_import_preserves_predictions(self, trained, data,
+                                                 tmp_path):
+        model, _ = trained
+        _, val = data
+        x = val.images[:8]
+        expected = model(Tensor(x)).data.argmax(axis=1)
+        graph = export_sequential(model)
+        path = tmp_path / "model.json"
+        graph.save(str(path))
+        loaded = GraphModel.load(str(path))
+        preds = InferenceEngine(loaded).predict(x)
+        assert np.array_equal(preds, expected)
+
+    def test_deployed_accuracy_matches_framework(self, trained, data):
+        model, _ = trained
+        _, val = data
+        framework_acc = evaluate(model, val)
+        engine = InferenceEngine(export_sequential(model),
+                                 backend="mixgemm")
+        preds = engine.predict(val.images)
+        deployed_acc = float((preds == val.labels).mean())
+        assert deployed_acc == pytest.approx(framework_acc, abs=1e-9)
+
+    def test_deployment_reports_cycles(self, trained, data):
+        model, _ = trained
+        _, val = data
+        engine = InferenceEngine(export_sequential(model),
+                                 backend="mixgemm")
+        result = engine.run(val.images[:4])
+        assert result.total_cycles > 0
+        configs = {s.config for s in result.layer_stats}
+        assert "a5-w4" in configs
+        assert "a8-w8" in configs  # the pinned first layer
+
+
+class TestHarnessModelConsistency:
+    """The eval harness must agree with direct model queries."""
+
+    def test_figure7_matches_perf_model(self):
+        points = figure7(networks=("alexnet",))
+        perf = MixGemmPerfModel()
+        net = get_network("alexnet")
+        for p in points:
+            if p.config == "a8-w8":
+                direct = perf.network(
+                    net, MixGemmConfig(bw_a=8, bw_b=8)
+                ).gops
+                assert p.gops == pytest.approx(direct)
+
+    def test_table3_matches_energy_model(self):
+        measured = [r for r in table3() if r.measured][0]
+        energy = EnergyModel()
+        perf = MixGemmPerfModel()
+        cfg = MixGemmConfig(bw_a=2, bw_b=2)
+        direct = energy.from_perf(
+            perf.network(get_network("alexnet"), cfg), cfg
+        ).tops_per_watt
+        assert measured.eff["alexnet"].hi == pytest.approx(direct,
+                                                           abs=0.011)
+
+
+class TestWholeStackInvariants:
+    def test_parallel_and_serial_same_numerics_all_widths(self):
+        rng = np.random.default_rng(11)
+        for bw in (8, 4, 2):
+            lo = -(1 << (bw - 1))
+            a = rng.integers(lo, -lo, size=(8, 64))
+            b = rng.integers(lo, -lo, size=(64, 12))
+            cfg = MixGemmConfig(
+                bw_a=bw, bw_b=bw,
+                blocking=BlockingParams(mc=8, nc=8, kc=32),
+            )
+            serial = MixGemm(cfg, emulate_datapath=False).gemm(a, b)
+            parallel = ParallelMixGemm(cfg, cores=3).gemm(a, b)
+            assert np.array_equal(serial.c, parallel.c), bw
+
+    def test_tiny_models_deploy_after_retargeting(self, data):
+        """Every architecture family survives retarget -> run."""
+        train, _ = data
+        from repro.quant.qat import set_model_bits
+        for name in ("alexnet", "vgg16"):  # Sequential-exportable ones
+            model = build_tiny(name)
+            set_model_bits(model, 4, 4)
+            model.eval()
+            graph = export_sequential(model)
+            out = InferenceEngine(graph).run(train.images[:2])
+            assert out.output.shape == (2, 4)
+
+    def test_datapath_route_equals_fast_route_through_runtime(self, data):
+        """emulate_datapath toggling never changes results end-to-end."""
+        rng = np.random.default_rng(3)
+        a = rng.integers(-8, 8, size=(6, 30))
+        b = rng.integers(-8, 8, size=(30, 6))
+        cfg = MixGemmConfig(bw_a=4, bw_b=4,
+                            blocking=BlockingParams(mc=8, nc=8, kc=32))
+        slow = MixGemm(cfg, emulate_datapath=True).gemm(a, b)
+        fast = MixGemm(cfg, emulate_datapath=False).gemm(a, b)
+        assert np.array_equal(slow.c, fast.c)
+        assert slow.cycles == fast.cycles

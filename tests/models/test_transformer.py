@@ -1,0 +1,80 @@
+"""BERT workload model tests (the paper's NLP projection)."""
+
+import pytest
+
+from repro.core.config import MixGemmConfig
+from repro.models.transformer import (
+    bert_base,
+    bert_encoder_layer,
+    bert_tiny,
+    project_gemm_workload,
+)
+from repro.sim.perf import MixGemmPerfModel
+
+
+class TestBertStructure:
+    def test_encoder_layer_gemms(self):
+        items = bert_encoder_layer(128, 768, 12, 3072)
+        names = [i.name.split(".")[-1] for i in items]
+        assert names == ["qkv", "scores", "context", "proj",
+                         "ffn_up", "ffn_down"]
+
+    def test_bert_base_macs(self):
+        # BERT-base at seq 128: ~11 GMAC per sequence (published figure
+        # ~11.2 GFLOPs of MACs for the encoder stack).
+        wl = bert_base(seq_len=128)
+        assert wl.total_macs / 1e9 == pytest.approx(11.2, rel=0.1)
+        assert len(wl) == 12 * 6
+
+    def test_ffn_dominates(self):
+        wl = bert_base(seq_len=128)
+        ffn = sum(i.macs for i in wl if "ffn" in i.name)
+        assert ffn / wl.total_macs > 0.5
+
+    def test_weight_fraction(self):
+        # Attention products (activation x activation) are a small MAC
+        # share at short sequences.
+        wl = bert_base(seq_len=128)
+        assert wl.weight_macs_fraction > 0.85
+
+    def test_attention_grows_with_sequence(self):
+        short = bert_base(seq_len=64)
+        long = bert_base(seq_len=512)
+        assert long.weight_macs_fraction < short.weight_macs_fraction
+
+    def test_tiny_variant(self):
+        wl = bert_tiny()
+        assert len(wl) == 2 * 6
+        assert wl.total_macs < bert_base().total_macs
+
+
+class TestBertProjection:
+    @pytest.fixture(scope="class")
+    def perf(self):
+        return MixGemmPerfModel()
+
+    def test_throughput_scales_with_narrowing(self, perf):
+        wl = bert_tiny()
+        gops = [
+            project_gemm_workload(
+                wl, perf, MixGemmConfig(bw_a=b, bw_b=b)
+            ).gops
+            for b in (8, 4, 2)
+        ]
+        assert gops[0] < gops[1] < gops[2]
+
+    def test_bert_base_in_cnn_band(self, perf):
+        # BERT's large square-ish GEMMs should run at least as fast as
+        # the CNNs (paper's motivation: "compute expansive kernels").
+        r = project_gemm_workload(
+            bert_base(128), perf, MixGemmConfig(bw_a=8, bw_b=8)
+        )
+        assert 4.0 < r.gops < 8.0
+
+    def test_latency_seconds(self, perf):
+        r = project_gemm_workload(
+            bert_base(128), perf, MixGemmConfig(bw_a=4, bw_b=4)
+        )
+        # ~11 GMAC at several GOPS: a few seconds per sequence on the
+        # edge SoC.
+        assert 0.5 < r.seconds < 10.0

@@ -1,0 +1,63 @@
+"""Synthetic dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import Dataset, synthetic_image_dataset
+
+
+class TestDataset:
+    def test_length_and_classes(self):
+        ds = synthetic_image_dataset(n_classes=3, n_samples=60, seed=1)
+        assert len(ds) == 60
+        assert ds.n_classes == 3
+
+    def test_normalization(self):
+        ds = synthetic_image_dataset(n_samples=128, seed=2)
+        assert abs(ds.images.mean()) < 1e-9
+        assert ds.images.std() == pytest.approx(1.0)
+
+    def test_batches_cover_everything(self):
+        ds = synthetic_image_dataset(n_samples=50, seed=3)
+        seen = 0
+        for images, labels in ds.batches(16):
+            assert len(images) == len(labels)
+            seen += len(labels)
+        assert seen == 50
+
+    def test_shuffled_batches(self):
+        ds = synthetic_image_dataset(n_samples=64, seed=4)
+        rng = np.random.default_rng(0)
+        first = next(iter(ds.batches(64, rng)))[1]
+        assert not np.array_equal(first, ds.labels)
+        assert np.array_equal(np.sort(first), np.sort(ds.labels))
+
+    def test_split(self):
+        ds = synthetic_image_dataset(n_samples=100, seed=5)
+        train, val = ds.split(0.8)
+        assert len(train) == 80
+        assert len(val) == 20
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 1, 2, 2)), np.zeros(4, dtype=int))
+
+    def test_classes_are_separable(self):
+        # A nearest-centroid classifier should beat chance comfortably,
+        # otherwise QAT experiments would be meaningless.
+        ds = synthetic_image_dataset(n_classes=4, n_samples=400, seed=6)
+        train, val = ds.split(0.8)
+        centroids = np.stack([
+            train.images[train.labels == c].mean(axis=0).ravel()
+            for c in range(4)
+        ])
+        flat = val.images.reshape(len(val), -1)
+        pred = np.argmin(
+            ((flat[:, None, :] - centroids[None]) ** 2).sum(axis=2), axis=1
+        )
+        assert (pred == val.labels).mean() > 0.5
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_image_dataset(n_samples=10, seed=7)
+        b = synthetic_image_dataset(n_samples=10, seed=7)
+        assert np.array_equal(a.images, b.images)

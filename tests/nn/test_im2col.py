@@ -1,0 +1,120 @@
+"""im2col/im2row lowering tests against direct convolution."""
+
+import numpy as np
+import pytest
+
+from repro.nn.im2col import (
+    conv_geometry,
+    im2col,
+    im2row,
+    nchw_to_rows,
+    row2im,
+    rows_to_nchw,
+    weight_matrix,
+)
+
+
+def direct_conv2d(x, w, stride=1, padding=0):
+    """Naive nested-loop convolution (ground truth)."""
+    n, c, h, wid = x.shape
+    f, _, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                       (padding, padding)))
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (wid + 2 * padding - kw) // stride + 1
+    out = np.zeros((n, f, oh, ow))
+    for b in range(n):
+        for o in range(f):
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[b, :, i * stride:i * stride + kh,
+                              j * stride:j * stride + kw]
+                    out[b, o, i, j] = (patch * w[o]).sum()
+    return out
+
+
+rng = np.random.default_rng(0)
+
+
+class TestConvGeometry:
+    def test_output_sizes(self):
+        geo = conv_geometry((1, 3, 8, 8), (16, 3, 3, 3), stride=1, padding=1)
+        assert (geo.out_h, geo.out_w) == (8, 8)
+        geo = conv_geometry((1, 3, 8, 8), (16, 3, 3, 3), stride=2, padding=0)
+        assert (geo.out_h, geo.out_w) == (3, 3)
+
+    def test_gemm_dims_match_paper_mapping(self):
+        # Table III convolution benchmark: input 16x16x32, filter 64x3x3x32.
+        geo = conv_geometry((1, 32, 16, 16), (64, 32, 3, 3), stride=1,
+                            padding=1)
+        assert geo.gemm_m == 16 * 16
+        assert geo.gemm_k == 32 * 3 * 3
+        assert geo.gemm_n == 64
+        assert geo.macs == 16 * 16 * 32 * 9 * 64
+
+    def test_grouped_geometry(self):
+        geo = conv_geometry((1, 8, 4, 4), (8, 1, 3, 3), groups=8, padding=1)
+        assert geo.gemm_k == 9
+        assert geo.gemm_n == 1
+        assert geo.macs == 8 * 16 * 9
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            conv_geometry((1, 3, 8, 8), (16, 4, 3, 3))
+
+    def test_group_divisibility(self):
+        with pytest.raises(ValueError):
+            conv_geometry((1, 4, 8, 8), (6, 1, 3, 3), groups=4)
+
+
+class TestIm2Row:
+    @pytest.mark.parametrize("stride, padding", [(1, 0), (1, 1), (2, 0),
+                                                 (2, 1), (3, 2)])
+    def test_gemm_equals_direct_conv(self, stride, padding):
+        x = rng.normal(size=(2, 3, 9, 9))
+        w = rng.normal(size=(4, 3, 3, 3))
+        rows = im2row(x, 3, 3, stride, padding)
+        y = rows @ weight_matrix(w)
+        geo = conv_geometry(x.shape, w.shape, stride, padding)
+        got = rows_to_nchw(y, geo.batch, geo.out_h, geo.out_w)
+        want = direct_conv2d(x, w, stride, padding)
+        assert np.allclose(got, want)
+
+    def test_1x1_conv(self):
+        x = rng.normal(size=(2, 5, 4, 4))
+        w = rng.normal(size=(7, 5, 1, 1))
+        rows = im2row(x, 1, 1)
+        y = rows_to_nchw(rows @ weight_matrix(w), 2, 4, 4)
+        assert np.allclose(y, direct_conv2d(x, w))
+
+    def test_im2col_is_transpose(self):
+        x = rng.normal(size=(1, 2, 5, 5))
+        assert np.array_equal(im2col(x, 3, 3), im2row(x, 3, 3).T)
+
+    def test_row_count(self):
+        x = rng.normal(size=(2, 3, 8, 8))
+        rows = im2row(x, 3, 3, stride=1, padding=1)
+        assert rows.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+
+class TestRow2Im:
+    def test_adjoint_property(self):
+        """row2im is the adjoint of im2row: <im2row(x), r> == <x, row2im(r)>."""
+        x = rng.normal(size=(2, 3, 6, 6))
+        r = rng.normal(size=im2row(x, 3, 3, 2, 1).shape)
+        lhs = (im2row(x, 3, 3, 2, 1) * r).sum()
+        rhs = (x * row2im(r, x.shape, 3, 3, 2, 1)).sum()
+        assert lhs == pytest.approx(rhs)
+
+    def test_shape_roundtrip(self):
+        x = rng.normal(size=(1, 2, 7, 7))
+        rows = im2row(x, 3, 3, 1, 0)
+        back = row2im(rows, x.shape, 3, 3, 1, 0)
+        assert back.shape == x.shape
+
+    def test_rows_nchw_roundtrip(self):
+        y = rng.normal(size=(2, 4, 3, 3))
+        assert np.allclose(
+            rows_to_nchw(nchw_to_rows(y), 2, 3, 3), y
+        )

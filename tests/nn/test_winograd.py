@@ -1,0 +1,93 @@
+"""Winograd convolution tests + the quantization-range argument."""
+
+import numpy as np
+import pytest
+
+from repro.nn.winograd import (
+    multiplication_counts,
+    transform_filter,
+    transform_input_tile,
+    transform_output,
+    winograd_conv2d,
+    winograd_range_expansion,
+)
+
+from .test_im2col import direct_conv2d
+
+rng = np.random.default_rng(0)
+
+
+class TestCorrectness:
+    def test_single_tile(self):
+        d = rng.normal(size=(4, 4))
+        g = rng.normal(size=(3, 3))
+        m = transform_input_tile(d) * transform_filter(g)
+        got = transform_output(m)
+        want = direct_conv2d(d[None, None], g[None, None])[0, 0]
+        assert np.allclose(got, want)
+
+    @pytest.mark.parametrize("n, c, f, size", [(1, 1, 1, 6), (2, 3, 4, 8),
+                                               (1, 4, 2, 10)])
+    def test_full_conv_matches_direct(self, n, c, f, size):
+        x = rng.normal(size=(n, c, size, size))
+        w = rng.normal(size=(f, c, 3, 3))
+        got = winograd_conv2d(x, w)
+        want = direct_conv2d(x, w)
+        assert np.allclose(got, want, atol=1e-10)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            winograd_conv2d(np.zeros((1, 1, 7, 7)),
+                            np.zeros((1, 1, 3, 3)))  # odd output
+        with pytest.raises(ValueError):
+            winograd_conv2d(np.zeros((1, 1, 6, 6)),
+                            np.zeros((1, 1, 5, 5)))  # not 3x3
+        with pytest.raises(ValueError):
+            winograd_conv2d(np.zeros((1, 2, 6, 6)),
+                            np.zeros((1, 3, 3, 3)))  # channel mismatch
+        with pytest.raises(ValueError):
+            transform_filter(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            transform_input_tile(np.zeros((3, 3)))
+
+
+class TestComplexity:
+    def test_2_25x_fewer_multiplications(self):
+        direct, wino = multiplication_counts(8, 8, 16, 32)
+        assert direct / wino == pytest.approx(2.25)
+
+
+class TestQuantizationArgument:
+    """Why the paper restricts itself to GEMM-based convolution."""
+
+    def test_input_transform_inflates_range(self):
+        # Worst-case 2-bit inputs: the transformed tile exceeds the
+        # original range by up to 4x.
+        worst = np.full((4, 4), -2.0)
+        worst[::2] *= -1  # alternate signs to maximize sums
+        v = transform_input_tile(worst)
+        assert np.abs(v).max() > np.abs(worst).max()
+
+    def test_range_expansion_figures(self):
+        exp = winograd_range_expansion(2)
+        assert exp["input_range_gain"] == pytest.approx(4.0)
+        assert exp["extra_input_bits"] == 2.0
+        # 2-bit data needs a 4-bit transformed representation: the whole
+        # 2-bit compression benefit is gone.
+        assert exp["effective_input_bits"] == 4.0
+        assert exp["effective_weight_bits"] > 4.0
+
+    def test_expansion_relatively_harmless_at_8bit(self):
+        exp = winograd_range_expansion(8)
+        # +2 bits on 8 is a 25% cost; +2 bits on 2 is a 100% cost.
+        assert exp["effective_input_bits"] / 8 < \
+            winograd_range_expansion(2)["effective_input_bits"] / 2
+
+    def test_transformed_weights_not_grid_aligned(self):
+        # G introduces quarter steps: integer weights leave the integer
+        # grid, so the Winograd domain cannot reuse the affine quantizer
+        # without re-quantization error.
+        g = np.ones((3, 3))
+        u = transform_filter(g)
+        fractional = np.abs(u - np.round(u)) > 1e-12
+        assert fractional.any()

@@ -1,0 +1,147 @@
+"""Tests for the integer layer pipeline and its Mix-GEMM backend."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlockingParams, MixGemmConfig
+from repro.quant.affine import QuantParams, qparams_from_range
+from repro.quant.integer_ops import (
+    dequantized_reference,
+    integer_gemm,
+    quantized_linear,
+)
+from repro.quant.bias_correction import (
+    apply_bias_correction,
+    bias_correction_conv,
+    bias_correction_linear,
+    weight_quantization_error,
+)
+
+
+def _qparams_for(x, bits, signed, axis=None):
+    x = np.asarray(x, dtype=np.float64)
+    if axis is None:
+        return qparams_from_range(x.min(), x.max(), bits, signed=signed)
+    axes = tuple(i for i in range(x.ndim) if i != axis)
+    amax = np.abs(x).max(axis=axes)
+    return qparams_from_range(-amax, amax, bits, signed=signed, axis=axis)
+
+
+class TestIntegerGemm:
+    def test_symmetric_passthrough(self):
+        x_qp = QuantParams(scale=0.1, zero_point=0.0, bits=8, signed=True)
+        w_qp = QuantParams(scale=0.2, zero_point=0.0, bits=8, signed=True)
+        x_q = np.array([[1, 2]], dtype=np.int64)
+        w_q = np.array([[3], [4]], dtype=np.int64)
+        out = integer_gemm(x_q, w_q, x_qp, w_qp)
+        assert out.acc[0, 0] == 11
+
+    def test_zero_point_folding(self):
+        x_qp = QuantParams(scale=0.1, zero_point=2.0, bits=8, signed=False)
+        w_qp = QuantParams(scale=0.2, zero_point=0.0, bits=8, signed=True)
+        x_q = np.array([[3]], dtype=np.int64)
+        w_q = np.array([[5]], dtype=np.int64)
+        out = integer_gemm(x_q, w_q, x_qp, w_qp)
+        assert out.acc[0, 0] == (3 - 2) * 5
+
+    def test_mixgemm_backend_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x_qp = QuantParams(scale=0.1, zero_point=0.0, bits=8, signed=True)
+        w_qp = QuantParams(scale=0.2, zero_point=0.0, bits=4, signed=True)
+        x_q = rng.integers(-128, 128, size=(6, 24))
+        w_q = rng.integers(-8, 8, size=(24, 5))
+        cfg = MixGemmConfig(bw_a=8, bw_b=4,
+                            blocking=BlockingParams(mc=8, nc=8, kc=64))
+        ref = integer_gemm(x_q, w_q, x_qp, w_qp)
+        sim = integer_gemm(x_q, w_q, x_qp, w_qp, backend="mixgemm",
+                           config=cfg)
+        assert np.array_equal(ref.acc, sim.acc)
+        assert sim.gemm_result is not None
+        assert sim.gemm_result.cycles > 0
+
+    def test_unknown_backend(self):
+        x_qp = QuantParams(scale=0.1, zero_point=0.0, bits=8, signed=True)
+        with pytest.raises(ValueError):
+            integer_gemm(np.zeros((1, 1), dtype=int),
+                         np.zeros((1, 1), dtype=int),
+                         x_qp, x_qp, backend="cuda")
+
+
+class TestQuantizedLinear:
+    def test_integer_pipeline_equals_fake_quant_reference(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 16))
+        w = rng.normal(size=(8, 16))
+        b = rng.normal(size=8)
+        x_qp = _qparams_for(x, 8, signed=True)
+        w_qp = _qparams_for(w, 4, signed=True, axis=0)
+        y_int, _ = quantized_linear(x, w, b, x_qp, w_qp)
+        y_ref = dequantized_reference(x, w, b, x_qp, w_qp)
+        assert np.allclose(y_int, y_ref, atol=1e-9)
+
+    def test_mixgemm_backend_end_to_end(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, 10))
+        w = rng.normal(size=(4, 10))
+        x_qp = _qparams_for(x, 6, signed=True)
+        w_qp = _qparams_for(w, 4, signed=True, axis=0)
+        cfg = MixGemmConfig(bw_a=6, bw_b=4,
+                            blocking=BlockingParams(mc=8, nc=8, kc=60))
+        y_sim, result = quantized_linear(x, w, None, x_qp, w_qp,
+                                         backend="mixgemm", config=cfg)
+        y_ref = dequantized_reference(x, w, None, x_qp, w_qp)
+        assert np.allclose(y_sim, y_ref, atol=1e-9)
+        assert result is not None
+
+    def test_output_error_shrinks_with_bits(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(32, 20))
+        w = rng.normal(size=(10, 20))
+        exact = x @ w.T
+        errors = []
+        for bits in (2, 4, 8):
+            x_qp = _qparams_for(x, bits, signed=True)
+            w_qp = _qparams_for(w, bits, signed=True, axis=0)
+            y, _ = quantized_linear(x, w, None, x_qp, w_qp)
+            errors.append(float(np.abs(y - exact).mean()))
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestBiasCorrection:
+    def test_weight_error_zero_on_grid(self):
+        qp = QuantParams(scale=0.5, zero_point=0.0, bits=4, signed=True)
+        w = np.array([[0.5, -1.0], [1.5, 0.0]])
+        assert np.allclose(weight_quantization_error(w, qp), 0.0)
+
+    def test_linear_correction_reduces_output_bias(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=(6, 12))
+        x = np.abs(rng.normal(size=(64, 12))) + 0.5  # biased inputs
+        qp = _qparams_for(w, 3, signed=True, axis=0)
+        corr = bias_correction_linear(w, qp, x)
+        from repro.quant.affine import fake_quantize
+        w_q = fake_quantize(w, qp)
+        bias = np.zeros(6)
+        y_raw = x @ w_q.T + bias
+        y_fix = x @ w_q.T + apply_bias_correction(bias, corr)
+        y_true = x @ w.T
+        raw_bias = np.abs((y_raw - y_true).mean(axis=0))
+        fix_bias = np.abs((y_fix - y_true).mean(axis=0))
+        assert fix_bias.mean() < raw_bias.mean()
+
+    def test_conv_correction_shape(self):
+        rng = np.random.default_rng(5)
+        w = rng.normal(size=(8, 3, 3, 3))
+        x = rng.normal(size=(4, 3, 8, 8)) + 1.0
+        qp = _qparams_for(w, 3, signed=True, axis=0)
+        corr = bias_correction_conv(w, qp, x)
+        assert corr.shape == (8,)
+
+    def test_clip_zero_disables(self):
+        corr = np.array([5.0, -3.0])
+        out = apply_bias_correction(np.zeros(2), corr, clip=0.0)
+        assert np.allclose(out, 0.0)
+
+    def test_none_bias(self):
+        out = apply_bias_correction(None, np.array([1.0]))
+        assert np.allclose(out, [-1.0])

@@ -1,0 +1,96 @@
+"""KL-divergence (entropy) calibration observer tests."""
+
+import numpy as np
+import pytest
+
+from repro.quant.affine import QuantError
+from repro.quant.observers import (
+    AbsMaxObserver,
+    KlDivergenceObserver,
+    PercentileObserver,
+)
+
+
+class TestKlObserver:
+    def test_requires_data(self):
+        with pytest.raises(QuantError):
+            KlDivergenceObserver(8).quant_params()
+
+    def test_validates_bins(self):
+        with pytest.raises(QuantError):
+            KlDivergenceObserver(8, n_bins=4)
+
+    def test_threshold_within_observed_range(self):
+        rng = np.random.default_rng(0)
+        obs = KlDivergenceObserver(8)
+        x = rng.normal(size=50_000)
+        obs.observe(x)
+        threshold = obs.best_threshold()
+        assert 0 < threshold <= np.abs(x).max() + 1e-12
+
+    def test_clips_heavy_tails_harder_than_absmax(self):
+        # A heavy-tailed activation: the KL threshold should sit well
+        # below the absolute maximum.
+        rng = np.random.default_rng(1)
+        x = rng.standard_cauchy(size=100_000)
+        kl = KlDivergenceObserver(4)
+        amax = AbsMaxObserver(4, signed=True)
+        kl.observe(x)
+        amax.observe(x)
+        kl_scale = float(kl.quant_params().scale)
+        amax_scale = float(amax.quant_params().scale)
+        assert kl_scale < amax_scale / 10
+
+    def test_keeps_gaussian_bulk(self):
+        # On a clean Gaussian the threshold must retain most of the mass.
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=100_000)
+        obs = KlDivergenceObserver(8)
+        obs.observe(x)
+        threshold = obs.best_threshold()
+        kept = (np.abs(x) <= threshold).mean()
+        assert kept > 0.95
+
+    def test_multi_batch_rebinning(self):
+        obs = KlDivergenceObserver(8)
+        obs.observe(np.linspace(0, 1, 1000))
+        obs.observe(np.linspace(0, 5, 1000))  # wider range -> re-bin
+        threshold = obs.best_threshold()
+        assert 0 < threshold <= 5.0
+        assert obs.batches_seen == 2
+
+    def test_quant_params_symmetric(self):
+        rng = np.random.default_rng(3)
+        obs = KlDivergenceObserver(6, signed=True)
+        obs.observe(rng.normal(size=10_000))
+        qp = obs.quant_params()
+        assert qp.is_symmetric
+        assert qp.bits == 6
+
+    def test_lower_quantization_error_than_absmax_on_outliers(self):
+        """The point of entropy calibration: better effective resolution
+        when rare outliers would otherwise stretch the grid."""
+        from repro.quant.affine import quantization_error
+
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=20_000)
+        x[:5] *= 200.0  # a few wild outliers
+        kl = KlDivergenceObserver(4)
+        amax = AbsMaxObserver(4, signed=True)
+        kl.observe(x)
+        amax.observe(x)
+        bulk = x[np.abs(x) < 5]
+        err_kl = quantization_error(bulk, kl.quant_params())
+        err_amax = quantization_error(bulk, amax.quant_params())
+        assert err_kl < err_amax
+
+    def test_comparable_to_percentile_on_gaussians(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=50_000)
+        kl = KlDivergenceObserver(8)
+        pct = PercentileObserver(8, percentile=99.99)
+        kl.observe(x)
+        pct.observe(x)
+        ratio = float(kl.quant_params().scale) \
+            / float(pct.quant_params().scale)
+        assert 0.3 < ratio < 3.0

@@ -1,0 +1,133 @@
+"""PTQ pipeline tests: calibration-only quantization and its limits."""
+
+import numpy as np
+import pytest
+
+from repro.models.builders import build_tiny
+from repro.nn.data import synthetic_image_dataset
+from repro.quant.ptq import (
+    apply_bias_correction_to_model,
+    layer_quantization_snr,
+    post_training_quantize,
+)
+from repro.quant.qat import (
+    QatRecipe,
+    calibrate_activations,
+    evaluate,
+    set_model_bits,
+    train_qat,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return synthetic_image_dataset(
+        n_classes=4, n_samples=240, image_size=12, seed=3
+    ).split(0.8)
+
+
+@pytest.fixture(scope="module")
+def float_model(data):
+    """A float-trained model (PTQ's starting point)."""
+    train, val = data
+    model = build_tiny("alexnet", act_bits=None, weight_bits=None)
+    recipe = QatRecipe(lr=0.05, epochs=6, lr_step=4, batch_size=32)
+    train_qat(model, train, val, recipe, seed=0)
+    return model
+
+
+class TestPtqPipeline:
+    def test_8bit_ptq_preserves_accuracy(self, data, float_model):
+        train, val = data
+        float_acc = evaluate(float_model, val)
+        set_model_bits(float_model, 8, 8, first_last_bits=None)
+        report = post_training_quantize(float_model, train, val)
+        try:
+            assert report.bits == 8
+            assert report.calibrated_layers > 0
+            # Paper Section II-A: PTQ "is effective at higher precisions
+            # like 7- and 8-bit".
+            assert report.accuracy >= float_acc - 0.10
+        finally:
+            set_model_bits(float_model, None, None, first_last_bits=None)
+
+    def test_2bit_ptq_degrades(self, data, float_model):
+        train, val = data
+        float_acc = evaluate(float_model, val)
+        set_model_bits(float_model, 2, 2, first_last_bits=None)
+        report = post_training_quantize(float_model, train, val)
+        set_model_bits(float_model, None, None, first_last_bits=None)
+        # PTQ cannot "scale down to narrower data sizes" (Section II-A):
+        # without retraining, 2-bit loses clearly against float.
+        assert report.accuracy <= float_acc
+
+    def test_requires_quant_layers(self, data):
+        from repro.nn.layers import Linear, Sequential
+        train, val = data
+        with pytest.raises(ValueError):
+            post_training_quantize(Sequential(Linear(4, 4)), train, val)
+
+    def test_bias_correction_counts_layers(self, data, float_model):
+        train, _ = data
+        set_model_bits(float_model, 4, 4, first_last_bits=None)
+        calibrate_activations(float_model, train, batch_size=16, batches=2)
+        biases_before = [
+            l.bias.data.copy()
+            for l in float_model.modules()
+            if hasattr(l, "bias") and l.bias is not None
+        ]
+        corrected = apply_bias_correction_to_model(
+            float_model, train, batch_size=16, batches=2,
+        )
+        set_model_bits(float_model, None, None, first_last_bits=None)
+        assert corrected > 0
+        biases_after = [
+            l.bias.data
+            for l in float_model.modules()
+            if hasattr(l, "bias") and l.bias is not None
+        ]
+        changed = any(
+            not np.allclose(b, a)
+            for b, a in zip(biases_before, biases_after)
+        )
+        assert changed
+
+    def test_clip_zero_is_noop(self, data, float_model):
+        train, _ = data
+        set_model_bits(float_model, 4, 4, first_last_bits=None)
+        biases_before = [
+            l.bias.data.copy()
+            for l in float_model.modules()
+            if hasattr(l, "bias") and l.bias is not None
+        ]
+        apply_bias_correction_to_model(
+            float_model, train, batch_size=16, batches=2, clip=0.0,
+        )
+        set_model_bits(float_model, None, None, first_last_bits=None)
+        biases_after = [
+            l.bias.data
+            for l in float_model.modules()
+            if hasattr(l, "bias") and l.bias is not None
+        ]
+        for b, a in zip(biases_before, biases_after):
+            assert np.allclose(b, a)
+
+
+class TestSnrDiagnostic:
+    def test_snr_improves_with_bits(self, float_model):
+        snrs = {}
+        for bits in (2, 4, 8):
+            set_model_bits(float_model, bits, bits, first_last_bits=None)
+            values = layer_quantization_snr(float_model)
+            snrs[bits] = np.mean(list(values.values()))
+        set_model_bits(float_model, None, None, first_last_bits=None)
+        assert snrs[2] < snrs[4] < snrs[8]
+
+    def test_roughly_6db_per_bit(self, float_model):
+        set_model_bits(float_model, 8, 8, first_last_bits=None)
+        snr8 = np.mean(list(layer_quantization_snr(float_model).values()))
+        set_model_bits(float_model, 4, 4, first_last_bits=None)
+        snr4 = np.mean(list(layer_quantization_snr(float_model).values()))
+        set_model_bits(float_model, None, None, first_last_bits=None)
+        # The classic ~6 dB/bit law, loosely.
+        assert 15 < snr8 - snr4 < 35

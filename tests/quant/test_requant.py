@@ -1,0 +1,104 @@
+"""Integer-only requantization tests (fixed-point GEMMLowp semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant.requant import (
+    INT32_MAX,
+    INT32_MIN,
+    FixedPointMultiplier,
+    RequantError,
+    quantize_multiplier,
+    requantize_int,
+    requantize_reference,
+    rounding_right_shift,
+    saturating_rounding_doubling_high_mul,
+)
+
+
+class TestQuantizeMultiplier:
+    @pytest.mark.parametrize("value", [0.0003, 0.01, 0.25, 0.5, 0.9999])
+    def test_encoding_accuracy(self, value):
+        fp = quantize_multiplier(value)
+        assert fp.real_value == pytest.approx(value, rel=1e-8)
+        assert (1 << 30) <= fp.m0 < (1 << 31)
+
+    def test_half_is_exact(self):
+        fp = quantize_multiplier(0.5)
+        assert fp.real_value == 0.5
+
+    def test_invalid(self):
+        with pytest.raises(RequantError):
+            quantize_multiplier(0.0)
+        with pytest.raises(RequantError):
+            quantize_multiplier(-0.5)
+        with pytest.raises(RequantError):
+            quantize_multiplier(2.0)  # >= 1 unsupported
+
+
+class TestSrdhm:
+    def test_identity_on_half(self):
+        # b = 2^30 encodes 0.5: SRDHM(a, 2^30) == round(a / 2).
+        a = np.array([10, 11, -11, 0])
+        got = saturating_rounding_doubling_high_mul(a, 1 << 30)
+        assert list(got) == [5, 6, -6, 0]  # round half away from zero
+
+    def test_overflow_case_saturates(self):
+        got = saturating_rounding_doubling_high_mul(
+            np.array([INT32_MIN]), INT32_MIN
+        )
+        assert got[0] == INT32_MAX
+
+
+class TestRoundingShift:
+    def test_rounds_half_away_from_zero(self):
+        x = np.array([3, 5, -3, -5])
+        got = rounding_right_shift(x, 1)
+        assert list(got) == [2, 3, -2, -3]
+
+    def test_zero_shift_identity(self):
+        x = np.array([7, -7])
+        assert np.array_equal(rounding_right_shift(x, 0), x)
+
+    def test_large_shift(self):
+        assert rounding_right_shift(np.array([1 << 20]), 20)[0] == 1
+
+
+class TestRequantize:
+    @given(
+        st.floats(min_value=1e-5, max_value=0.999),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_within_one_lsb_of_float(self, multiplier, seed):
+        rng = np.random.default_rng(seed)
+        acc = rng.integers(-(1 << 20), 1 << 20, size=64)
+        fp = quantize_multiplier(multiplier)
+        integer = requantize_int(acc, fp)
+        reference = requantize_reference(acc, multiplier)
+        assert np.abs(integer - reference).max() <= 1
+
+    def test_clipping(self):
+        fp = quantize_multiplier(0.5)
+        got = requantize_int(np.array([10_000, -10_000]), fp)
+        assert list(got) == [127, -128]
+
+    def test_zero_point_applied(self):
+        fp = quantize_multiplier(0.5)
+        got = requantize_int(np.array([10]), fp, zero_point=3,
+                             qmin=0, qmax=255)
+        assert got[0] == 8
+
+    def test_end_to_end_layer_requant(self):
+        """Integer-only layer scale application within 1 LSB of the
+        paper's floating-point scale path."""
+        rng = np.random.default_rng(4)
+        acc = rng.integers(-5000, 5000, size=(8, 8))
+        s_x, s_w, s_y = 0.02, 0.005, 0.04
+        real = s_x * s_w / s_y
+        fp = quantize_multiplier(real)
+        integer = requantize_int(acc, fp, qmin=-128, qmax=127)
+        reference = requantize_reference(acc, real, qmin=-128, qmax=127)
+        assert np.abs(integer - reference).max() <= 1

@@ -1,0 +1,75 @@
+"""Zero-point-folded asymmetric GEMM tests (the GEMMLowp-style path)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.affine import QuantParams
+from repro.quant.integer_ops import integer_gemm, integer_gemm_asymmetric
+
+
+def _asym_act(bits=8):
+    return QuantParams(scale=0.1, zero_point=7.0, bits=bits, signed=False)
+
+
+def _asym_wgt(bits=8, zp=3.0):
+    return QuantParams(scale=0.2, zero_point=zp, bits=bits, signed=False)
+
+
+class TestZeroPointFolding:
+    def test_matches_direct_subtraction(self):
+        rng = np.random.default_rng(0)
+        x_qp = _asym_act()
+        w_qp = _asym_wgt()
+        x_q = rng.integers(0, 256, size=(5, 17))
+        w_q = rng.integers(0, 256, size=(17, 4))
+        direct = integer_gemm(x_q, w_q, x_qp, w_qp)
+        folded = integer_gemm_asymmetric(x_q, w_q, x_qp, w_qp)
+        assert np.array_equal(direct.acc, folded.acc)
+
+    def test_symmetric_special_case(self):
+        rng = np.random.default_rng(1)
+        qp = QuantParams(scale=0.1, zero_point=0.0, bits=8, signed=True)
+        x_q = rng.integers(-128, 128, size=(3, 9))
+        w_q = rng.integers(-128, 128, size=(9, 2))
+        folded = integer_gemm_asymmetric(x_q, w_q, qp, qp)
+        assert np.array_equal(folded.acc, x_q @ w_q)
+
+    def test_one_sided_asymmetry(self):
+        rng = np.random.default_rng(2)
+        x_qp = _asym_act()
+        w_qp = QuantParams(scale=0.2, zero_point=0.0, bits=8, signed=True)
+        x_q = rng.integers(0, 256, size=(4, 12))
+        w_q = rng.integers(-128, 128, size=(12, 6))
+        direct = integer_gemm(x_q, w_q, x_qp, w_qp)
+        folded = integer_gemm_asymmetric(x_q, w_q, x_qp, w_qp)
+        assert np.array_equal(direct.acc, folded.acc)
+
+    def test_mixgemm_backend(self):
+        rng = np.random.default_rng(3)
+        x_qp = _asym_act(bits=8)
+        w_qp = QuantParams(scale=0.2, zero_point=0.0, bits=4, signed=True)
+        x_q = rng.integers(0, 256, size=(4, 16))
+        w_q = rng.integers(-8, 8, size=(16, 4))
+        folded = integer_gemm_asymmetric(
+            x_q, w_q, x_qp, w_qp, backend="mixgemm",
+        )
+        direct = integer_gemm(x_q, w_q, x_qp, w_qp)
+        assert np.array_equal(folded.acc, direct.acc)
+        assert folded.gemm_result is not None
+
+    def test_per_channel_zero_points_rejected(self):
+        x_qp = QuantParams(scale=[0.1, 0.2], zero_point=0.0, bits=8,
+                           signed=False, axis=0)
+        w_qp = _asym_wgt()
+        with pytest.raises(ValueError):
+            integer_gemm_asymmetric(
+                np.zeros((1, 2), dtype=int), np.zeros((2, 1), dtype=int),
+                x_qp, w_qp,
+            )
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            integer_gemm_asymmetric(
+                np.zeros((1, 1), dtype=int), np.zeros((1, 1), dtype=int),
+                _asym_act(), _asym_wgt(), backend="gpu",
+            )

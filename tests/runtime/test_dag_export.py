@@ -1,0 +1,121 @@
+"""DAG runtime tests: residual / depthwise / SE topologies deploy."""
+
+import numpy as np
+import pytest
+
+from repro.models.builders import build_tiny
+from repro.nn.autograd import Tensor
+from repro.nn.layers import seed_init
+from repro.runtime import (
+    GraphBuilder,
+    GraphError,
+    GraphModel,
+    InferenceEngine,
+    NodeSpec,
+    export_model,
+)
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    seed_init(13)
+
+
+def _input(batch=2, size=12):
+    return np.random.default_rng(0).normal(size=(batch, 1, size, size))
+
+
+ALL_ARCHES = ("alexnet", "vgg16", "resnet18", "mobilenet_v1",
+              "regnet_x_400mf", "efficientnet_b0")
+
+
+class TestAllArchitecturesDeploy:
+    @pytest.mark.parametrize("name", ALL_ARCHES)
+    def test_export_matches_forward(self, name):
+        """Every zoo family deploys bit-exactly -- including residual,
+        group-conv and squeeze-excite topologies."""
+        model = build_tiny(name, act_bits=6, weight_bits=4)
+        model.eval()
+        x = _input()
+        expected = model(Tensor(x)).data
+        graph = export_model(model, name=name)
+        got = InferenceEngine(graph).run(x).output
+        assert np.allclose(got, expected, atol=1e-9), name
+
+    @pytest.mark.parametrize("name", ("resnet18", "efficientnet_b0"))
+    def test_mixgemm_backend_on_dag(self, name):
+        model = build_tiny(name, act_bits=4, weight_bits=4)
+        model.eval()
+        x = _input()
+        graph = export_model(model)
+        ref = InferenceEngine(graph, backend="numpy").run(x)
+        sim = InferenceEngine(graph, backend="mixgemm").run(x)
+        assert np.allclose(sim.output, ref.output, atol=1e-9)
+        assert sim.total_cycles > 0
+
+    @pytest.mark.parametrize("name", ALL_ARCHES)
+    def test_json_roundtrip_preserves_wiring(self, name, tmp_path):
+        model = build_tiny(name)
+        model.eval()
+        x = _input()
+        graph = export_model(model)
+        path = tmp_path / "m.json"
+        graph.save(str(path))
+        loaded = GraphModel.load(str(path))
+        a = InferenceEngine(graph).run(x).output
+        b = InferenceEngine(loaded).run(x).output
+        assert np.allclose(a, b)
+
+
+class TestDagSemantics:
+    def test_residual_add(self):
+        b = GraphBuilder()
+        t = b.add(NodeSpec(op="relu"), inputs=["input"])
+        b.add(NodeSpec(op="add"), inputs=[t, "input"])
+        x = np.array([[-1.0, 2.0]])
+        out = InferenceEngine(b.build()).run(x).output
+        assert np.allclose(out, [[-1.0, 4.0]])  # relu(x) + x
+
+    def test_channel_scale(self):
+        b = GraphBuilder()
+        gates = b.add(NodeSpec(op="global_avg_pool2d"),
+                      inputs=["input"])
+        gates = b.add(NodeSpec(op="sigmoid"), inputs=[gates])
+        b.add(NodeSpec(op="channel_scale"), inputs=["input", gates])
+        x = np.ones((1, 2, 2, 2))
+        out = InferenceEngine(b.build()).run(x).output
+        gate = 1 / (1 + np.exp(-1.0))
+        assert np.allclose(out, gate)
+
+    def test_unknown_tensor_reference(self):
+        b = GraphBuilder()
+        b.add(NodeSpec(op="relu"), inputs=["ghost"])
+        with pytest.raises(GraphError):
+            InferenceEngine(b.build()).run(np.zeros((1, 2)))
+
+    def test_add_arity_checked(self):
+        b = GraphBuilder()
+        b.add(NodeSpec(op="add"), inputs=["input"])
+        with pytest.raises(GraphError):
+            InferenceEngine(b.build()).run(np.zeros((1, 2)))
+
+    def test_add_shape_checked(self):
+        b = GraphBuilder()
+        pooled = b.add(NodeSpec(op="global_avg_pool2d"),
+                       inputs=["input"])
+        b.add(NodeSpec(op="add"), inputs=["input", pooled])
+        with pytest.raises(GraphError):
+            InferenceEngine(b.build()).run(np.zeros((1, 2, 3, 3)))
+
+    def test_channel_scale_shape_checked(self):
+        b = GraphBuilder()
+        b.add(NodeSpec(op="channel_scale"), inputs=["input", "input"])
+        with pytest.raises(GraphError):
+            InferenceEngine(b.build()).run(np.zeros((1, 2, 3, 3)))
+
+    def test_chain_still_works_without_wiring(self):
+        graph = GraphModel(nodes=[NodeSpec(op="relu"),
+                                  NodeSpec(op="flatten")])
+        x = np.array([[[-1.0, 2.0]]])
+        out = InferenceEngine(graph).run(x).output
+        assert np.allclose(out, [[0.0, 2.0]])

@@ -1,0 +1,102 @@
+"""Cache model unit tests."""
+
+import pytest
+
+from repro.sim.cache import Cache, CacheError, CacheHierarchy
+
+
+class TestCacheBasics:
+    def test_geometry(self):
+        c = Cache(32 * 1024, line_bytes=64, associativity=8)
+        assert c.n_sets == 64
+
+    def test_invalid_geometry(self):
+        with pytest.raises(CacheError):
+            Cache(1000, line_bytes=64, associativity=8)
+        with pytest.raises(CacheError):
+            Cache(1024, line_bytes=63, associativity=1)
+
+    def test_cold_miss_then_hit(self):
+        c = Cache(1024, line_bytes=64, associativity=2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)          # same line
+        assert not c.access(64)      # next line
+
+    def test_lru_eviction(self):
+        c = Cache(256, line_bytes=64, associativity=2)  # 2 sets x 2 ways
+        # Lines 0, 2, 4 map to set 0 (line % 2 == 0).
+        c.access(0)
+        c.access(2 * 64)
+        c.access(4 * 64)             # evicts line 0 (LRU)
+        assert c.stats.evictions == 1
+        assert not c.access(0)       # line 0 is gone
+
+    def test_lru_order_updated_on_hit(self):
+        c = Cache(256, line_bytes=64, associativity=2)
+        c.access(0)
+        c.access(2 * 64)
+        c.access(0)                  # line 0 becomes MRU
+        c.access(4 * 64)             # evicts line 2, not 0
+        assert c.access(0)
+
+    def test_writeback_counted(self):
+        c = Cache(256, line_bytes=64, associativity=2)
+        c.access(0, write=True)
+        c.access(2 * 64)
+        c.access(4 * 64)             # evicts dirty line 0
+        assert c.stats.writebacks == 1
+
+    def test_access_range_counts_lines(self):
+        c = Cache(4096, line_bytes=64, associativity=4)
+        misses = c.access_range(0, 256)
+        assert misses == 4
+
+    def test_flush(self):
+        c = Cache(1024, line_bytes=64, associativity=2)
+        c.access(0)
+        c.flush()
+        assert not c.access(0)
+
+    def test_hit_rate(self):
+        c = Cache(1024, line_bytes=64, associativity=2)
+        c.access(0)
+        c.access(0)
+        assert c.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestHierarchy:
+    def test_latencies(self):
+        h = CacheHierarchy(l1_size=1024, l2_size=8192)
+        assert h.load(0) == h.dram_latency          # cold
+        assert h.load(0) == h.l1_latency            # L1 hit
+        # Evict from tiny L1 but keep in L2.
+        for i in range(1, 64):
+            h.load(i * 64)
+        assert h.load(0) == h.l2_latency
+
+    def test_miss_propagates_to_l2(self):
+        h = CacheHierarchy(l1_size=1024, l2_size=8192)
+        h.load(0)
+        assert h.l2.stats.misses == 1
+        assert h.l1.stats.misses == 1
+
+    def test_working_set_behaviour(self):
+        # A loop over a set fitting L1 should have near-perfect reuse.
+        h = CacheHierarchy(l1_size=32 * 1024, l2_size=512 * 1024)
+        for _ in range(4):
+            for addr in range(0, 16 * 1024, 8):
+                h.load(addr)
+        assert h.l1.stats.hit_rate > 0.95
+
+    def test_store_latency(self):
+        h = CacheHierarchy(l1_size=1024, l2_size=8192)
+        assert h.store(0) == h.dram_latency
+        assert h.store(0) == h.l1_latency
+
+    def test_reset(self):
+        h = CacheHierarchy(l1_size=1024, l2_size=8192)
+        h.load(0)
+        h.reset()
+        assert h.l1.stats.accesses == 0
+        assert h.load(0) == h.dram_latency

@@ -1,0 +1,87 @@
+"""DSE tests: Table I, padding overhead, buffer-depth study."""
+
+import pytest
+
+from repro.sim.dse import (
+    average_padding_overhead,
+    buffer_depth_study,
+    optimal_blocking,
+    optimal_register_tile,
+    padding_overheads,
+    table1,
+)
+from repro.sim.params import PAPER_SOC
+
+
+class TestTable1:
+    def test_reproduces_paper_values(self):
+        t1 = table1()
+        assert (t1.mc, t1.nc, t1.kc) == (256, 256, 256)
+        assert (t1.mr, t1.nr) == (4, 4)
+        assert (t1.kua, t1.kub) == (4, 4)
+        assert t1.accmem == 16
+        assert t1.source_buffers == 16
+
+    def test_register_tile_from_rf(self):
+        assert optimal_register_tile(32) == (4, 4)
+        assert optimal_register_tile(8) == (2, 2)
+
+    def test_blocking_respects_budgets(self):
+        dse = optimal_blocking(PAPER_SOC)
+        assert dse.l1_bytes_used <= PAPER_SOC.l1_bytes / 2
+        assert dse.l2_bytes_used <= PAPER_SOC.l2_bytes
+
+    def test_blocking_shrinks_with_caches(self):
+        small = optimal_blocking(PAPER_SOC.with_caches(16 * 1024,
+                                                       64 * 1024))
+        assert small.blocking.kc < 256
+        assert small.blocking.mc < 256
+
+
+class TestPadding:
+    def test_average_near_paper(self):
+        # Paper Section III-C: 2.4% on average (our selection: <= 3.5%).
+        avg = average_padding_overhead()
+        assert 0.0 < avg < 0.035
+
+    def test_equal_widths_zero_padding(self):
+        overheads = padding_overheads()
+        for bw in (8, 6, 4, 2):
+            assert overheads[(bw, bw)] == 0.0
+
+    def test_all_49_combinations_present(self):
+        assert len(padding_overheads()) == 49
+
+    def test_no_combination_exceeds_bound(self):
+        assert max(padding_overheads().values()) < 0.26
+
+
+class TestBufferDepthStudy:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return buffer_depth_study(
+            depths=(8, 16, 32),
+            configs=[(8, 8), (4, 4), (2, 2)],
+            gemm_size=(16, 16, 768),
+        )
+
+    def test_stalls_decrease_with_depth(self, results):
+        # Paper: 17.8% / 14.3% / 11.2% for depths 8 / 16 / 32.
+        fractions = [r.buffer_stall_fraction for r in results]
+        assert fractions[0] >= fractions[1] >= fractions[2]
+
+    def test_stall_magnitudes_plausible(self, results):
+        # The shape matches the paper; our leaner modelled inner loop
+        # keeps the core more engine-bound, so magnitudes run higher
+        # (documented in EXPERIMENTS.md).
+        for r in results:
+            assert 0.0 <= r.buffer_stall_fraction < 0.45
+
+    def test_get_stalls_grow_with_depth(self, results):
+        # Paper: bs.get stalls appear only for the deepest buffers.
+        assert results[2].get_stall_fraction >= \
+            results[0].get_stall_fraction
+
+    def test_depths_recorded(self, results):
+        assert [r.depth for r in results] == [8, 16, 32]
+        assert all(r.cycles > 0 for r in results)

@@ -1,0 +1,148 @@
+"""Energy and area model tests against Section IV-C / Table II."""
+
+import pytest
+
+from repro.core.config import MixGemmConfig
+from repro.models.inventory import get_network
+from repro.sim.area import (
+    SOC_DIE_MM2,
+    TABLE2_AREAS_UM2,
+    UENGINE_TOTAL_UM2,
+    SocArea,
+    UEngineArea,
+    scale_area,
+)
+from repro.sim.energy import EnergyModel
+from repro.sim.perf import MixGemmPerfModel
+
+
+class TestTable2:
+    def test_component_sum_matches_total(self):
+        assert sum(TABLE2_AREAS_UM2.values()) == pytest.approx(
+            UENGINE_TOTAL_UM2, abs=0.1
+        )
+
+    def test_default_engine_reproduces_table(self):
+        engine = UEngineArea()
+        assert engine.total_um2 == pytest.approx(UENGINE_TOTAL_UM2,
+                                                 abs=0.1)
+        breakdown = engine.breakdown()
+        assert breakdown["source_buffers"][0] == pytest.approx(4934.63)
+        assert breakdown["dsu"][0] == pytest.approx(1094.45)
+
+    def test_one_percent_soc_overhead(self):
+        assert UEngineArea().soc_overhead() == pytest.approx(0.01,
+                                                             rel=0.01)
+
+    def test_source_buffers_dominate(self):
+        engine = UEngineArea()
+        areas = {n: engine.component_area(n)
+                 for n in TABLE2_AREAS_UM2}
+        assert max(areas, key=areas.get) == "source_buffers"
+
+    def test_doubling_buffers_adds_67_percent(self):
+        # Paper Section III-C: +67.6% u-engine area from 16 to 32 entries.
+        u16 = UEngineArea(source_buffer_depth=16)
+        u32 = UEngineArea(source_buffer_depth=32)
+        assert u32.total_um2 / u16.total_um2 - 1 == pytest.approx(
+            0.676, abs=0.005
+        )
+
+    def test_accmem_scales_linearly(self):
+        u = UEngineArea(accmem_slots=32)
+        assert u.component_area("accmem") == pytest.approx(
+            2 * TABLE2_AREAS_UM2["accmem"]
+        )
+
+
+class TestSocArea:
+    def test_default_die_area(self):
+        assert SocArea().total_mm2 == pytest.approx(SOC_DIE_MM2, rel=0.01)
+
+    def test_small_cache_saving_near_53_percent(self):
+        small = SocArea(l1d_kb=16, l1i_kb=16, l2_kb=64)
+        assert small.area_saving_vs_default() == pytest.approx(0.53,
+                                                               abs=0.05)
+
+
+class TestTechScaling:
+    def test_eyeriss_comparison(self):
+        # Section V: Mix-GEMM needs 96.8x less area than scaled Eyeriss.
+        scaled = scale_area(12.25, from_nm=65)
+        ratio = scaled / UEngineArea().total_mm2
+        assert ratio == pytest.approx(96.8, rel=0.02)
+
+    def test_unpu_comparison(self):
+        scaled = scale_area(16.0, from_nm=65)
+        ratio = scaled / UEngineArea().total_mm2
+        assert ratio == pytest.approx(126.5, rel=0.02)
+
+    def test_identity(self):
+        assert scale_area(1.0, 22, 22) == 1.0
+
+    def test_unknown_node(self):
+        with pytest.raises(ValueError):
+            scale_area(1.0, 14)
+
+
+class TestEnergyModel:
+    #: Paper Section IV-C efficiency ranges (GOPS/W).
+    PAPER_EFF = {
+        "alexnet": (522.1, 1300),
+        "vgg16": (524.3, 1300),
+        "resnet18": (509, 1200),
+        "mobilenet_v1": (477.5, 944.1),
+        "regnet_x_400mf": (503.3, 982),
+    }
+
+    @pytest.fixture(scope="class")
+    def models(self):
+        return EnergyModel(), MixGemmPerfModel()
+
+    @pytest.mark.parametrize("name", sorted(PAPER_EFF))
+    def test_a8w8_efficiency_near_paper_low(self, models, name):
+        em, pm = models
+        eff = em.network_efficiency(
+            get_network(name), MixGemmConfig(bw_a=8, bw_b=8), pm
+        )
+        lo, _ = self.PAPER_EFF[name]
+        assert eff.gops_per_watt == pytest.approx(lo, rel=0.2), name
+
+    @pytest.mark.parametrize("name", sorted(PAPER_EFF))
+    def test_a2w2_efficiency_near_paper_high(self, models, name):
+        em, pm = models
+        eff = em.network_efficiency(
+            get_network(name), MixGemmConfig(bw_a=2, bw_b=2), pm
+        )
+        _, hi = self.PAPER_EFF[name]
+        assert eff.gops_per_watt == pytest.approx(hi, rel=0.25), name
+
+    def test_peak_efficiency_reaches_1_3_tops(self, models):
+        # Abstract: "up to 1.3 TOPS/W".
+        em, pm = models
+        best = max(
+            em.network_efficiency(
+                get_network(n), MixGemmConfig(bw_a=2, bw_b=2), pm
+            ).tops_per_watt
+            for n in self.PAPER_EFF
+        )
+        assert 1.1 < best < 1.5
+
+    def test_narrow_configs_more_efficient(self, models):
+        em, pm = models
+        net = get_network("resnet18")
+        effs = [
+            em.network_efficiency(
+                net, MixGemmConfig(bw_a=b, bw_b=b), pm
+            ).gops_per_watt
+            for b in (8, 4, 2)
+        ]
+        assert effs[0] < effs[1] < effs[2]
+
+    def test_power_in_milliwatt_range(self, models):
+        # The u-engine + multiplier subsystem draws ~10 mW at 1.2 GHz.
+        em, pm = models
+        eff = em.network_efficiency(
+            get_network("resnet18"), MixGemmConfig(bw_a=8, bw_b=8), pm
+        )
+        assert 0.005 < eff.watts < 0.02

@@ -1,0 +1,240 @@
+"""Performance-model tests: paper anchors and internal consistency."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.scalar import (
+    ScalarGemmModel,
+    blis_dgemm_kernel,
+    blis_int8_kernel,
+    gemmlowp_a53_kernel,
+    openblas_fp32_u740_kernel,
+)
+from repro.core.config import (
+    BlockingParams,
+    FIGURE6_CONFIGS,
+    MixGemmConfig,
+)
+from repro.core.gemm import MixGemm
+from repro.models.inventory import get_network
+from repro.sim.perf import MixGemmPerfModel, combine
+
+
+@pytest.fixture(scope="module")
+def mix():
+    return MixGemmPerfModel()
+
+
+@pytest.fixture(scope="module")
+def dgemm():
+    return ScalarGemmModel(blis_dgemm_kernel())
+
+
+def speedup(mix, dgemm, n, bw_a, bw_b):
+    cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+    base = dgemm.gemm(n, n, n).total_cycles
+    return base / mix.gemm(n, n, n, cfg).total_cycles
+
+
+class TestSteadyStateAnchors:
+    """Section IV-B: steady-state speedups over the DGEMM baseline."""
+
+    def test_a8w8_near_10x(self, mix, dgemm):
+        # Paper: 10.2x (8x compression + 21.6% from the AccMem).
+        assert speedup(mix, dgemm, 2048, 8, 8) == pytest.approx(10.2,
+                                                                rel=0.12)
+
+    def test_a4w4_near_16x(self, mix, dgemm):
+        assert speedup(mix, dgemm, 2048, 4, 4) == pytest.approx(16.0,
+                                                                rel=0.12)
+
+    def test_a2w2_near_27x(self, mix, dgemm):
+        # Paper: 27.2x (32x bound minus ~15% u-vector drain penalty).
+        assert speedup(mix, dgemm, 2048, 2, 2) == pytest.approx(27.2,
+                                                                rel=0.15)
+
+    def test_a2w2_below_theoretical_bound(self, mix, dgemm):
+        assert speedup(mix, dgemm, 2048, 2, 2) < 32.0
+
+    def test_a8w8_above_compression_bound(self, mix, dgemm):
+        # The AccMem pushes a8-w8 above the plain 8x problem-size ratio.
+        assert speedup(mix, dgemm, 2048, 8, 8) > 8.0
+
+    def test_int8_blis_gains_far_below_compression(self, dgemm):
+        # Paper: BLIS-int8 reaches only ~2.5x, far below the 8x memory
+        # reduction -- quantization alone is not enough.
+        int8 = ScalarGemmModel(blis_int8_kernel())
+        ratio = dgemm.gemm(2048, 2048, 2048).total_cycles \
+            / int8.gemm(2048, 2048, 2048).total_cycles
+        assert 1.3 < ratio < 3.0
+
+
+class TestScalingShape:
+    def test_monotone_in_uniform_ladder(self, mix):
+        """Performance scales with decreasing data size (the headline).
+
+        Strict monotonicity holds along the uniform ladder; mixed
+        configurations sit near their uniform neighbours but can dip
+        slightly below the wider one (e.g. a8-w6 packs 30 elements into
+        the same 12-cycle schedule as a8-w8's 32 -- the paper's own
+        Figure 4 numbers).
+        """
+        order = [(8, 8), (6, 6), (4, 4), (3, 3), (2, 2)]
+        gops = [
+            mix.gemm(1024, 1024, 1024,
+                     MixGemmConfig(bw_a=a, bw_b=w)).gops
+            for a, w in order
+        ]
+        assert all(g2 > g1 for g1, g2 in zip(gops, gops[1:]))
+
+    def test_all_figure6_configs_beat_baseline(self, mix, dgemm):
+        for a, w in FIGURE6_CONFIGS:
+            assert speedup(mix, dgemm, 1024, a, w) > 5.0, (a, w)
+
+    def test_speedup_grows_then_saturates(self, mix, dgemm):
+        s = [speedup(mix, dgemm, n, 4, 4) for n in (64, 256, 1024, 2048)]
+        assert s[-1] >= s[0]
+        assert abs(s[-1] - s[-2]) / s[-1] < 0.1  # steady state reached
+
+    def test_mixed_precision_between_uniform(self, mix):
+        cfg86 = MixGemmConfig(bw_a=8, bw_b=6)
+        cfg88 = MixGemmConfig(bw_a=8, bw_b=8)
+        cfg66 = MixGemmConfig(bw_a=6, bw_b=6)
+        g86 = mix.gemm(1024, 1024, 1024, cfg86).gops
+        g88 = mix.gemm(1024, 1024, 1024, cfg88).gops
+        g66 = mix.gemm(1024, 1024, 1024, cfg66).gops
+        # a8-w6 trades 2 padded slots per group (Figure 4), so it lands
+        # near a8-w8 and clearly below a6-w6.
+        assert g88 * 0.90 <= g86 <= g66
+
+
+class TestAnalyticVsEventDriven:
+    """The analytic model must agree with the bit-exact simulator."""
+
+    @pytest.mark.parametrize("bw_a, bw_b", [(8, 8), (6, 4), (2, 2)])
+    def test_compute_cycles_agree(self, mix, bw_a, bw_b):
+        rng = np.random.default_rng(0)
+        m = n = 16
+        k = 960  # multiple of 30 and 32 group sizes
+        cfg = MixGemmConfig(
+            bw_a=bw_a, bw_b=bw_b,
+            blocking=BlockingParams(mc=16, nc=16, kc=256),
+        )
+        a = rng.integers(-2, 2, size=(m, k))
+        b = rng.integers(-2, 2, size=(k, n))
+        functional = MixGemm(cfg, emulate_datapath=False).gemm(a, b)
+        analytic = mix.gemm(m, n, k, cfg)
+        # Compare compute-side cycles (the functional sim has no memory
+        # stall model); agreement within 15%.
+        assert functional.cycles == pytest.approx(
+            analytic.compute_cycles, rel=0.15
+        ), f"a{bw_a}-w{bw_b}"
+
+
+class TestNetworkLevel:
+    """Table III / Figure 7 throughput rows."""
+
+    PAPER_RANGES = {
+        "alexnet": (5.2, 13.6),
+        "vgg16": (5.3, 13.1),
+        "resnet18": (5.1, 12.4),
+        "mobilenet_v1": (4.8, 9.5),
+        "regnet_x_400mf": (5.1, 9.9),
+    }
+
+    @pytest.mark.parametrize("name", sorted(PAPER_RANGES))
+    def test_a8w8_matches_paper_low_end(self, mix, name):
+        lo, _ = self.PAPER_RANGES[name]
+        net = get_network(name)
+        gops = mix.network(net, MixGemmConfig(bw_a=8, bw_b=8)).gops
+        assert gops == pytest.approx(lo, rel=0.15), name
+
+    @pytest.mark.parametrize("name", sorted(PAPER_RANGES))
+    def test_a2w2_matches_paper_high_end(self, mix, name):
+        _, hi = self.PAPER_RANGES[name]
+        net = get_network(name)
+        gops = mix.network(net, MixGemmConfig(bw_a=2, bw_b=2)).gops
+        assert gops == pytest.approx(hi, rel=0.20), name
+
+    def test_efficientnet_qualitative(self, mix):
+        # EfficientNet is dominated by skinny-k expansions; the model is
+        # pessimistic there (documented in EXPERIMENTS.md) but the config
+        # ordering must still hold.
+        net = get_network("efficientnet_b0")
+        g8 = mix.network(net, MixGemmConfig(bw_a=8, bw_b=8)).gops
+        g2 = mix.network(net, MixGemmConfig(bw_a=2, bw_b=2)).gops
+        assert 2.0 < g8 < g2 < 13.1
+
+    def test_paper_gops_global_band(self, mix):
+        # Abstract: "performance ranging from 4.8 GOPS to 13.6 GOPS".
+        values = []
+        for name in self.PAPER_RANGES:
+            net = get_network(name)
+            for a, w in ((8, 8), (2, 2)):
+                values.append(
+                    mix.network(net, MixGemmConfig(bw_a=a, bw_b=w)).gops
+                )
+        assert min(values) > 3.5
+        assert max(values) < 15.0
+
+
+class TestBaselines:
+    def test_openblas_near_09_gops(self):
+        model = ScalarGemmModel(openblas_fp32_u740_kernel())
+        for name in ("alexnet", "vgg16", "resnet18"):
+            gops = model.network(get_network(name)).gops
+            assert gops == pytest.approx(0.9, rel=0.2), name
+
+    def test_gemmlowp_in_published_band(self):
+        # Table III row [33]: 4.7 - 5.8 GOPS across the six CNNs.
+        model = ScalarGemmModel(gemmlowp_a53_kernel())
+        for name in ("alexnet", "vgg16", "resnet18"):
+            gops = model.network(get_network(name)).gops
+            assert 3.5 < gops < 6.5, name
+
+    def test_mix_a8w8_comparable_to_gemmlowp(self):
+        # Section V: "GEMMLowp performance are comparable with Mix-GEMM
+        # ... considering its a8-w8 configuration".
+        mixm = MixGemmPerfModel()
+        glm = ScalarGemmModel(gemmlowp_a53_kernel())
+        for name in ("alexnet", "resnet18"):
+            net = get_network(name)
+            mix_gops = mixm.network(net,
+                                    MixGemmConfig(bw_a=8, bw_b=8)).gops
+            gl_gops = glm.network(net).gops
+            assert 0.6 < mix_gops / gl_gops < 1.7, name
+
+
+class TestPerfResultApi:
+    def test_combine(self, mix):
+        cfg = MixGemmConfig()
+        r1 = mix.gemm(64, 64, 64, cfg)
+        r2 = mix.gemm(128, 128, 128, cfg)
+        both = combine([r1, r2])
+        assert both.macs == r1.macs + r2.macs
+        assert both.total_cycles == pytest.approx(
+            r1.total_cycles + r2.total_cycles
+        )
+
+    def test_combine_empty(self):
+        with pytest.raises(ValueError):
+            combine([])
+
+    def test_degenerate_gemm_rejected(self, mix):
+        with pytest.raises(ValueError):
+            mix.gemm(0, 4, 4, MixGemmConfig())
+
+    def test_scaled(self, mix):
+        r = mix.gemm(64, 64, 64, MixGemmConfig())
+        s = r.scaled(4)
+        assert s.macs == 4 * r.macs
+        assert s.macs_per_cycle == pytest.approx(r.macs_per_cycle)
+
+    def test_seconds_and_gops(self, mix):
+        r = mix.gemm(256, 256, 256, MixGemmConfig())
+        assert r.seconds == pytest.approx(
+            r.total_cycles / 1.2e9
+        )
+        assert r.gops == pytest.approx(
+            2 * r.macs / r.seconds / 1e9, rel=1e-9
+        )

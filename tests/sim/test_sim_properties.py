@@ -1,0 +1,88 @@
+"""Property-based tests for the performance/traffic models."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MixGemmConfig
+from repro.sim.memory import gemm_traffic
+from repro.sim.params import DEFAULT_MEMORY_COSTS, PAPER_SOC
+from repro.sim.perf import MixGemmPerfModel
+
+bits_strategy = st.sampled_from([2, 3, 4, 5, 6, 7, 8])
+dim_strategy = st.integers(min_value=1, max_value=512)
+
+_model = MixGemmPerfModel()
+
+
+@given(dim_strategy, dim_strategy, dim_strategy, bits_strategy,
+       bits_strategy)
+@settings(max_examples=150, deadline=None)
+def test_cycles_positive_and_bounded(m, n, k, bw_a, bw_b):
+    """Total cycles are finite, positive, and at least the ideal bound."""
+    cfg = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+    r = _model.gemm(m, n, k, cfg)
+    assert r.total_cycles > 0
+    # Never faster than the peak MAC rate of the configuration.
+    ideal = m * n * k / cfg.macs_per_cycle
+    assert r.total_cycles >= ideal * 0.999
+
+
+@given(dim_strategy, dim_strategy, dim_strategy, bits_strategy)
+@settings(max_examples=100, deadline=None)
+def test_macs_per_cycle_below_peak(m, n, k, bw):
+    cfg = MixGemmConfig(bw_a=bw, bw_b=bw)
+    r = _model.gemm(m, n, k, cfg)
+    assert 0 < r.macs_per_cycle <= cfg.macs_per_cycle
+
+
+@given(dim_strategy, dim_strategy, st.integers(min_value=1, max_value=256),
+       bits_strategy)
+@settings(max_examples=80, deadline=None)
+def test_cycles_monotone_in_k(m, n, k, bw):
+    """More work never takes fewer cycles."""
+    cfg = MixGemmConfig(bw_a=bw, bw_b=bw)
+    r1 = _model.gemm(m, n, k, cfg)
+    r2 = _model.gemm(m, n, 2 * k, cfg)
+    assert r2.total_cycles >= r1.total_cycles
+
+
+@given(dim_strategy, dim_strategy, dim_strategy,
+       st.floats(min_value=0.25, max_value=8.0),
+       st.floats(min_value=0.25, max_value=8.0))
+@settings(max_examples=150, deadline=None)
+def test_traffic_nonnegative_and_scales(m, n, k, esa, esb):
+    """Traffic is non-negative and at least one full operand read."""
+    t = gemm_traffic(
+        m, n, k,
+        a_bytes_per_element=esa, b_bytes_per_element=esb,
+        acc_bytes=4, mc=256, nc=256, kc=2048, mr=4, nr=4,
+        soc=PAPER_SOC, costs=DEFAULT_MEMORY_COSTS,
+        out_bytes_per_element=1.0,
+    )
+    assert t.dram_bytes >= m * k * esa + k * n * esb - 1e-9
+    assert t.l2_bytes >= 0
+    assert t.stall_cycles(DEFAULT_MEMORY_COSTS) >= 0
+
+
+@given(dim_strategy, bits_strategy)
+@settings(max_examples=60, deadline=None)
+def test_square_speedup_over_baseline_positive(n, bw):
+    """Every configuration beats the fp64 baseline at every size."""
+    from repro.baselines.scalar import ScalarGemmModel, blis_dgemm_kernel
+
+    cfg = MixGemmConfig(bw_a=bw, bw_b=bw)
+    base = ScalarGemmModel(blis_dgemm_kernel()).gemm(n, n, n)
+    mix = _model.gemm(n, n, n, cfg)
+    assert base.total_cycles / mix.total_cycles > 1.0
+
+
+@given(st.integers(min_value=1, max_value=16))
+@settings(max_examples=30, deadline=None)
+def test_multicore_speedup_bounded_by_cores(cores):
+    from repro.sim.scalability import MultiCorePerfModel
+
+    cfg = MixGemmConfig(bw_a=8, bw_b=8)
+    r = MultiCorePerfModel(cores).gemm(512, 512, 512, cfg)
+    assert 0 < r.speedup <= cores * 1.01

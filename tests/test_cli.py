@@ -1,0 +1,73 @@
+"""CLI tests (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("info", "gemm", "figure6", "figure7", "table",
+                        "network", "explore", "report"):
+            # parse_args should accept each command's minimal invocation.
+            if command == "table":
+                args = parser.parse_args([command, "1"])
+            elif command in ("network", "explore"):
+                args = parser.parse_args([command, "resnet18"])
+            elif command == "report":
+                args = parser.parse_args([command, "--output", "x.md"])
+            else:
+                args = parser.parse_args([command])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Mix-GEMM" in out
+        assert "a2-w2" in out
+
+    def test_gemm_exact(self, capsys):
+        assert main(["gemm", "-m", "4", "-k", "40", "-n", "4",
+                     "--abits", "4", "--wbits", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "exact=True" in out
+        assert "MAC/cycle" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "mc=256" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "Src Buffers" in capsys.readouterr().out
+
+    def test_network_ladder(self, capsys):
+        assert main(["network", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "a8-w8" in out
+        assert "GOPS/W" in out
+
+    def test_explore(self, capsys):
+        assert main(["explore", "mobilenet_v1", "--budget", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "mixed:" in out
+        assert "uniform:" in out
+
+    def test_report(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(["report", "--output", str(path)]) == 0
+        text = path.read_text()
+        assert "Figure 6" in text
+        assert "Table III" in text
+        assert "Extensions" in text
+
+    def test_unknown_network_raises(self):
+        with pytest.raises(KeyError):
+            main(["network", "lenet"])

@@ -1,0 +1,31 @@
+"""Doc-rot guard: every code block in docs/TUTORIAL.md must execute."""
+
+import pathlib
+import re
+
+import pytest
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def _blocks():
+    text = TUTORIAL.read_text()
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+@pytest.fixture(scope="module")
+def namespace():
+    """Blocks share one namespace (later sections build on earlier ones)."""
+    return {}
+
+
+def test_tutorial_exists():
+    assert TUTORIAL.exists()
+    assert len(_blocks()) >= 8
+
+
+@pytest.mark.parametrize("index", range(len(_blocks())))
+def test_tutorial_block_runs(index, namespace, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # blocks may write files (model.json)
+    blocks = _blocks()
+    exec(blocks[index], namespace)  # noqa: S102 - the point of the test
