@@ -9,7 +9,9 @@ Commands mirror the evaluation:
 * ``table1|2|3``      -- the three tables;
 * ``network``         -- one CNN's modelled throughput/efficiency ladder;
 * ``explore``         -- per-layer mixed-precision search;
-* ``report``          -- run everything and write a consolidated report.
+* ``report``          -- run everything and write a consolidated report;
+* ``faultsim``        -- seeded fault-injection campaign against the
+  hardened runtime (detection / recovery / silent-corruption rates).
 """
 
 from __future__ import annotations
@@ -147,6 +149,39 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultsim(args: argparse.Namespace) -> int:
+    from repro.robustness.faults import FAULT_SITES, FaultCampaign
+
+    if args.trials < 1:
+        print("--trials must be at least 1", file=sys.stderr)
+        return 2
+    sites = tuple(s.strip() for s in args.sites.split(",") if s.strip())
+    if not sites:
+        print("--sites cannot be empty", file=sys.stderr)
+        return 2
+    for site in sites:
+        if site not in FAULT_SITES:
+            print(f"unknown fault site {site!r}; choose from "
+                  f"{', '.join(FAULT_SITES)}", file=sys.stderr)
+            return 2
+    campaign = FaultCampaign(seed=args.seed, n_trials=args.trials,
+                             sites=sites)
+    print(f"fault campaign: {args.trials} trials, seed {args.seed}, "
+          f"sites {', '.join(sites)}")
+    baseline = campaign.run(guard_level="off")
+    print(baseline.render())
+    guarded = campaign.run(guard_level=args.guard_level)
+    print(guarded.render())
+    ok = (guarded.detection_rate >= 0.95 and guarded.n_silent == 0
+          and baseline.n_silent > 0)
+    verdict = "PASS" if ok else "FAIL"
+    print(f"{verdict}: guards-off silent corruptions "
+          f"{baseline.n_silent}/{baseline.n_injected}, guarded detection "
+          f"{guarded.detection_rate:.1%}, guarded recovery "
+          f"{guarded.recovery_rate:.1%}")
+    return 0 if ok else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.eval.full_report import write_full_report
 
@@ -200,6 +235,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", type=float, default=1.5,
                    help="max TOP-1 loss in percentage points")
     p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser("faultsim",
+                       help="seeded fault-injection campaign")
+    p.add_argument("--trials", type=int, default=24)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sites",
+                   default="uvector_a,uvector_b,accmem,weight",
+                   help="comma-separated fault sites to exercise")
+    p.add_argument("--guard-level", default="full",
+                   choices=("light", "standard", "full"),
+                   help="guard level for the protected run")
+    p.set_defaults(func=_cmd_faultsim)
 
     p = sub.add_parser("report", help="write the consolidated report")
     p.add_argument("--output", default="REPORT.md")

@@ -36,6 +36,8 @@ from typing import Sequence
 
 import numpy as np
 
+from .errors import ReproError
+
 #: Multiplier width of the scalar RV64 core the paper integrates with.
 DEFAULT_MUL_WIDTH = 64
 
@@ -44,7 +46,7 @@ DEFAULT_MUL_WIDTH = 64
 SUPPORTED_BITWIDTHS = (2, 3, 4, 5, 6, 7, 8)
 
 
-class BinSegError(ValueError):
+class BinSegError(ReproError, ValueError):
     """Raised for configurations binary segmentation cannot support."""
 
 

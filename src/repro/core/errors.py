@@ -1,0 +1,29 @@
+"""Unified error hierarchy for the whole reproduction.
+
+Every subsystem raises its own error type (``BinSegError`` for datapath
+configuration, ``MicroEngineError`` for u-engine protocol violations,
+``GraphError`` for deployment-graph problems, ``GuardError`` for runtime
+integrity-guard trips), but all of them derive from :class:`ReproError`
+so callers that do not care *which* layer failed can catch one type::
+
+    try:
+        engine.run(x)
+    except ReproError as exc:
+        log_and_reject(exc)
+
+The concrete errors keep their historical stdlib bases (``ValueError`` /
+``RuntimeError``) via multiple inheritance, so pre-existing ``except``
+clauses keep working.
+
+This module must stay dependency-free: it is imported by ``core``,
+``runtime`` and ``robustness`` alike.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error the reproduction raises deliberately."""
+
+
+__all__ = ["ReproError"]

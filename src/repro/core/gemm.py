@@ -117,6 +117,19 @@ class MixGemm:
         :class:`repro.sim.trace.GemmMemorySystem`).  When given, u-vector
         loads and C updates are charged simulated cache latencies instead
         of the constant :class:`KernelCosts` figures.
+    fault_hook:
+        Optional fault injector (duck-typed; see
+        :class:`repro.robustness.faults.FaultInjector`).  Its
+        ``on_pack(operand, packed)`` is called after each operand is
+        compressed -- modelling corruption of the stored u-vectors -- and
+        it is forwarded to the engine for AccMem faults.
+    pack_guard:
+        Optional integrity guard (duck-typed; see
+        :class:`repro.robustness.guards.PackGuard`).  Checksums are taken
+        at pack time and verified before the u-kernel consumes the
+        words; the accumulated C is range-checked against the algebraic
+        bound.  Guard failures raise
+        :class:`repro.robustness.errors.GuardError`.
     """
 
     def __init__(
@@ -126,11 +139,16 @@ class MixGemm:
         emulate_datapath: bool = True,
         costs: KernelCosts | None = None,
         memory=None,
+        fault_hook=None,
+        pack_guard=None,
     ) -> None:
         self.config = config
         self.costs = costs or KernelCosts()
         self.memory = memory
-        self.engine = MicroEngine(emulate_datapath=emulate_datapath)
+        self.fault_hook = fault_hook
+        self.pack_guard = pack_guard
+        self.engine = MicroEngine(emulate_datapath=emulate_datapath,
+                                  fault_hook=fault_hook)
         # kc counts 64-bit u-vectors; convert to logical elements and align
         # to whole accumulation groups so k-slices never split a u-vector.
         self._kc = aligned_kc(config.blocking.kc * config.layout.elems_a,
@@ -162,6 +180,19 @@ class MixGemm:
         packed_a = pack_matrix_a(a, self.config)
         packed_b = pack_matrix_b(b, self.config)
 
+        # Checksums at pack time; storage corruption (the fault hook)
+        # happens between packing and consumption, exactly where a real
+        # deployment would suffer memory soft errors.
+        if self.pack_guard is not None:
+            sum_a = self.pack_guard.checksum(packed_a)
+            sum_b = self.pack_guard.checksum(packed_b)
+        if self.fault_hook is not None:
+            packed_a = self.fault_hook.on_pack("A", packed_a)
+            packed_b = self.fault_hook.on_pack("B", packed_b)
+        if self.pack_guard is not None:
+            self.pack_guard.verify(packed_a, sum_a, "A")
+            self.pack_guard.verify(packed_b, sum_b, "B")
+
         blk = self.config.blocking
         self.engine.set_config(self.config)  # bs.set, once per GEMM
 
@@ -176,6 +207,9 @@ class MixGemm:
                         packed_a, packed_b, c,
                         ic, mc, jc, nc, pc, pc + kc,
                     )
+
+        if self.pack_guard is not None:
+            self.pack_guard.check_result(c, k)
 
         macs = m * n * k
         pmu = self.engine.pmu

@@ -40,11 +40,12 @@ from dataclasses import dataclass, field
 
 from .binseg import BinSegSpec, cluster_inner_product
 from .config import MixGemmConfig, UVectorLayout
+from .errors import ReproError
 from .isa import BsGet, BsInstruction, BsIp, BsSet, InstructionStream
 from .packing import unpack_word
 
 
-class MicroEngineError(RuntimeError):
+class MicroEngineError(ReproError, RuntimeError):
     """Raised on protocol violations (e.g. bs.ip before bs.set)."""
 
 
@@ -265,11 +266,19 @@ class MicroEngine:
         segmentation pack/multiply/slice pipeline; when false the group
         inner product is computed directly (identical result -- asserted
         by the test-suite -- but faster for large functional runs).
+    fault_hook:
+        Optional fault-injection hook (duck-typed; see
+        :class:`repro.robustness.faults.FaultInjector`).  After every
+        accumulation group the engine calls
+        ``fault_hook.on_accumulate(accmem, group_index)``, which may flip
+        bits in the AccMem in place -- the mechanism the reliability
+        campaigns use to model accumulator soft errors.
     """
 
     def __init__(self, config: MixGemmConfig | None = None, *,
-                 emulate_datapath: bool = True) -> None:
+                 emulate_datapath: bool = True, fault_hook=None) -> None:
         self._emulate_datapath = emulate_datapath
+        self._fault_hook = fault_hook
         self._configured = False
         self._cpu_time = 0
         self._engine_time = 0
@@ -489,6 +498,9 @@ class MicroEngine:
         self._group_counter += 1
         self.pmu.groups += 1
         self.pmu.macs += sched.n_elements
+        if self._fault_hook is not None:
+            self._fault_hook.on_accumulate(self._accmem,
+                                           self._group_counter - 1)
 
     def _group_inner_product(self, a_words: list[_PendingWord],
                              b_words: list[_PendingWord],

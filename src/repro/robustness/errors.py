@@ -1,0 +1,40 @@
+"""Errors and warnings raised by the reliability layer.
+
+All errors derive from :class:`repro.core.errors.ReproError`, the shared
+base the rest of the stack adopted, so one ``except ReproError`` catches
+datapath, graph and guard failures alike.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+
+class GuardError(ReproError, RuntimeError):
+    """An integrity guard tripped: the data it protects is corrupted.
+
+    ``guard`` names the mechanism that fired (``"checksum"``, ``"range"``,
+    ``"finite"`` or ``"weight"``) so recovery policies and campaign
+    reports can attribute detections.
+    """
+
+    def __init__(self, message: str, *, guard: str = "checksum") -> None:
+        super().__init__(message)
+        self.guard = guard
+
+
+class FaultPlanError(ReproError, ValueError):
+    """Raised for malformed fault plans (unknown site, bad counts)."""
+
+
+class ReliabilityWarning(UserWarning):
+    """Structured warning emitted when a layer falls back to the
+    reference backend after retries were exhausted."""
+
+
+__all__ = [
+    "ReproError",
+    "GuardError",
+    "FaultPlanError",
+    "ReliabilityWarning",
+]

@@ -1,0 +1,102 @@
+"""Shadow verification and the detect -> retry -> fallback escalation.
+
+The repo's two GEMM backends -- the numpy integer reference and the
+bit-exact u-engine simulator -- agree bit for bit on a healthy machine
+(asserted by the tier-1 suite).  That duality is an exploitable
+redundancy: running the reference alongside the simulator turns *any*
+output-corrupting fault in the simulated datapath into a detectable
+mismatch, no matter which bit flipped.
+
+:class:`ShadowVerifier` wraps the comparison; :class:`RecoveryPolicy`
+fixes the escalation the inference engine follows when a guard or the
+shadow trips:
+
+1. **retry** the layer (a transient fault -- the model used by the fault
+   injector -- does not recur, and re-packing refreshes the u-vectors);
+2. after ``max_retries`` failed attempts, **fall back** to the reference
+   backend's result for that layer and keep the run alive;
+3. emit a structured :class:`~repro.robustness.errors.ReliabilityWarning`
+   so operators see the degradation without the run dying.
+
+Every step is recorded as a :class:`FaultEvent` on the
+:class:`~repro.runtime.engine.InferenceResult`, so an inference run
+doubles as a reliability report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One detection (and what the runtime did about it)."""
+
+    layer: str          # effective node id of the affected layer
+    op: str             # node op ("quant_conv2d", ...)
+    detected_by: str    # "checksum" | "range" | "finite" | "weight" | "shadow"
+    action: str         # "retried" | "fallback" | "restored" | "raised"
+    message: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the engine escalates when a guard trips.
+
+    ``max_retries`` re-executions per layer before degrading;
+    ``fallback`` chooses between degrading to the reference backend and
+    raising the detection to the caller; ``warn`` controls the
+    :class:`~repro.robustness.errors.ReliabilityWarning` on fallback.
+    """
+
+    max_retries: int = 1
+    fallback: bool = True
+    warn: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+
+
+class ShadowVerifier:
+    """Cross-checks a simulated layer output against the reference.
+
+    The reference is the same integer GEMM the numpy backend would have
+    produced; agreement must be exact because both sides compute exact
+    integer arithmetic.
+    """
+
+    def __init__(self) -> None:
+        self.checked = 0
+        self.mismatched = 0
+
+    def reference(self, x_q: np.ndarray, w_q: np.ndarray) -> np.ndarray:
+        return np.asarray(x_q, dtype=np.int64) @ np.asarray(
+            w_q, dtype=np.int64)
+
+    def matches(self, simulated: np.ndarray,
+                reference: np.ndarray) -> bool:
+        self.checked += 1
+        ok = bool(np.array_equal(simulated, reference))
+        if not ok:
+            self.mismatched += 1
+        return ok
+
+
+@dataclass
+class ReliabilityStats:
+    """Aggregated view of a run's fault events (convenience for reports)."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    @property
+    def detections(self) -> int:
+        return len(self.events)
+
+    def by_guard(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.detected_by] = counts.get(e.detected_by, 0) + 1
+        return counts

@@ -13,20 +13,42 @@ quantize per-tensor with the learned scale shipped in the graph, weights
 per-channel with absmax scales recomputed from the shipped weights (the
 same rule QAT trained against), zero-points are zero -- so the integer
 pipeline reproduces the QAT forward bit for bit (asserted in tests).
+
+The engine also hosts the hardened-runtime machinery
+(:mod:`repro.robustness`): a ``guard_level`` knob arms integrity checks
+from NaN/Inf fences up to per-layer shadow verification against the
+numpy reference, a ``fault_plan`` wires a deterministic fault injector
+into the simulated datapath, and :class:`InferenceResult` reports every
+detection and recovery, so a run doubles as a reliability report.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.core.config import BlockingParams, MixGemmConfig
-from repro.core.gemm import GemmResult, MixGemm
+from repro.core.gemm import GemmResult, MixGemm, reference_gemm
 from repro.nn.functional_quant import weight_absmax_scale
 from repro.nn.im2col import conv_geometry, im2row, rows_to_nchw
 from repro.quant.affine import QuantParams, quantize
+from repro.robustness.errors import GuardError, ReliabilityWarning
+from repro.robustness.faults import FaultInjector, FaultPlan
+from repro.robustness.guards import (
+    GUARD_LEVELS,
+    PackGuard,
+    TensorVault,
+    check_finite,
+    guard_rank,
+)
+from repro.robustness.recovery import (
+    FaultEvent,
+    RecoveryPolicy,
+    ShadowVerifier,
+)
 
 from .graph import GraphError, GraphModel, NodeSpec
 
@@ -51,10 +73,19 @@ class LayerStats:
 
 @dataclass
 class InferenceResult:
-    """Output batch plus accumulated simulator statistics."""
+    """Output batch plus simulator statistics and the reliability log.
+
+    ``fault_events`` records every guard detection (and what the
+    recovery policy did about it); ``recovered_layers`` lists the nodes
+    whose output was salvaged by retry, vault restore or reference
+    fallback.  A clean run has both empty.
+    """
 
     output: np.ndarray
     layer_stats: list[LayerStats] = field(default_factory=list)
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    recovered_layers: list[str] = field(default_factory=list)
+    guard_level: str = "off"
 
     @property
     def total_cycles(self) -> int:
@@ -69,16 +100,65 @@ class InferenceResult:
             return 0.0
         return 2.0 * self.total_macs / self.total_cycles * freq_ghz
 
+    def reliability_report(self) -> dict:
+        """Structured summary of what the guards saw during this run."""
+        by_guard: dict[str, int] = {}
+        for e in self.fault_events:
+            by_guard[e.detected_by] = by_guard.get(e.detected_by, 0) + 1
+        return {
+            "guard_level": self.guard_level,
+            "detections": len(self.fault_events),
+            "by_guard": by_guard,
+            "recovered_layers": list(self.recovered_layers),
+        }
+
 
 class InferenceEngine:
-    """Run a deployment graph on a chosen GEMM backend."""
+    """Run a deployment graph on a chosen GEMM backend.
+
+    Parameters
+    ----------
+    graph:
+        The deployment IR to execute.
+    backend:
+        ``"numpy"`` (integer reference) or ``"mixgemm"`` (u-engine
+        simulator with per-layer cycle accounting).
+    guard_level:
+        One of :data:`~repro.robustness.guards.GUARD_LEVELS`
+        (``off`` / ``light`` / ``standard`` / ``full``); see
+        :mod:`repro.robustness.guards` for what each level arms.
+    fault_plan:
+        Optional :class:`~repro.robustness.faults.FaultPlan`; when given,
+        a :class:`~repro.robustness.faults.FaultInjector` is wired into
+        the packed-operand and AccMem paths (and shipped weights) so the
+        guard stack can be exercised deterministically.
+    recovery:
+        Escalation policy for detections
+        (:class:`~repro.robustness.recovery.RecoveryPolicy`).
+    """
 
     def __init__(self, graph: GraphModel, *,
-                 backend: str = "numpy") -> None:
+                 backend: str = "numpy",
+                 guard_level: str = "off",
+                 fault_plan: Optional[FaultPlan] = None,
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         if backend not in ("numpy", "mixgemm"):
             raise GraphError(f"unknown backend: {backend}")
         self.graph = graph
         self.backend = backend
+        self.guard_level = guard_level
+        self._guard_rank = guard_rank(guard_level)
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.injector = (FaultInjector(fault_plan)
+                         if fault_plan is not None else None)
+        # The vault snapshots the *clean* graph at bind time; injected
+        # weight corruption happens later, at run().
+        self._vault = (TensorVault.snapshot(graph)
+                       if self._guard_rank >= 2 else None)
+        self._shadow = (ShadowVerifier()
+                        if self._guard_rank >= 3 and backend == "mixgemm"
+                        else None)
+        self._current_label = ""
 
     #: Ops consuming more than one upstream tensor.
     _BINARY_OPS = frozenset({"add", "channel_scale"})
@@ -92,10 +172,23 @@ class InferenceEngine:
         output (the Sequential chain); DAG graphs wire branches via node
         ids, with ``"input"`` naming the model input.
         """
-        result = InferenceResult(output=np.asarray(x, dtype=np.float64))
+        self._validate_node_ids()
+        if self.injector is not None:
+            self.injector.corrupt_weights(self.graph)
+        result = InferenceResult(output=np.asarray(x, dtype=np.float64),
+                                 guard_level=self.guard_level)
         values: dict[str, np.ndarray] = {"input": result.output}
         prev = "input"
+        quant_calls = 0
         for i, node in enumerate(self.graph):
+            label = node.id or f"n{i}"
+            self._current_label = label
+            if node.op in ("quant_conv2d", "quant_linear"):
+                if self.injector is not None:
+                    self.injector.begin_layer(quant_calls)
+                quant_calls += 1
+            if self._vault is not None and node.tensors:
+                self._verify_tensors(i, node, label, result)
             input_ids = node.inputs or [prev]
             try:
                 arrays = [values[name] for name in input_ids]
@@ -104,10 +197,41 @@ class InferenceEngine:
                     f"node {node.op} references unknown tensor {exc}"
                 ) from None
             out = self._dispatch(node, arrays, result)
-            prev = node.id or f"n{i}"
+            if self._guard_rank >= 1:
+                check_finite(label, out)
+            prev = label
             values[prev] = out
         result.output = values[prev]
         return result
+
+    def _validate_node_ids(self) -> None:
+        """Reject id collisions that would silently overwrite tensors."""
+        seen: set[str] = set()
+        for i, node in enumerate(self.graph):
+            nid = node.id or f"n{i}"
+            if nid == "input":
+                raise GraphError(
+                    f"node {i} ({node.op}) uses the reserved id 'input'"
+                )
+            if nid in seen:
+                raise GraphError(
+                    f"duplicate node id {nid!r} at node {i} ({node.op}); "
+                    f"its output would overwrite an earlier tensor"
+                )
+            seen.add(nid)
+
+    def _verify_tensors(self, index: int, node: NodeSpec, label: str,
+                        result: InferenceResult) -> None:
+        """Weight-vault check: restore corrupted tensors before use."""
+        for name in self._vault.verify_and_restore(index, node):
+            result.fault_events.append(FaultEvent(
+                layer=label, op=node.op, detected_by="weight",
+                action="restored",
+                message=(f"tensor {name!r} failed its bind-time CRC and "
+                         f"was restored from the vault replica"),
+            ))
+            if label not in result.recovered_layers:
+                result.recovered_layers.append(label)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Class ids for a batch (softmax-free argmax)."""
@@ -188,12 +312,70 @@ class InferenceEngine:
             signed_a=act_signed, signed_b=True,
             blocking=_SIM_BLOCKING,
         )
-        executor = MixGemm(config, emulate_datapath=False)
-        gemm: GemmResult = executor.gemm(x_q, w_q)
-        result.layer_stats.append(LayerStats(
-            op=op, config=config.name, macs=gemm.macs, cycles=gemm.cycles,
-        ))
-        return gemm.c
+        pack_guard = PackGuard(config) if self._guard_rank >= 2 else None
+        reference = (self._shadow.reference(x_q, w_q)
+                     if self._shadow is not None else None)
+        label = self._current_label
+        detected = False
+        attempts = self.recovery.max_retries + 1
+        for attempt in range(attempts):
+            retrying = attempt < attempts - 1
+            executor = MixGemm(config, emulate_datapath=False,
+                               fault_hook=self.injector,
+                               pack_guard=pack_guard)
+            try:
+                gemm: GemmResult = executor.gemm(x_q, w_q)
+            except GuardError as exc:
+                detected = True
+                result.fault_events.append(FaultEvent(
+                    layer=label, op=op, detected_by=exc.guard,
+                    action="retried" if retrying else "fallback",
+                    message=str(exc),
+                ))
+                if retrying:
+                    continue
+                return self._degrade(x_q, w_q, result, label, op, reference)
+            if (reference is not None
+                    and not self._shadow.matches(gemm.c, reference)):
+                detected = True
+                result.fault_events.append(FaultEvent(
+                    layer=label, op=op, detected_by="shadow",
+                    action="retried" if retrying else "fallback",
+                    message=("simulated output disagrees with the "
+                             "integer reference"),
+                ))
+                if retrying:
+                    continue
+                return self._degrade(x_q, w_q, result, label, op, reference)
+            result.layer_stats.append(LayerStats(
+                op=op, config=config.name, macs=gemm.macs,
+                cycles=gemm.cycles,
+            ))
+            if detected and label not in result.recovered_layers:
+                result.recovered_layers.append(label)
+            return gemm.c
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _degrade(self, x_q: np.ndarray, w_q: np.ndarray,
+                 result: InferenceResult, label: str, op: str,
+                 reference: Optional[np.ndarray]) -> np.ndarray:
+        """Retries exhausted: degrade to the reference backend or raise."""
+        if not self.recovery.fallback:
+            raise GuardError(
+                f"layer {label} ({op}) failed every guarded attempt and "
+                f"fallback is disabled",
+                guard="recovery",
+            )
+        value = reference if reference is not None else reference_gemm(
+            x_q, w_q)
+        if label not in result.recovered_layers:
+            result.recovered_layers.append(label)
+        if self.recovery.warn:
+            warnings.warn(ReliabilityWarning(
+                f"layer {label} ({op}) fell back to the numpy reference "
+                f"after exhausting {self.recovery.max_retries} retries"
+            ), stacklevel=3)
+        return value
 
     def _op_quant_linear(self, node: NodeSpec, x: np.ndarray,
                          result: InferenceResult) -> np.ndarray:

@@ -12,11 +12,14 @@ the :mod:`repro.runtime.engine` then executes it on a chosen backend.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
 
+from repro.core.binseg import SUPPORTED_BITWIDTHS
+from repro.core.errors import ReproError
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm2d,
@@ -37,8 +40,59 @@ from repro.nn.layers import (
 FORMAT_VERSION = 1
 
 
-class GraphError(ValueError):
+class GraphError(ReproError, ValueError):
     """Raised for malformed graphs or unsupported layers."""
+
+
+#: Ops whose attrs carry quantization metadata that must be validated.
+_QUANT_OPS = frozenset({"quant_conv2d", "quant_linear"})
+
+
+def _load_tensor(name: str, spec: Any) -> np.ndarray:
+    """Decode one serialized tensor, validating shape against payload."""
+    if not isinstance(spec, dict) or "shape" not in spec or "data" not in spec:
+        raise GraphError(
+            f"tensor {name!r} must be a dict with 'shape' and 'data'"
+        )
+    shape = spec["shape"]
+    if (not isinstance(shape, (list, tuple))
+            or not all(isinstance(d, int) and d >= 0 for d in shape)):
+        raise GraphError(f"tensor {name!r} has malformed shape {shape!r}")
+    try:
+        flat = np.asarray(spec["data"], dtype=np.float64).ravel()
+    except (TypeError, ValueError) as exc:
+        raise GraphError(f"tensor {name!r} holds non-numeric data: {exc}"
+                         ) from None
+    expected = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if flat.size != expected:
+        raise GraphError(
+            f"tensor {name!r} has {flat.size} elements but shape "
+            f"{list(shape)} needs {expected}"
+        )
+    if not np.all(np.isfinite(flat)):
+        raise GraphError(f"tensor {name!r} contains non-finite values")
+    return flat.reshape(shape)
+
+
+def _validate_quant_attrs(op: str, attrs: dict[str, Any]) -> None:
+    """Reject quantization metadata the runtime cannot execute."""
+    for key in ("act_bits", "weight_bits"):
+        bits = attrs.get(key)
+        if bits is None:
+            continue
+        if not isinstance(bits, int) or bits not in SUPPORTED_BITWIDTHS:
+            raise GraphError(
+                f"{op}: {key}={bits!r} outside the supported "
+                f"{SUPPORTED_BITWIDTHS[0]}-{SUPPORTED_BITWIDTHS[-1]} "
+                f"bit range"
+            )
+    scale = attrs.get("act_scale")
+    if scale is not None:
+        if (not isinstance(scale, (int, float))
+                or not math.isfinite(scale) or scale <= 0):
+            raise GraphError(
+                f"{op}: act_scale={scale!r} must be a finite positive number"
+            )
 
 
 @dataclass
@@ -75,13 +129,23 @@ class NodeSpec:
 
     @classmethod
     def from_json(cls, payload: dict) -> "NodeSpec":
+        if not isinstance(payload, dict):
+            raise GraphError(f"node payload must be a dict, got "
+                             f"{type(payload).__name__}")
+        op = payload.get("op")
+        if not isinstance(op, str) or not op:
+            raise GraphError("node payload is missing its 'op' string")
+        tensors_spec = payload.get("tensors", {})
+        if not isinstance(tensors_spec, dict):
+            raise GraphError(f"{op}: 'tensors' must be a dict")
         tensors = {
-            name: np.asarray(spec["data"],
-                             dtype=np.float64).reshape(spec["shape"])
-            for name, spec in payload.get("tensors", {}).items()
+            name: _load_tensor(name, spec)
+            for name, spec in tensors_spec.items()
         }
-        return cls(op=payload["op"], attrs=dict(payload.get("attrs", {})),
-                   tensors=tensors,
+        attrs = dict(payload.get("attrs", {}))
+        if op in _QUANT_OPS:
+            _validate_quant_attrs(op, attrs)
+        return cls(op=op, attrs=attrs, tensors=tensors,
                    inputs=list(payload.get("inputs", [])),
                    id=payload.get("id", ""))
 
@@ -108,12 +172,21 @@ class GraphModel:
 
     @classmethod
     def from_json(cls, text: str) -> "GraphModel":
-        payload = json.loads(text)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise GraphError(f"model file is not valid JSON: {exc}"
+                             ) from None
+        if not isinstance(payload, dict):
+            raise GraphError("model payload must be a JSON object")
         version = payload.get("format_version")
         if version != FORMAT_VERSION:
             raise GraphError(f"unsupported model format version {version}")
+        nodes = payload.get("nodes")
+        if not isinstance(nodes, list):
+            raise GraphError("model payload needs a 'nodes' list")
         return cls(
-            nodes=[NodeSpec.from_json(n) for n in payload["nodes"]],
+            nodes=[NodeSpec.from_json(n) for n in nodes],
             name=payload.get("name", "model"),
         )
 

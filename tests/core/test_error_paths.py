@@ -1,0 +1,99 @@
+"""Error paths of the core layer: protocol violations and bad operands.
+
+The happy paths are covered by the functional suites; these tests pin
+the *failure* behaviour -- which exception, and that it carries enough
+context to act on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.binseg import BinSegError
+from repro.core.config import MixGemmConfig
+from repro.core.errors import ReproError
+from repro.core.microengine import (
+    MicroEngine,
+    MicroEngineError,
+    distribute_elements,
+)
+from repro.core.packing import (
+    pack_kvector,
+    pack_matrix_a,
+    pack_matrix_b,
+    pack_word,
+    unpack_word,
+)
+
+
+class TestMicroEngineProtocol:
+    def test_ip_before_set(self):
+        engine = MicroEngine()
+        with pytest.raises(MicroEngineError, match="bs.ip before bs.set"):
+            engine.push_pair(0, 0)
+
+    def test_get_before_set(self):
+        engine = MicroEngine()
+        with pytest.raises(MicroEngineError, match="bs.get before bs.set"):
+            engine.read_slot(0)
+
+    def test_accmem_slot_out_of_range(self):
+        engine = MicroEngine(MixGemmConfig(bw_a=8, bw_b=8))
+        n_slots = len(engine.accmem)
+        with pytest.raises(MicroEngineError, match="out of range"):
+            engine.read_slot(n_slots)
+        with pytest.raises(MicroEngineError, match="out of range"):
+            engine.read_slot(-1)
+
+    def test_valid_slot_reads_cleanly_after_set(self):
+        engine = MicroEngine(MixGemmConfig(bw_a=8, bw_b=8))
+        value, _stall = engine.read_slot(0)
+        assert value == 0
+
+    def test_time_cannot_go_backwards(self):
+        engine = MicroEngine(MixGemmConfig(bw_a=8, bw_b=8))
+        with pytest.raises(ValueError):
+            engine.advance(-1)
+
+    def test_distribute_elements_overflow(self):
+        with pytest.raises(MicroEngineError, match="cannot fit"):
+            distribute_elements(100, 2, 8)
+
+    def test_error_is_a_runtime_and_repro_error(self):
+        assert issubclass(MicroEngineError, RuntimeError)
+        assert issubclass(MicroEngineError, ReproError)
+
+
+class TestPackingValidation:
+    def test_pack_word_capacity(self):
+        with pytest.raises(BinSegError, match="exceed u-vector capacity"):
+            pack_word(list(range(9)), bw=8)
+
+    def test_unpack_word_capacity(self):
+        with pytest.raises(BinSegError, match="cannot unpack"):
+            unpack_word(0, bw=8, count=9, signed=True)
+
+    def test_pack_empty_kvector(self):
+        with pytest.raises(BinSegError, match="empty k vector"):
+            pack_kvector([], bw=8, ku=1, group_elements=8, signed=True)
+
+    @pytest.mark.parametrize("packer", [pack_matrix_a, pack_matrix_b])
+    def test_matrix_must_be_2d(self, packer):
+        cfg = MixGemmConfig(bw_a=4, bw_b=4)
+        with pytest.raises(BinSegError, match="must be 2-D"):
+            packer(np.zeros(8, dtype=np.int64), cfg)
+
+    @pytest.mark.parametrize("packer", [pack_matrix_a, pack_matrix_b])
+    def test_matrix_must_be_integer(self, packer):
+        cfg = MixGemmConfig(bw_a=4, bw_b=4)
+        with pytest.raises(BinSegError, match="integer array"):
+            packer(np.zeros((4, 8), dtype=np.float64), cfg)
+
+    def test_matrix_values_must_fit_the_bitwidth(self):
+        cfg = MixGemmConfig(bw_a=4, bw_b=4)
+        too_big = np.full((2, 8), 8, dtype=np.int64)  # 4-bit max is 7
+        with pytest.raises(BinSegError, match="outside the 4-bit"):
+            pack_matrix_a(too_big, cfg)
+
+    def test_error_is_a_value_and_repro_error(self):
+        assert issubclass(BinSegError, ValueError)
+        assert issubclass(BinSegError, ReproError)

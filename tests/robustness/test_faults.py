@@ -1,0 +1,324 @@
+"""Fault model: specs, plans, the injector, and campaign scoring."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlockingParams, MixGemmConfig
+from repro.core.gemm import MixGemm, reference_gemm
+from repro.core.packing import pack_matrix_a, pack_matrix_b
+from repro.robustness.errors import FaultPlanError
+from repro.robustness.faults import (
+    FAULT_SITES,
+    CampaignReport,
+    FaultCampaign,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    TrialResult,
+    demo_graph,
+    demo_input,
+)
+from repro.robustness.guards import packed_checksum
+
+
+def small_config():
+    return MixGemmConfig(bw_a=4, bw_b=4,
+                         blocking=BlockingParams(mc=8, nc=8, kc=64))
+
+
+def small_operands(seed=1, m=8, k=40, n=8):
+    rng = np.random.default_rng(seed)
+    return (rng.integers(-8, 8, size=(m, k)),
+            rng.integers(-8, 8, size=(k, n)))
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(site="register_file", index=0, bit=0)
+
+    def test_negative_entropy_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultSpec(site="accmem", index=-1, bit=0)
+        with pytest.raises(FaultPlanError):
+            FaultSpec(site="accmem", index=0, bit=-1)
+
+    def test_layer_restriction_is_optional(self):
+        spec = FaultSpec(site="weight", index=3, bit=7)
+        assert spec.layer is None
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate(seed=42, n_faults=6)
+        b = FaultPlan.generate(seed=42, n_faults=6)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.generate(seed=0, n_faults=4)
+        b = FaultPlan.generate(seed=1, n_faults=4)
+        assert a != b
+
+    def test_sites_cycle(self):
+        plan = FaultPlan.generate(seed=0, n_faults=len(FAULT_SITES) * 2)
+        sites = [f.site for f in plan.faults]
+        assert sites[:len(FAULT_SITES)] == list(FAULT_SITES)
+        assert sites[len(FAULT_SITES):] == list(FAULT_SITES)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.generate(seed=0, n_faults=0)
+        with pytest.raises(FaultPlanError):
+            FaultPlan.generate(seed=0, sites=())
+
+    def test_layers_restrict_specs(self):
+        plan = FaultPlan.generate(seed=0, n_faults=4, layers=[0, 2])
+        assert all(f.layer in (0, 2) for f in plan.faults)
+
+
+class TestFaultInjectorPack:
+    def test_on_pack_flips_a_bit(self):
+        cfg = small_config()
+        a, _ = small_operands()
+        packed = pack_matrix_a(a, cfg)
+        spec = FaultSpec(site="uvector_a", index=5, bit=3)
+        inj = FaultInjector(FaultPlan(faults=(spec,)))
+        flipped = inj.on_pack("A", packed)
+        assert packed_checksum(flipped) != packed_checksum(packed)
+        assert len(inj.injected) == 1
+        assert inj.injected[0].spec is spec
+        assert inj.exhausted
+
+    def test_each_spec_fires_once(self):
+        cfg = small_config()
+        a, _ = small_operands()
+        packed = pack_matrix_a(a, cfg)
+        inj = FaultInjector(FaultPlan(
+            faults=(FaultSpec(site="uvector_a", index=5, bit=3),)))
+        inj.on_pack("A", packed)
+        again = inj.on_pack("A", packed)
+        assert packed_checksum(again) == packed_checksum(packed)
+        assert len(inj.injected) == 1
+
+    def test_operand_b_untouched_by_a_fault(self):
+        cfg = small_config()
+        _, b = small_operands()
+        packed = pack_matrix_b(b, cfg)
+        inj = FaultInjector(FaultPlan(
+            faults=(FaultSpec(site="uvector_a", index=5, bit=3),)))
+        same = inj.on_pack("B", packed)
+        assert packed_checksum(same) == packed_checksum(packed)
+        assert not inj.injected
+
+    def test_flip_targets_payload_not_padding(self):
+        # The flipped word must decode to different logical elements;
+        # padding flips would be architecturally invisible.
+        cfg = small_config()
+        a, _ = small_operands()
+        packed = pack_matrix_a(a, cfg)
+        for index in range(12):
+            inj = FaultInjector(FaultPlan(
+                faults=(FaultSpec(site="uvector_a", index=index, bit=1),)))
+            flipped = inj.on_pack("A", packed)
+            assert not np.array_equal(flipped.to_dense(), packed.to_dense())
+
+    def test_layer_scoped_spec_waits_for_its_layer(self):
+        cfg = small_config()
+        a, _ = small_operands()
+        packed = pack_matrix_a(a, cfg)
+        inj = FaultInjector(FaultPlan(
+            faults=(FaultSpec(site="uvector_a", index=0, bit=0, layer=2),)))
+        inj.begin_layer(0)
+        assert packed_checksum(inj.on_pack("A", packed)) \
+            == packed_checksum(packed)
+        inj.begin_layer(2)
+        assert packed_checksum(inj.on_pack("A", packed)) \
+            != packed_checksum(packed)
+
+
+class TestFaultInjectorAccMem:
+    def test_fires_on_trigger_group(self):
+        inj = FaultInjector(FaultPlan(
+            faults=(FaultSpec(site="accmem", index=0, bit=5),)))
+        accmem = [0] * 16
+        inj.on_accumulate(accmem, group_index=0)
+        assert accmem[0] == 1 << 5
+        assert inj.exhausted
+
+    def test_ignores_other_groups(self):
+        inj = FaultInjector(FaultPlan(
+            faults=(FaultSpec(site="accmem", index=0, bit=5),)))
+        accmem = [0] * 16
+        inj.on_accumulate(accmem, group_index=3)
+        assert accmem == [0] * 16
+        assert not inj.injected
+
+    def test_slot_and_bit_wrap_to_geometry(self):
+        # index 8 -> trigger group 0, slot 1; bit wraps into the low 40.
+        inj = FaultInjector(FaultPlan(
+            faults=(FaultSpec(site="accmem", index=8, bit=41),)))
+        accmem = [0] * 4
+        inj.on_accumulate(accmem, group_index=0)
+        assert accmem[1] == 1 << 1
+
+
+class TestFaultInjectorWeights:
+    def test_corrupt_and_restore(self):
+        graph = demo_graph()
+        spec = FaultSpec(site="weight", index=7, bit=3)
+        inj = FaultInjector(FaultPlan(faults=(spec,)))
+        originals = [n.tensors["weight"].copy()
+                     for n in graph.quantized_nodes()]
+        inj.corrupt_weights(graph)
+        assert len(inj.injected) == 1
+        after = [n.tensors["weight"] for n in graph.quantized_nodes()]
+        assert any(not np.array_equal(o, a)
+                   for o, a in zip(originals, after))
+        inj.restore()
+        assert all(np.array_equal(o, a)
+                   for o, a in zip(originals, after))
+
+    def test_no_quant_nodes_is_a_noop(self):
+        from repro.runtime.graph import GraphModel, NodeSpec
+        graph = GraphModel(nodes=[NodeSpec(op="relu")])
+        inj = FaultInjector(FaultPlan(
+            faults=(FaultSpec(site="weight", index=0, bit=0),)))
+        inj.corrupt_weights(graph)
+        assert not inj.injected
+        assert not inj.exhausted
+
+
+class TestGemmLevelInjection:
+    def test_uvector_fault_corrupts_unguarded_gemm(self):
+        cfg = small_config()
+        a, b = small_operands()
+        inj = FaultInjector(FaultPlan(
+            faults=(FaultSpec(site="uvector_a", index=0, bit=0),)))
+        result = MixGemm(cfg, emulate_datapath=False,
+                         fault_hook=inj).gemm(a, b)
+        assert len(inj.injected) == 1
+        assert not np.array_equal(result.c, reference_gemm(a, b))
+
+    def test_clean_injector_leaves_gemm_exact(self):
+        cfg = small_config()
+        a, b = small_operands()
+        inj = FaultInjector(FaultPlan(
+            faults=(FaultSpec(site="uvector_a", index=0, bit=0, layer=5),)))
+        inj.begin_layer(0)  # spec is scoped to layer 5: never fires
+        result = MixGemm(cfg, emulate_datapath=False,
+                         fault_hook=inj).gemm(a, b)
+        assert np.array_equal(result.c, reference_gemm(a, b))
+
+
+class TestTrialResult:
+    def test_silent_needs_undetected_corruption(self):
+        spec = FaultSpec(site="accmem", index=0, bit=0)
+        silent = TrialResult(spec, injected=True, detected=False,
+                             corrupted=True)
+        noticed = TrialResult(spec, injected=True, detected=True,
+                              corrupted=True)
+        masked = TrialResult(spec, injected=True, detected=False,
+                             corrupted=False)
+        assert silent.silent
+        assert not noticed.silent
+        assert not masked.silent
+
+    def test_recovered_needs_exact_output(self):
+        spec = FaultSpec(site="accmem", index=0, bit=0)
+        good = TrialResult(spec, injected=True, detected=True,
+                           corrupted=False)
+        bad = TrialResult(spec, injected=True, detected=True,
+                          corrupted=True)
+        crashed = TrialResult(spec, injected=True, detected=True,
+                              corrupted=False, failed=True)
+        assert good.recovered
+        assert not bad.recovered
+        assert not crashed.recovered
+
+
+class TestCampaignReport:
+    def _report(self):
+        spec = FaultSpec(site="uvector_a", index=0, bit=0)
+        return CampaignReport(guard_level="full", seed=0, trials=[
+            TrialResult(spec, injected=True, detected=True, corrupted=False),
+            TrialResult(spec, injected=True, detected=False, corrupted=True),
+            TrialResult(spec, injected=False, detected=False,
+                        corrupted=False),
+        ])
+
+    def test_rates_over_injected_only(self):
+        r = self._report()
+        assert r.n_trials == 3
+        assert r.n_injected == 2
+        assert r.detection_rate == 0.5
+        assert r.recovery_rate == 0.5
+        assert r.silent_rate == 0.5
+
+    def test_render_mentions_the_headline_numbers(self):
+        text = self._report().render()
+        assert "guard_level=full" in text
+        assert "silent" in text
+        assert "uvector_a" in text
+
+
+class TestDemoModel:
+    def test_demo_graph_is_deterministic(self):
+        a, b = demo_graph(), demo_graph()
+        wa = a.quantized_nodes()[0].tensors["weight"]
+        wb = b.quantized_nodes()[0].tensors["weight"]
+        assert np.array_equal(wa, wb)
+
+    def test_demo_input_matches_graph(self):
+        from repro.runtime.engine import InferenceEngine
+        out = InferenceEngine(demo_graph()).run(demo_input()).output
+        assert out.shape == (2, 3)
+
+
+class TestFaultCampaign:
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        return FaultCampaign(seed=0, n_trials=8)
+
+    @pytest.fixture(scope="class")
+    def off_report(self, campaign):
+        return campaign.run(guard_level="off")
+
+    @pytest.fixture(scope="class")
+    def full_report(self, campaign):
+        return campaign.run(guard_level="full")
+
+    def test_specs_derive_from_seed(self):
+        a = FaultCampaign(seed=7, n_trials=6)
+        b = FaultCampaign(seed=7, n_trials=6)
+        assert a.specs == b.specs
+        assert FaultCampaign(seed=8, n_trials=6).specs != a.specs
+
+    def test_rejects_empty_campaign(self):
+        with pytest.raises(FaultPlanError):
+            FaultCampaign(seed=0, n_trials=0)
+
+    def test_guards_off_shows_silent_corruption(self, off_report):
+        assert off_report.n_injected == 8
+        assert off_report.n_silent > 0
+        assert off_report.n_detected == 0
+
+    def test_full_guards_detect_and_recover_everything(self, full_report):
+        assert full_report.n_injected == 8
+        assert full_report.detection_rate == 1.0
+        assert full_report.recovery_rate == 1.0
+        assert full_report.n_silent == 0
+
+    def test_campaign_is_reproducible(self, campaign, off_report):
+        again = FaultCampaign(seed=0, n_trials=8).run(guard_level="off")
+        assert again.trials == off_report.trials
+
+    def test_trials_leave_the_graph_clean(self, campaign, off_report,
+                                          full_report):
+        # Weight corruption is rolled back after every trial, so the
+        # shared graph still produces the clean reference output.
+        from repro.runtime.engine import InferenceEngine
+        ref = InferenceEngine(campaign.graph, backend="numpy")
+        out = ref.run(campaign.x).output
+        fresh = FaultCampaign(seed=0, n_trials=8)
+        clean = InferenceEngine(fresh.graph, backend="numpy")
+        assert np.array_equal(out, clean.run(fresh.x).output)

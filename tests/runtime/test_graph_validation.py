@@ -1,0 +1,184 @@
+"""Deserialization hardening and node-id collision detection.
+
+A shipped model file is attacker-adjacent input: every malformed payload
+must fail with a :class:`GraphError` naming the problem, never a numpy
+broadcast error three layers deep or -- worse -- a silently wrong graph.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.engine import InferenceEngine
+from repro.runtime.graph import GraphError, GraphModel, NodeSpec
+
+
+def tensor_payload(shape, data):
+    return {"shape": shape, "data": data}
+
+
+def node_payload(op="linear", **kwargs):
+    payload = {"op": op}
+    payload.update(kwargs)
+    return payload
+
+
+def model_text(nodes):
+    return json.dumps({"format_version": 1, "name": "m", "nodes": nodes})
+
+
+class TestTensorValidation:
+    def test_roundtrip_of_a_valid_node(self):
+        node = NodeSpec(op="linear",
+                        tensors={"weight": np.arange(6.0).reshape(2, 3)})
+        loaded = NodeSpec.from_json(node.to_json())
+        assert np.array_equal(loaded.tensors["weight"],
+                              node.tensors["weight"])
+
+    def test_element_count_must_match_shape(self):
+        payload = node_payload(tensors={
+            "weight": tensor_payload([2, 2], [1.0, 2.0, 3.0])})
+        with pytest.raises(GraphError, match="3 elements"):
+            NodeSpec.from_json(payload)
+
+    @pytest.mark.parametrize("shape", [[2, -1], [2, "x"], "2x2", 4])
+    def test_malformed_shape_rejected(self, shape):
+        payload = node_payload(tensors={
+            "weight": {"shape": shape, "data": [1.0] * 4}})
+        with pytest.raises(GraphError, match="shape"):
+            NodeSpec.from_json(payload)
+
+    @pytest.mark.parametrize("data", [["a", "b"], [[1.0], [2.0, 3.0]]])
+    def test_non_numeric_or_ragged_data_rejected(self, data):
+        payload = node_payload(tensors={
+            "weight": tensor_payload([2], data)})
+        with pytest.raises(GraphError):
+            NodeSpec.from_json(payload)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     -float("inf")])
+    def test_non_finite_values_rejected(self, bad):
+        payload = node_payload(tensors={
+            "weight": tensor_payload([2], [1.0, bad])})
+        with pytest.raises(GraphError, match="non-finite"):
+            NodeSpec.from_json(payload)
+
+    def test_tensor_spec_must_be_a_dict(self):
+        payload = node_payload(tensors={"weight": [1.0, 2.0]})
+        with pytest.raises(GraphError, match="'shape' and 'data'"):
+            NodeSpec.from_json(payload)
+
+    def test_scalar_shape_means_one_element(self):
+        payload = node_payload(tensors={
+            "weight": tensor_payload([], [3.5])})
+        node = NodeSpec.from_json(payload)
+        assert node.tensors["weight"].shape == ()
+
+
+class TestQuantAttrValidation:
+    def _payload(self, **attrs):
+        base = {"act_bits": 8, "weight_bits": 4, "act_signed": False,
+                "act_scale": 0.05}
+        base.update(attrs)
+        return node_payload(op="quant_linear", attrs=base)
+
+    def test_valid_attrs_accepted(self):
+        node = NodeSpec.from_json(self._payload())
+        assert node.attrs["act_bits"] == 8
+
+    @pytest.mark.parametrize("bits", [1, 9, 0, -4, 4.0, "8"])
+    def test_unsupported_bitwidths_rejected(self, bits):
+        with pytest.raises(GraphError, match="bit range"):
+            NodeSpec.from_json(self._payload(act_bits=bits))
+        with pytest.raises(GraphError, match="bit range"):
+            NodeSpec.from_json(self._payload(weight_bits=bits))
+
+    def test_weight_only_quantization_allows_none_act_bits(self):
+        payload = self._payload(act_bits=None)
+        del payload["attrs"]["act_scale"]
+        node = NodeSpec.from_json(payload)
+        assert node.attrs["act_bits"] is None
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0, float("nan"),
+                                       float("inf"), "0.05"])
+    def test_bad_act_scale_rejected(self, scale):
+        with pytest.raises(GraphError, match="act_scale"):
+            NodeSpec.from_json(self._payload(act_scale=scale))
+
+    def test_float_ops_skip_quant_validation(self):
+        # A float linear node may carry arbitrary attrs untouched.
+        node = NodeSpec.from_json(node_payload(op="linear",
+                                               attrs={"act_bits": 99}))
+        assert node.attrs["act_bits"] == 99
+
+
+class TestNodePayloadValidation:
+    @pytest.mark.parametrize("payload", [[], "relu", 7, None])
+    def test_node_must_be_a_dict(self, payload):
+        with pytest.raises(GraphError, match="must be a dict"):
+            NodeSpec.from_json(payload)
+
+    @pytest.mark.parametrize("op", [None, "", 3])
+    def test_op_must_be_a_nonempty_string(self, op):
+        payload = {"op": op} if op is not None else {}
+        with pytest.raises(GraphError, match="'op'"):
+            NodeSpec.from_json(payload)
+
+    def test_tensors_must_be_a_dict(self):
+        with pytest.raises(GraphError, match="'tensors'"):
+            NodeSpec.from_json(node_payload(tensors=[1, 2]))
+
+
+class TestModelPayloadValidation:
+    def test_invalid_json_text(self):
+        with pytest.raises(GraphError, match="not valid JSON"):
+            GraphModel.from_json("{nope")
+
+    def test_payload_must_be_an_object(self):
+        with pytest.raises(GraphError, match="JSON object"):
+            GraphModel.from_json("[1, 2]")
+
+    def test_wrong_format_version(self):
+        text = json.dumps({"format_version": 99, "nodes": []})
+        with pytest.raises(GraphError, match="version"):
+            GraphModel.from_json(text)
+
+    def test_nodes_must_be_a_list(self):
+        text = json.dumps({"format_version": 1, "nodes": {"op": "relu"}})
+        with pytest.raises(GraphError, match="'nodes' list"):
+            GraphModel.from_json(text)
+
+    def test_valid_model_roundtrips(self):
+        graph = GraphModel(nodes=[NodeSpec(op="relu")], name="tiny")
+        loaded = GraphModel.from_json(model_text(
+            [n.to_json() for n in graph.nodes]))
+        assert len(loaded) == 1
+        assert loaded.nodes[0].op == "relu"
+
+
+class TestNodeIdCollisions:
+    def _run(self, nodes):
+        graph = GraphModel(nodes=nodes)
+        return InferenceEngine(graph).run(np.ones((1, 4)))
+
+    def test_reserved_input_id_rejected(self):
+        with pytest.raises(GraphError, match="reserved id 'input'"):
+            self._run([NodeSpec(op="relu", id="input")])
+
+    def test_duplicate_explicit_ids_rejected(self):
+        with pytest.raises(GraphError, match="duplicate node id 'a'"):
+            self._run([NodeSpec(op="relu", id="a"),
+                       NodeSpec(op="identity", id="a")])
+
+    def test_explicit_id_colliding_with_auto_id_rejected(self):
+        # Node 0 gets the implicit id "n0"; an explicit "n0" later would
+        # silently overwrite its output tensor.
+        with pytest.raises(GraphError, match="duplicate node id 'n0'"):
+            self._run([NodeSpec(op="relu"),
+                       NodeSpec(op="identity", id="n0")])
+
+    def test_distinct_ids_run_fine(self):
+        result = self._run([NodeSpec(op="relu", id="a"),
+                            NodeSpec(op="identity", id="b")])
+        assert result.output.shape == (1, 4)

@@ -13,7 +13,7 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("info", "gemm", "figure6", "figure7", "table",
-                        "network", "explore", "report"):
+                        "network", "explore", "report", "faultsim"):
             # parse_args should accept each command's minimal invocation.
             if command == "table":
                 args = parser.parse_args([command, "1"])
@@ -71,3 +71,20 @@ class TestCommands:
     def test_unknown_network_raises(self):
         with pytest.raises(KeyError):
             main(["network", "lenet"])
+
+
+class TestFaultsim:
+    def test_campaign_passes_at_full_guards(self, capsys):
+        assert main(["faultsim", "--trials", "8", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "guard_level=off" in out
+        assert "guard_level=full" in out
+        assert "PASS" in out
+
+    def test_unknown_site_rejected(self, capsys):
+        assert main(["faultsim", "--sites", "tlb"]) == 2
+        assert "unknown fault site" in capsys.readouterr().err
+
+    def test_guard_level_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faultsim", "--guard-level", "off"])
