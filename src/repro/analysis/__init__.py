@@ -1,0 +1,75 @@
+"""Static analysis for the Mix-GEMM reproduction.
+
+Two cooperating layers, surfaced together through ``repro check``:
+
+* **Contract checker** (:mod:`repro.analysis.contracts`) -- proves,
+  over a deployment :class:`~repro.runtime.graph.GraphModel` plus a
+  :class:`~repro.core.config.MixGemmConfig`, that the dynamic engine
+  cannot overflow its AccMem accumulators (Eq. 5 worst-case bound over
+  the im2col-lowered K), deadlock in the Source Buffers, or trip over
+  malformed quantization metadata -- without executing a single GEMM.
+* **Repo-invariant linter** (:mod:`repro.analysis.astlint`) -- an
+  ``ast``-level linter enforcing the REP001-REP005 house rules (error
+  hierarchy, seeded RNG, integer-exact kernels, honest error handling,
+  unit-annotated cost models).
+
+Findings are :class:`~repro.analysis.diagnostics.Diagnostic` records
+collected into a :class:`~repro.analysis.diagnostics.DiagnosticReport`,
+renderable as text, JSON, or SARIF 2.1.0
+(:mod:`repro.analysis.sarif`) for CI code-scanning upload.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.astlint import (
+    LINT_RULES,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.contracts import (
+    CONTRACT_RULES,
+    check_config,
+    check_graph,
+    check_graph_file,
+    check_graph_structure,
+    check_overflow,
+)
+from repro.analysis.diagnostics import (
+    AnalysisError,
+    Diagnostic,
+    DiagnosticReport,
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    severity_rank,
+)
+from repro.analysis.sarif import to_sarif, to_sarif_json
+
+#: Every rule id ``repro check`` can emit.
+ALL_RULES: dict[str, str] = {**CONTRACT_RULES, **LINT_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisError",
+    "CONTRACT_RULES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ERROR",
+    "INFO",
+    "LINT_RULES",
+    "SEVERITIES",
+    "WARNING",
+    "check_config",
+    "check_graph",
+    "check_graph_file",
+    "check_graph_structure",
+    "check_overflow",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "severity_rank",
+    "to_sarif",
+    "to_sarif_json",
+]

@@ -1,0 +1,386 @@
+"""Repo-invariant linter: ``ast``-level rules the reproduction lives by.
+
+Five rules, numbered flake8-style; each encodes an invariant the
+codebase promises elsewhere (error hierarchy in ``core/errors.py``,
+determinism in the test harness, integer-exactness of the kernel
+modules, honest error handling, unit-annotated cost models):
+
+* **REP001** -- every exception class derives from ``ReproError``;
+* **REP002** -- no unseeded global RNG (``np.random.rand`` and friends,
+  bare ``random.*``) outside test code;
+* **REP003** -- integer kernel modules (``core/binseg.py``,
+  ``core/packing.py``, ``core/microengine.py``, ``core/gemm.py``) may
+  only produce floats inside functions explicitly annotated
+  ``-> float``;
+* **REP004** -- no bare ``except:`` and no ``except Exception: pass``;
+* **REP005** -- cycle/energy-model functions in ``sim/perf.py`` and
+  ``sim/energy.py`` document their units in the docstring.
+
+Suppress a finding with a trailing ``# repro: noqa`` (everything on the
+line) or ``# repro: noqa REP003`` / ``REP003,REP005`` (those rules).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.diagnostics import (
+    AnalysisError,
+    Diagnostic,
+    DiagnosticReport,
+    ERROR,
+)
+
+LINT_RULES: dict[str, str] = {
+    "REP001": "exception classes must derive from ReproError",
+    "REP002": "unseeded global RNG use outside tests",
+    "REP003": "float arithmetic in an integer kernel module",
+    "REP004": "bare except or silently swallowed Exception",
+    "REP005": "cost-model function docstring does not state its units",
+    "REP000": "lint target is not parseable Python",
+}
+
+#: Module path suffixes (POSIX form) where REP003 applies.
+KERNEL_MODULE_SUFFIXES = (
+    "core/binseg.py",
+    "core/packing.py",
+    "core/microengine.py",
+    "core/gemm.py",
+)
+
+#: Module path suffixes where REP005 applies.
+COST_MODEL_SUFFIXES = (
+    "sim/perf.py",
+    "sim/energy.py",
+)
+
+#: Builtin exception names a class may subclass *alongside* a ReproError
+#: lineage, but never alone (REP001).
+_BUILTIN_EXCEPTIONS = frozenset({
+    "BaseException", "Exception", "ArithmeticError", "AssertionError",
+    "AttributeError", "BufferError", "EOFError", "FloatingPointError",
+    "ImportError", "IndexError", "KeyError", "LookupError",
+    "MemoryError", "NameError", "NotImplementedError", "OSError",
+    "IOError", "OverflowError", "RecursionError", "ReferenceError",
+    "RuntimeError", "StopIteration", "SyntaxError", "SystemError",
+    "TypeError", "ValueError", "ZeroDivisionError",
+})
+
+#: ``np.random.<fn>`` calls that hit numpy's *global* RNG state.  The
+#: seedable constructors (``default_rng``/``RandomState``/``Generator``/
+#: ``SeedSequence``) are excluded and instead checked for a seed arg.
+_NP_SEEDABLE = frozenset({
+    "default_rng", "RandomState", "Generator", "SeedSequence",
+    "BitGenerator", "PCG64", "Philox", "MT19937", "SFC64",
+})
+
+#: Functions of the stdlib ``random`` module's hidden global instance.
+_STDLIB_RANDOM_FNS = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "randbytes",
+    "seed",
+})
+
+#: Name fragments that mark a function as part of the cost model
+#: (REP005 trigger), matched against ``_``-split name tokens.
+_COST_NAME_TOKENS = frozenset({
+    "energy", "cycle", "cycles", "watt", "watts", "power", "pj",
+    "joule", "joules", "second", "seconds", "gops", "tops", "hz",
+    "latency",
+})
+
+#: Substrings that count as a unit statement inside a docstring.
+_UNIT_PATTERN = re.compile(
+    r"pJ|joule|watt|\bW\b|GOPS|TOPS|cycle|second|\b[GMk]?Hz\b|\bmW\b|"
+    r"\bms\b|\bns\b|\bus\b",
+)
+
+_NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa\b[:\s]*(?P<rules>(?:REP\d{3}[,\s]*)*)",
+)
+
+
+def _noqa_rules(line: str) -> frozenset[str] | None:
+    """Rules suppressed on ``line``; empty set = all; None = no noqa."""
+    match = _NOQA_PATTERN.search(line)
+    if match is None:
+        return None
+    return frozenset(re.findall(r"REP\d{3}", match.group("rules")))
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for an Attribute/Name chain, '' for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def is_test_path(path: str) -> bool:
+    """True for files REP002 exempts (test and conftest modules)."""
+    p = Path(path)
+    if any(part in ("tests", "test") for part in p.parts):
+        return True
+    return p.name.startswith("test_") or p.name == "conftest.py"
+
+
+class RepoInvariantVisitor(ast.NodeVisitor):
+    """Single-pass visitor emitting REP001-REP005 diagnostics."""
+
+    def __init__(self, path: str = "") -> None:
+        self.path = path
+        self.diagnostics: list[Diagnostic] = []
+        posix = Path(path).as_posix() if path else ""
+        self._kernel = posix.endswith(KERNEL_MODULE_SUFFIXES)
+        self._cost_model = posix.endswith(COST_MODEL_SUFFIXES)
+        self._test_file = is_test_path(path) if path else False
+        #: Stack of ``returns -> float`` flags for enclosing functions.
+        self._float_ok: list[bool] = []
+
+    # -- plumbing ----------------------------------------------------
+
+    def _emit(self, rule: str, node: ast.AST, message: str,
+              hint: str = "") -> None:
+        self.diagnostics.append(Diagnostic(
+            rule=rule, severity=ERROR, message=message, hint=hint,
+            path=self.path, line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+        ))
+
+    # -- REP001 ------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        base_names = [_dotted(b) for b in node.bases]
+        simple = [b.rsplit(".", 1)[-1] for b in base_names if b]
+        is_exception = any(
+            b in _BUILTIN_EXCEPTIONS or b.endswith("Error")
+            or b.endswith("Exception") or b.endswith("Warning")
+            for b in simple
+        )
+        blessed = any(
+            b == "ReproError"
+            or (b.endswith(("Error", "Exception"))
+                and b not in _BUILTIN_EXCEPTIONS)
+            for b in simple
+        )
+        if (is_exception and not blessed
+                and node.name != "ReproError"
+                and not node.name.endswith("Warning")):
+            self._emit(
+                "REP001", node,
+                f"exception class {node.name} does not derive from "
+                f"ReproError",
+                hint="add ReproError as a base (keep the stdlib base "
+                     "for backwards-compatible except clauses)",
+            )
+        self.generic_visit(node)
+
+    # -- REP002 ------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self._test_file:
+            self._check_rng_call(node)
+        if self._kernel and isinstance(node.func, ast.Name) \
+                and node.func.id == "float" and not self._in_float_fn():
+            self._emit(
+                "REP003", node,
+                "float() conversion in an integer kernel module",
+                hint="move the conversion into a function annotated "
+                     "'-> float'",
+            )
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if not name:
+            return
+        parts = name.split(".")
+        # numpy's module-level RNG: np.random.rand / numpy.random.rand
+        if len(parts) >= 3 and parts[-2] == "random" \
+                and parts[0] in ("np", "numpy"):
+            fn = parts[-1]
+            if fn not in _NP_SEEDABLE:
+                self._emit(
+                    "REP002", node,
+                    f"{name}() draws from numpy's global unseeded RNG",
+                    hint="thread an np.random.default_rng(seed) "
+                         "Generator through instead",
+                )
+                return
+        # Seedable constructors called without a seed are still unseeded.
+        if parts[-1] in ("default_rng", "RandomState") \
+                and "random" in parts and not node.args \
+                and not node.keywords:
+            self._emit(
+                "REP002", node,
+                f"{name}() without a seed is nondeterministic",
+                hint="pass an explicit integer seed",
+            )
+            return
+        # stdlib random module's hidden global instance.
+        if len(parts) == 2 and parts[0] == "random" \
+                and parts[1] in _STDLIB_RANDOM_FNS:
+            self._emit(
+                "REP002", node,
+                f"{name}() uses the stdlib global RNG",
+                hint="use random.Random(seed) or an explicit numpy "
+                     "Generator",
+            )
+
+    # -- REP003 ------------------------------------------------------
+
+    def _in_float_fn(self) -> bool:
+        return bool(self._float_ok) and self._float_ok[-1]
+
+    def _returns_float(self, node) -> bool:
+        r = node.returns
+        return isinstance(r, ast.Name) and r.id == "float"
+
+    def _visit_function(self, node) -> None:
+        self._float_ok.append(self._returns_float(node))
+        if self._cost_model:
+            self._check_cost_model_docstring(node)
+        self.generic_visit(node)
+        self._float_ok.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if self._kernel and isinstance(node.value, float) \
+                and not self._in_float_fn():
+            self._emit(
+                "REP003", node,
+                f"float literal {node.value!r} in an integer kernel "
+                f"module",
+                hint="integer kernels must stay bit-exact; floats are "
+                     "allowed only in functions annotated '-> float'",
+            )
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if self._kernel and isinstance(node.op, ast.Div) \
+                and not self._in_float_fn():
+            self._emit(
+                "REP003", node,
+                "true division '/' always produces a float",
+                hint="use '//' for exact integer math, or annotate the "
+                     "enclosing function '-> float'",
+            )
+        self.generic_visit(node)
+
+    # -- REP004 ------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(
+                "REP004", node,
+                "bare 'except:' catches SystemExit and KeyboardInterrupt",
+                hint="name the exceptions this handler expects",
+            )
+        else:
+            caught = _dotted(node.type).rsplit(".", 1)[-1]
+            only_pass = all(isinstance(s, ast.Pass) for s in node.body)
+            if caught in ("Exception", "BaseException") and only_pass:
+                self._emit(
+                    "REP004", node,
+                    f"'except {caught}: pass' silently swallows every "
+                    f"failure",
+                    hint="narrow the exception type or at least record "
+                         "the failure",
+                )
+        self.generic_visit(node)
+
+    # -- REP005 ------------------------------------------------------
+
+    def _check_cost_model_docstring(self, node) -> None:
+        if node.name.startswith("_"):
+            return
+        tokens = set(node.name.lower().split("_"))
+        if not tokens & _COST_NAME_TOKENS:
+            return
+        doc = ast.get_docstring(node) or ""
+        if not _UNIT_PATTERN.search(doc):
+            self._emit(
+                "REP005", node,
+                f"cost-model function {node.name}() does not state its "
+                f"units in a docstring",
+                hint="say what the number means: cycles, seconds, pJ, "
+                     "W, GOPS/W, ...",
+            )
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one module's source text; applies ``# repro: noqa``."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            rule="REP000", severity=ERROR,
+            message=f"cannot parse: {exc.msg}",
+            path=path, line=exc.lineno or 0, col=exc.offset or 1,
+        )]
+    visitor = RepoInvariantVisitor(path)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    kept: list[Diagnostic] = []
+    for diag in visitor.diagnostics:
+        if 1 <= diag.line <= len(lines):
+            rules = _noqa_rules(lines[diag.line - 1])
+            if rules is not None and (not rules or diag.rule in rules):
+                continue
+        kept.append(diag)
+    return kept
+
+
+def lint_file(path: str | Path) -> list[Diagnostic]:
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read lint target {p}: {exc}") from exc
+    return lint_source(source, str(p))
+
+
+def iter_python_files(target: str | Path):
+    """Yield ``.py`` files under ``target`` (a file or a directory)."""
+    p = Path(target)
+    if p.is_file():
+        yield p
+    elif p.is_dir():
+        yield from sorted(p.rglob("*.py"))
+    else:
+        raise AnalysisError(f"lint target {p} does not exist")
+
+
+def lint_paths(targets) -> DiagnosticReport:
+    """Lint every ``.py`` file under the given files/directories."""
+    report = DiagnosticReport()
+    for target in targets:
+        for path in iter_python_files(target):
+            report.extend(lint_file(path))
+    return report
+
+
+__all__ = [
+    "KERNEL_MODULE_SUFFIXES",
+    "COST_MODEL_SUFFIXES",
+    "LINT_RULES",
+    "RepoInvariantVisitor",
+    "is_test_path",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

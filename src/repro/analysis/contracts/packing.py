@@ -1,0 +1,87 @@
+"""Packing-layout contract: one config's u-vector scheme is executable.
+
+Everything here is decidable from a :class:`~repro.core.config.MixGemmConfig`
+alone: the bitwidth pair must map onto whole elements-per-word, kua/kub
+must sit in the RF-imposed band and stage through the Source Buffers
+without deadlock, and the binary-segmentation spec must fit at least one
+cluster into the multiplier.  A violation at this layer means *every*
+GEMM under the config fails, regardless of data.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import Diagnostic, ERROR, WARNING
+from repro.core.binseg import BinSegError, input_cluster_size
+from repro.core.config import MixGemmConfig, select_ku
+
+PACKING_RULES: dict[str, str] = {
+    "PACK-LAYOUT": "u-vector layout is inconsistent with the bitwidth pair",
+    "PACK-DEPTH": "Source Buffer depth cannot stage one accumulation group",
+    "PACK-CLUSTER": "multiplier cannot hold a single input-cluster",
+    "PACK-PAD": "kua/kub choice pads more slots than the balanced optimum",
+}
+
+
+def check_config(config: MixGemmConfig, *, node: str = "",
+                 path: str = "") -> list[Diagnostic]:
+    """Validate one configuration's packing scheme statically."""
+    diags: list[Diagnostic] = []
+    layout = config.layout
+    for problem in layout.consistency_problems():
+        diags.append(Diagnostic(
+            rule="PACK-LAYOUT", severity=ERROR,
+            message=f"{config.name}: {problem}",
+            hint="derive the layout via MixGemmConfig/select_ku instead "
+                 "of constructing it by hand",
+            node=node, path=path,
+        ))
+    if diags:
+        # The remaining checks evaluate derived quantities that are
+        # meaningless (or raise) on an inconsistent layout.
+        return diags
+
+    if config.source_buffer_depth < config.min_buffer_depth:
+        diags.append(Diagnostic(
+            rule="PACK-DEPTH", severity=ERROR,
+            message=(
+                f"{config.name}: source_buffer_depth="
+                f"{config.source_buffer_depth} is smaller than the "
+                f"kua/kub group size {config.min_buffer_depth}; the "
+                f"u-kernel deadlocks staging its first group"
+            ),
+            hint=f"raise source_buffer_depth to at least "
+                 f"{config.min_buffer_depth}",
+            node=node, path=path,
+        ))
+
+    try:
+        input_cluster_size(config.bw_a, config.bw_b, config.mul_width)
+    except BinSegError as exc:
+        diags.append(Diagnostic(
+            rule="PACK-CLUSTER", severity=ERROR,
+            message=f"{config.name}: {exc}",
+            hint="widen mul_width or narrow the operand bitwidths",
+            node=node, path=path,
+        ))
+
+    best_kua, best_kub = select_ku(config.bw_a, config.bw_b,
+                                   word_bits=config.word_bits)
+    best = MixGemmConfig(
+        bw_a=config.bw_a, bw_b=config.bw_b, kua=best_kua, kub=best_kub,
+        word_bits=config.word_bits,
+    )
+    if (layout.padding_fraction
+            > best.layout.padding_fraction + 1e-12):
+        diags.append(Diagnostic(
+            rule="PACK-PAD", severity=WARNING,
+            message=(
+                f"{config.name}: kua={config.kua}, kub={config.kub} pads "
+                f"{layout.padding_fraction:.1%} of issued slots; the "
+                f"balanced choice kua={best_kua}, kub={best_kub} pads "
+                f"{best.layout.padding_fraction:.1%}"
+            ),
+            hint="drop the explicit kua/kub override to let select_ku "
+                 "balance the streams",
+            node=node, path=path,
+        ))
+    return diags

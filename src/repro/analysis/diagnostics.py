@@ -1,0 +1,168 @@
+"""Typed diagnostics shared by the contract checker and the AST linter.
+
+A :class:`Diagnostic` is one finding: a stable rule id, a severity, a
+location (graph node id for contract checks, file/line for lint checks),
+a human message and an optional fix hint.  :class:`DiagnosticReport`
+aggregates findings, fixes the severity ordering, and renders the text
+and JSON forms; the SARIF form lives in :mod:`repro.analysis.sarif`.
+
+Severity semantics follow the CI gate:
+
+* ``error``   -- the model/code *will* misbehave (overflow, deadlock,
+  runtime exception); ``repro check`` exits non-zero;
+* ``warning`` -- legal but fragile (no headroom, suboptimal layout);
+* ``info``    -- observations that cost nothing to know.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: All severities, strongest first (index = rank).
+SEVERITIES = (ERROR, WARNING, INFO)
+
+
+class AnalysisError(ReproError, ValueError):
+    """Raised when the analysis layer itself is misused (bad severity,
+    unreadable lint target) -- never for findings, which are data."""
+
+
+def severity_rank(severity: str) -> int:
+    """0 for ``error``, 1 for ``warning``, 2 for ``info``."""
+    if severity not in SEVERITIES:
+        raise AnalysisError(
+            f"unknown severity {severity!r}; choose from {SEVERITIES}"
+        )
+    return SEVERITIES.index(severity)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static finding.
+
+    ``rule`` is the stable identifier (``ACC-OVERFLOW``, ``REP001``, ...)
+    documented in ``docs/static_analysis.md``.  Exactly one location
+    family is populated: graph findings carry ``node`` (and ``path`` of
+    the model file when known); lint findings carry ``path``/``line``/
+    ``col``.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    hint: str = ""
+    node: str = ""
+    path: str = ""
+    line: int = 0
+    col: int = 0
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validate eagerly
+
+    def location(self) -> str:
+        """Human-readable location prefix, empty when unknown."""
+        if self.node:
+            base = f"{self.path}:" if self.path else ""
+            return f"{base}node '{self.node}'"
+        if self.path:
+            if self.line:
+                return f"{self.path}:{self.line}:{self.col or 1}"
+            return self.path
+        return ""
+
+    def render(self) -> str:
+        loc = self.location()
+        parts = [f"{loc}: " if loc else "",
+                 f"{self.severity} [{self.rule}] {self.message}"]
+        if self.hint:
+            parts.append(f"  (hint: {self.hint})")
+        return "".join(parts)
+
+    def to_json(self) -> dict:
+        payload = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        for key in ("hint", "node", "path"):
+            value = getattr(self, key)
+            if value:
+                payload[key] = value
+        if self.line:
+            payload["line"] = self.line
+            payload["col"] = self.col
+        return payload
+
+
+@dataclass
+class DiagnosticReport:
+    """An ordered collection of findings plus the CI exit-code policy."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics) -> None:
+        for d in diagnostics:
+            self.add(d)
+
+    def by_severity(self, severity: str) -> list[Diagnostic]:
+        severity_rank(severity)
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(WARNING)
+
+    def counts(self) -> dict[str, int]:
+        return {s: len(self.by_severity(s)) for s in SEVERITIES}
+
+    def sorted(self) -> list[Diagnostic]:
+        """Findings ordered by severity, then file, then line."""
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (severity_rank(d.severity), d.path, d.line,
+                           d.node, d.rule),
+        )
+
+    def exit_code(self, fail_on: str = ERROR) -> int:
+        """0 when clean, 1 when any finding at/above ``fail_on`` exists."""
+        threshold = severity_rank(fail_on)
+        return int(any(severity_rank(d.severity) <= threshold
+                       for d in self.diagnostics))
+
+    def summary(self) -> str:
+        c = self.counts()
+        if not self.diagnostics:
+            return "clean: no diagnostics"
+        return (f"{c[ERROR]} error(s), {c[WARNING]} warning(s), "
+                f"{c[INFO]} info")
+
+    def render_text(self) -> str:
+        lines = [d.render() for d in self.sorted()]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "diagnostics": [d.to_json() for d in self.sorted()],
+            "counts": self.counts(),
+        }, indent=2)

@@ -11,7 +11,9 @@ Commands mirror the evaluation:
 * ``explore``         -- per-layer mixed-precision search;
 * ``report``          -- run everything and write a consolidated report;
 * ``faultsim``        -- seeded fault-injection campaign against the
-  hardened runtime (detection / recovery / silent-corruption rates).
+  hardened runtime (detection / recovery / silent-corruption rates);
+* ``check``           -- static quantization-contract checker over a
+  deployment graph plus the repo-invariant linter (text/JSON/SARIF).
 """
 
 from __future__ import annotations
@@ -182,6 +184,49 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        AnalysisError,
+        DiagnosticReport,
+        check_graph_file,
+        lint_paths,
+        to_sarif_json,
+    )
+
+    if not args.graph and not args.lint:
+        print("nothing to check: pass --graph MODEL.json and/or "
+              "--lint PATH", file=sys.stderr)
+        return 2
+    accmem_bits = args.accmem_bits
+    if accmem_bits is None:
+        from repro.core.config import DEFAULT_ACCMEM_BITS
+        accmem_bits = DEFAULT_ACCMEM_BITS
+    report = DiagnosticReport()
+    for model in args.graph:
+        report.extend(check_graph_file(model, accmem_bits=accmem_bits))
+    if args.lint:
+        try:
+            report.extend(lint_paths(args.lint))
+        except AnalysisError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
+    if args.format == "json":
+        rendered = report.to_json()
+    elif args.format == "sarif":
+        from repro import __version__
+        rendered = to_sarif_json(report, tool_version=__version__)
+    else:
+        rendered = report.render_text()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"{report.summary()} -> {args.output}")
+    else:
+        print(rendered)
+    return report.exit_code(fail_on=args.fail_on)
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.eval.full_report import write_full_report
 
@@ -247,6 +292,32 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("light", "standard", "full"),
                    help="guard level for the protected run")
     p.set_defaults(func=_cmd_faultsim)
+
+    p = sub.add_parser(
+        "check",
+        help="static contract checker + repo invariant linter")
+    p.add_argument("--graph", action="append", default=[],
+                   metavar="MODEL.json",
+                   help="contract-check a serialized GraphModel "
+                        "(repeatable)")
+    p.add_argument("--lint", action="append", default=[],
+                   metavar="PATH",
+                   help="lint .py files under PATH against the REP "
+                        "rules (repeatable)")
+    p.add_argument("--format", default="text",
+                   choices=("text", "json", "sarif"),
+                   help="diagnostic output format")
+    p.add_argument("--output", default="",
+                   help="write diagnostics to a file instead of stdout")
+    p.add_argument("--accmem-bits", type=int, default=None,
+                   dest="accmem_bits",
+                   help="AccMem width to verify overflow bounds "
+                        "against (default: the engine's 64)")
+    p.add_argument("--fail-on", default="error",
+                   choices=("error", "warning", "info"),
+                   help="lowest severity that makes the exit code "
+                        "non-zero")
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("report", help="write the consolidated report")
     p.add_argument("--output", default="REPORT.md")

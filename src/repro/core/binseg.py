@@ -109,6 +109,18 @@ def value_range(bw: int, signed: bool) -> tuple[int, int]:
     return 0, (1 << bw) - 1
 
 
+def ceil_div(n: int, d: int) -> int:
+    """Exact ``ceil(n / d)`` in pure integer arithmetic.
+
+    ``math.ceil(n / d)`` rounds through a float and silently loses
+    precision once ``n`` exceeds 2**53; kernel code must use this
+    instead (enforced by lint rule REP003).
+    """
+    if d <= 0:
+        raise BinSegError(f"ceil_div divisor must be positive, got {d}")
+    return -(-n // d)
+
+
 def _check_elements(
     values: Sequence[int], bw: int, signed: bool, name: str
 ) -> None:
@@ -233,7 +245,7 @@ def multiplications_required(
 ) -> int:
     """Wide multiplications needed for an ``n_elements`` inner product."""
     size = input_cluster_size(bw_a, bw_b, mul_width)
-    return math.ceil(n_elements / size)
+    return ceil_div(n_elements, size)
 
 
 def arithmetic_reduction(
@@ -251,6 +263,50 @@ def arithmetic_reduction(
     baseline_ops = 2 * n_elements - 1
     segmented_ops = muls + (muls - 1)
     return baseline_ops / segmented_ops
+
+
+def worst_case_inner_product(
+    k: int,
+    bw_a: int,
+    bw_b: int,
+    *,
+    signed_a: bool = True,
+    signed_b: bool = True,
+) -> int:
+    """Largest |value| a ``k``-deep inner product can reach (Eq. 2 + 5).
+
+    Every element pair contributes at most ``max|a| * max|b|``; for signed
+    operands ``max|a| = 2**(bw_a - 1)``, so the bound is the
+    ``k * 2**(bw_a + bw_b - 2)`` figure the overflow contract quotes.
+    This is the exact algebraic worst case, not an estimate: it is reached
+    by all-minimum operand vectors.
+    """
+    if k < 0:
+        raise BinSegError(f"k must be non-negative, got {k}")
+    lo_a, hi_a = value_range(bw_a, signed_a)
+    lo_b, hi_b = value_range(bw_b, signed_b)
+    return k * max(abs(lo_a), abs(hi_a)) * max(abs(lo_b), abs(hi_b))
+
+
+def accumulator_bits_required(
+    k: int,
+    bw_a: int,
+    bw_b: int,
+    *,
+    signed_a: bool = True,
+    signed_b: bool = True,
+) -> int:
+    """Two's-complement accumulator width that provably cannot wrap.
+
+    The smallest signed width holding every value a ``k``-deep
+    ``bw_a`` x ``bw_b`` inner product can produce.  Static contract
+    checking compares this against the configured AccMem width; the
+    dynamic engine wraps exactly when this exceeds ``accmem_bits``
+    *and* the data actually excites the bound.
+    """
+    worst = worst_case_inner_product(
+        k, bw_a, bw_b, signed_a=signed_a, signed_b=signed_b)
+    return worst.bit_length() + 1  # sign bit
 
 
 @dataclass(frozen=True)

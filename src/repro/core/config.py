@@ -30,6 +30,11 @@ WORD_BITS = 64
 #: both factors at 4.
 MAX_KU = 4
 
+#: AccMem entry width in bits.  The paper's implementation registers
+#: 64-bit accumulator slots (Section III-B); narrower deployments trade
+#: area for the overflow headroom the static contract checker verifies.
+DEFAULT_ACCMEM_BITS = 64
+
 
 def elements_per_uvector(bw: int, word_bits: int = WORD_BITS) -> int:
     """Narrow elements one u-vector packs: 8 at 8-bit up to 32 at 2-bit."""
@@ -118,6 +123,34 @@ class UVectorLayout:
         """Innermost iterations needed to cover a k-long inner product."""
         return math.ceil(k / self.group_elements)
 
+    def consistency_problems(self) -> list[str]:
+        """Static layout-contract violations, empty when well-formed.
+
+        Everything the u-kernel assumes about this layout without checking
+        at runtime: supported element widths, kua/kub inside the
+        RF-imposed band, and both streams packing at least one element
+        per word so a group makes progress.
+        """
+        problems: list[str] = []
+        for name, bw in (("bw_a", self.bw_a), ("bw_b", self.bw_b)):
+            if bw not in SUPPORTED_BITWIDTHS:
+                problems.append(
+                    f"{name}={bw} outside the supported "
+                    f"{SUPPORTED_BITWIDTHS[0]}-{SUPPORTED_BITWIDTHS[-1]} "
+                    f"bit band"
+                )
+        for name, ku in (("kua", self.kua), ("kub", self.kub)):
+            if not 1 <= ku <= MAX_KU:
+                problems.append(
+                    f"{name}={ku} outside the RF-imposed range 1-{MAX_KU}"
+                )
+        if not problems and self.word_bits < max(self.bw_a, self.bw_b):
+            problems.append(
+                f"word_bits={self.word_bits} cannot hold one "
+                f"{max(self.bw_a, self.bw_b)}-bit element"
+            )
+        return problems
+
 
 # ---------------------------------------------------------------------------
 # Blocking parameters (BLIS heritage, Table I)
@@ -175,12 +208,18 @@ class MixGemmConfig:
     source_buffer_depth: int = 16
     mul_width: int = DEFAULT_MUL_WIDTH
     word_bits: int = WORD_BITS
+    accmem_bits: int = DEFAULT_ACCMEM_BITS
     kua: int | None = None
     kub: int | None = None
 
     def __post_init__(self) -> None:
         if self.source_buffer_depth < 1:
             raise ValueError("source_buffer_depth must be positive")
+        if not 8 <= self.accmem_bits <= 128:
+            raise ValueError(
+                f"accmem_bits={self.accmem_bits} outside the buildable "
+                f"8-128 bit range"
+            )
         if self.kua is None or self.kub is None:
             kua, kub = select_ku(self.bw_a, self.bw_b, word_bits=self.word_bits)
             object.__setattr__(self, "kua", self.kua or kua)
@@ -215,6 +254,25 @@ class MixGemmConfig:
     def macs_per_cycle(self) -> int:
         """Peak micro-engine throughput for this configuration."""
         return self.binseg.macs_per_cycle
+
+    @property
+    def accmem_range(self) -> tuple[int, int]:
+        """Representable ``[min, max]`` of one two's-complement AccMem slot."""
+        half = 1 << (self.accmem_bits - 1)
+        return -half, half - 1
+
+    @property
+    def min_buffer_depth(self) -> int:
+        """Smallest Source Buffer depth that can stage one full group.
+
+        A shallower buffer deadlocks the u-kernel: the DSU cannot start a
+        group until all ``kua`` (resp. ``kub``) u-vectors are buffered,
+        but the CPU stalls pushing them -- the condition
+        :class:`~repro.core.microengine.MicroEngine` raises on at runtime
+        and the packing contract rejects statically.
+        """
+        assert self.kua is not None and self.kub is not None
+        return max(self.kua, self.kub)
 
     @property
     def compression_vs_fp64(self) -> tuple[float, float]:

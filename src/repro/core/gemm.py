@@ -20,12 +20,11 @@ and loop-overhead instructions (see :class:`KernelCosts`).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from .binseg import BinSegError
+from .binseg import BinSegError, ceil_div
 from .config import MixGemmConfig
 from .microengine import MicroEngine, PmuCounters
 from .packing import (
@@ -344,8 +343,8 @@ def uvector_loads(m: int, n: int, k: int, config: MixGemmConfig) -> int:
     """Total u-vector loads a full GEMM performs (for memory accounting)."""
     lay = config.layout
     blk = config.blocking
-    groups_per_run = math.ceil(k / lay.group_elements)
-    m_tiles = math.ceil(m / blk.mr)
-    n_tiles = math.ceil(n / blk.nr)
+    groups_per_run = ceil_div(k, lay.group_elements)
+    m_tiles = ceil_div(m, blk.mr)
+    n_tiles = ceil_div(n, blk.nr)
     per_kernel = groups_per_run * (lay.kua * blk.mr + lay.kub * blk.nr)
     return m_tiles * n_tiles * per_kernel

@@ -20,6 +20,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Union
 
+from .errors import ReproError
+
 #: RISC-V custom-0 major opcode (inst[6:0]) reserved for vendor extensions.
 CUSTOM0_OPCODE = 0b0001011
 
@@ -32,7 +34,7 @@ class BsFunct3(enum.IntEnum):
     GET = 0b010
 
 
-class IsaError(ValueError):
+class IsaError(ReproError, ValueError):
     """Raised on malformed encodings or out-of-range register indices."""
 
 

@@ -49,6 +49,21 @@ class MicroEngineError(ReproError, RuntimeError):
     """Raised on protocol violations (e.g. bs.ip before bs.set)."""
 
 
+def wrap_signed(value: int, bits: int) -> int:
+    """Reduce ``value`` to a ``bits``-wide two's-complement register.
+
+    This is what a hardware accumulator of finite width does on
+    overflow: the carry out of the top bit is silently dropped.  The
+    static overflow contract (``ACC-OVERFLOW``) exists precisely to
+    prove this function is the identity for every reachable value.
+    """
+    mask = (1 << bits) - 1
+    value &= mask
+    if value >= 1 << (bits - 1):
+        value -= 1 << bits
+    return value
+
+
 def distribute_elements(n: int, n_words: int, per_word: int) -> list[int]:
     """Spread ``n`` logical elements densely over ``n_words`` u-vectors.
 
@@ -302,6 +317,7 @@ class MicroEngine:
         self._spec: BinSegSpec = config.binseg
         self._layout: UVectorLayout = config.layout
         self._depth = config.source_buffer_depth
+        self._accmem_bits = config.accmem_bits
         self._accmem = [0] * config.blocking.accmem_slots
         self._group_counter = 0
         self._configured = True
@@ -491,16 +507,21 @@ class MicroEngine:
             self._a_releases.append(finish - (sched.cycles - rel))
         for rel in sched.b_release:
             self._b_releases.append(finish - (sched.cycles - rel))
-        # Functional accumulation.
+        # Functional accumulation into a finite-width AccMem register:
+        # values past the configured width wrap exactly as hardware would.
         value = self._group_inner_product(a_words, b_words, sched)
         slot = self._group_counter % len(self._accmem)
-        self._accmem[slot] += value
+        self._accmem[slot] = wrap_signed(self._accmem[slot] + value,
+                                         self._accmem_bits)
         self._group_counter += 1
         self.pmu.groups += 1
         self.pmu.macs += sched.n_elements
         if self._fault_hook is not None:
             self._fault_hook.on_accumulate(self._accmem,
                                            self._group_counter - 1)
+            # Injected bit flips land in the same finite registers.
+            for i, v in enumerate(self._accmem):
+                self._accmem[i] = wrap_signed(v, self._accmem_bits)
 
     def _group_inner_product(self, a_words: list[_PendingWord],
                              b_words: list[_PendingWord],

@@ -20,13 +20,12 @@ bit-exact and the functional simulator unpacks them anyway).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from .binseg import BinSegError, value_range
+from .binseg import BinSegError, ceil_div, value_range
 from .config import MixGemmConfig, UVectorLayout
 
 
@@ -106,7 +105,7 @@ class KVector:
 
     @property
     def n_groups(self) -> int:
-        return math.ceil(self.k / self.group_elements)
+        return ceil_div(self.k, self.group_elements)
 
     @property
     def elems_per_word(self) -> int:
@@ -153,7 +152,7 @@ def pack_kvector(
     if k == 0:
         raise BinSegError("cannot pack an empty k vector")
     epw = word_bits // bw
-    n_groups = math.ceil(k / group_elements)
+    n_groups = ceil_div(k, group_elements)
     words: list[int] = []
     for g in range(n_groups):
         chunk = values[g * group_elements:(g + 1) * group_elements]
@@ -295,7 +294,7 @@ def _slice_kvector(kv: KVector, k_lo: int, k_hi: int) -> KVector:
             f"k slice [{k_lo}, {k_hi}) not aligned to group size {ge}"
         )
     g_lo = k_lo // ge
-    g_hi = math.ceil(k_hi / ge)
+    g_hi = ceil_div(k_hi, ge)
     words = kv.words[g_lo * kv.ku:g_hi * kv.ku]
     return KVector(
         words=words, k=k_hi - k_lo, bw=kv.bw, ku=kv.ku,

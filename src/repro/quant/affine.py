@@ -26,9 +26,10 @@ from typing import Optional
 import numpy as np
 
 from repro.core.binseg import value_range
+from repro.core.errors import ReproError
 
 
-class QuantError(ValueError):
+class QuantError(ReproError, ValueError):
     """Raised on malformed quantization parameters."""
 
 

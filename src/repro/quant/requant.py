@@ -23,11 +23,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.errors import ReproError
+
 INT32_MIN = -(1 << 31)
 INT32_MAX = (1 << 31) - 1
 
 
-class RequantError(ValueError):
+class RequantError(ReproError, ValueError):
     """Raised for unencodable multipliers."""
 
 

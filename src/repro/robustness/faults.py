@@ -449,8 +449,13 @@ class FaultCampaign:
         ]
 
     def run(self, guard_level: str = "full") -> CampaignReport:
-        from repro.runtime.engine import InferenceEngine
+        from repro.runtime.engine import InferenceEngine, SIM_BLOCKING
 
+        from .guards import static_precheck
+
+        # Fail the whole campaign up front (with the offending
+        # diagnostic) instead of once per trial inside the engine.
+        static_precheck(self.graph, blocking=SIM_BLOCKING)
         reference = InferenceEngine(
             self.graph, backend="numpy").run(self.x).output
         report = CampaignReport(guard_level=guard_level, seed=self.seed)

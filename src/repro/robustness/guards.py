@@ -36,6 +36,7 @@ from __future__ import annotations
 import time
 import zlib
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -140,6 +141,35 @@ class PackGuard:
 # ---------------------------------------------------------------------------
 # Graph-level guards
 # ---------------------------------------------------------------------------
+
+
+def static_precheck(graph, *, accmem_bits: Optional[int] = None,
+                    blocking=None) -> None:
+    """Contract-check a graph before a fault-injection run touches it.
+
+    Injecting faults into a model that already violates its static
+    contracts (accumulator overflow, broken wiring, bad quantization
+    metadata) produces meaningless campaign data, so the engine and
+    ``repro faultsim`` call this first.  Raises :class:`GuardError`
+    (``guard="static"``) naming the first error-severity diagnostic.
+    """
+    # Imported lazily: analysis -> runtime.engine -> guards would
+    # otherwise be a cycle at import time.
+    from repro.analysis import check_graph
+    from repro.core.config import DEFAULT_ACCMEM_BITS
+
+    if accmem_bits is None:
+        accmem_bits = DEFAULT_ACCMEM_BITS
+    report = check_graph(graph, accmem_bits=accmem_bits,
+                         blocking=blocking)
+    errors = report.errors
+    if errors:
+        first = errors[0]
+        raise GuardError(
+            f"static precheck failed ({len(errors)} error(s)); first: "
+            f"[{first.rule}] node {first.node or '?'}: {first.message}",
+            guard="static",
+        )
 
 
 def check_finite(label: str, arr: np.ndarray) -> None:

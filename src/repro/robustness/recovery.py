@@ -48,12 +48,16 @@ class RecoveryPolicy:
     ``max_retries`` re-executions per layer before degrading;
     ``fallback`` chooses between degrading to the reference backend and
     raising the detection to the caller; ``warn`` controls the
-    :class:`~repro.robustness.errors.ReliabilityWarning` on fallback.
+    :class:`~repro.robustness.errors.ReliabilityWarning` on fallback;
+    ``static_precheck`` makes fault-injection runs contract-check the
+    graph first (:func:`repro.robustness.guards.static_precheck`) so a
+    campaign never measures a model that was broken to begin with.
     """
 
     max_retries: int = 1
     fallback: bool = True
     warn: bool = True
+    static_precheck: bool = True
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:

@@ -30,7 +30,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.config import BlockingParams, MixGemmConfig
+from repro.core.config import (
+    BlockingParams,
+    DEFAULT_ACCMEM_BITS,
+    MixGemmConfig,
+)
 from repro.core.gemm import GemmResult, MixGemm, reference_gemm
 from repro.nn.functional_quant import weight_absmax_scale
 from repro.nn.im2col import conv_geometry, im2row, rows_to_nchw
@@ -43,6 +47,7 @@ from repro.robustness.guards import (
     TensorVault,
     check_finite,
     guard_rank,
+    static_precheck,
 )
 from repro.robustness.recovery import (
     FaultEvent,
@@ -53,8 +58,13 @@ from repro.robustness.recovery import (
 from .graph import GraphError, GraphModel, NodeSpec
 
 #: Blocking used by the simulator backend for runtime layers: small tiles
-#: keep the event-driven engine fast on laptop-scale models.
-_SIM_BLOCKING = BlockingParams(mc=16, nc=16, kc=64)
+#: keep the event-driven engine fast on laptop-scale models.  Public so
+#: the static contract checker (``repro.analysis``) can reason about the
+#: exact per-block accumulation depth the engine will use.
+SIM_BLOCKING = BlockingParams(mc=16, nc=16, kc=64)
+
+#: Backwards-compatible alias (pre-analysis name).
+_SIM_BLOCKING = SIM_BLOCKING
 
 
 @dataclass
@@ -134,18 +144,27 @@ class InferenceEngine:
         guard stack can be exercised deterministically.
     recovery:
         Escalation policy for detections
-        (:class:`~repro.robustness.recovery.RecoveryPolicy`).
+        (:class:`~repro.robustness.recovery.RecoveryPolicy`); its
+        ``static_precheck`` flag controls whether fault-injection runs
+        contract-check the graph first (see :meth:`run`).
+    accmem_bits:
+        Two's-complement width of the simulated AccMem accumulator
+        registers (default: the paper's 64-bit slots).  The static
+        checker's ``ACC-OVERFLOW`` verdicts are computed against this
+        same width, so the two stay in agreement by construction.
     """
 
     def __init__(self, graph: GraphModel, *,
                  backend: str = "numpy",
                  guard_level: str = "off",
                  fault_plan: Optional[FaultPlan] = None,
-                 recovery: Optional[RecoveryPolicy] = None) -> None:
+                 recovery: Optional[RecoveryPolicy] = None,
+                 accmem_bits: int = DEFAULT_ACCMEM_BITS) -> None:
         if backend not in ("numpy", "mixgemm"):
             raise GraphError(f"unknown backend: {backend}")
         self.graph = graph
         self.backend = backend
+        self.accmem_bits = accmem_bits
         self.guard_level = guard_level
         self._guard_rank = guard_rank(guard_level)
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
@@ -174,6 +193,13 @@ class InferenceEngine:
         """
         self._validate_node_ids()
         if self.injector is not None:
+            # A fault campaign over a graph that violates its static
+            # contracts measures nothing: wraps/crashes would be the
+            # model's fault, not the injected fault's.  Prove the graph
+            # clean first (skippable via recovery.static_precheck).
+            if self.recovery.static_precheck:
+                static_precheck(self.graph, accmem_bits=self.accmem_bits,
+                                blocking=SIM_BLOCKING)
             self.injector.corrupt_weights(self.graph)
         result = InferenceResult(output=np.asarray(x, dtype=np.float64),
                                  guard_level=self.guard_level)
@@ -310,7 +336,7 @@ class InferenceEngine:
         config = MixGemmConfig(
             bw_a=act_bits, bw_b=weight_bits,
             signed_a=act_signed, signed_b=True,
-            blocking=_SIM_BLOCKING,
+            blocking=SIM_BLOCKING, accmem_bits=self.accmem_bits,
         )
         pack_guard = PackGuard(config) if self._guard_rank >= 2 else None
         reference = (self._shadow.reference(x_q, w_q)

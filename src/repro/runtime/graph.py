@@ -47,6 +47,16 @@ class GraphError(ReproError, ValueError):
 #: Ops whose attrs carry quantization metadata that must be validated.
 _QUANT_OPS = frozenset({"quant_conv2d", "quant_linear"})
 
+#: Every operator the inference engine implements.  The static graph
+#: contract checker rejects anything outside this set before a run is
+#: ever attempted; keep in sync with the ``_op_*`` methods of
+#: :class:`repro.runtime.engine.InferenceEngine` (asserted by tests).
+SUPPORTED_OPS = frozenset({
+    "add", "avg_pool2d", "batchnorm2d", "channel_scale", "conv2d",
+    "flatten", "global_avg_pool2d", "identity", "linear", "max_pool2d",
+    "quant_conv2d", "quant_linear", "relu", "relu6", "sigmoid", "silu",
+})
+
 
 def _load_tensor(name: str, spec: Any) -> np.ndarray:
     """Decode one serialized tensor, validating shape against payload."""
@@ -127,6 +137,36 @@ class NodeSpec:
             payload["id"] = self.id
         return payload
 
+    # -- static metadata (consumed by repro.analysis, no execution) --------
+
+    def gemm_k(self) -> Optional[int]:
+        """Inner-product depth K of this node's im2col-lowered GEMM.
+
+        ``quant_conv2d`` lowers to a GEMM whose K is
+        ``(in_channels / groups) * kh * kw``; ``quant_linear``'s K is its
+        input feature count.  ``None`` for non-GEMM ops or when the
+        weight tensor is missing/malformed -- the graph contract reports
+        those separately.
+        """
+        weight = self.tensors.get("weight")
+        if weight is None:
+            return None
+        if self.op in ("quant_conv2d", "conv2d") and weight.ndim == 4:
+            return int(weight.shape[1] * weight.shape[2] * weight.shape[3])
+        if self.op in ("quant_linear", "linear") and weight.ndim == 2:
+            return int(weight.shape[1])
+        return None
+
+    def out_channels(self) -> Optional[int]:
+        """Channel (or feature) count this node produces, if derivable."""
+        weight = self.tensors.get("weight")
+        if weight is not None and self.op in (
+                "quant_conv2d", "conv2d", "quant_linear", "linear"):
+            return int(weight.shape[0])
+        if self.op == "batchnorm2d" and "gamma" in self.tensors:
+            return int(self.tensors["gamma"].size)
+        return None
+
     @classmethod
     def from_json(cls, payload: dict) -> "NodeSpec":
         if not isinstance(payload, dict):
@@ -202,6 +242,11 @@ class GraphModel:
     def quantized_nodes(self) -> list[NodeSpec]:
         return [n for n in self.nodes
                 if n.op in ("quant_conv2d", "quant_linear")]
+
+    def effective_ids(self) -> list[str]:
+        """Node output ids exactly as the engine assigns them at run time
+        (explicit ``id`` or the positional ``n<i>`` default)."""
+        return [n.id or f"n{i}" for i, n in enumerate(self.nodes)]
 
 
 def _quant_attrs(layer) -> dict[str, Any]:

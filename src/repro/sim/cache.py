@@ -13,8 +13,10 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.core.errors import ReproError
 
-class CacheError(ValueError):
+
+class CacheError(ReproError, ValueError):
     """Raised for invalid cache geometries."""
 
 

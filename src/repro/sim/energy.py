@@ -59,14 +59,17 @@ class EnergyResult:
 
     @property
     def watts(self) -> float:
+        """Average power draw over the run, in watts (W)."""
         return self.energy_pj * 1e-12 / self.seconds
 
     @property
     def gops_per_watt(self) -> float:
+        """Energy efficiency in GOPS/W (the paper's headline metric)."""
         return (self.ops / self.seconds) / self.watts / 1e9
 
     @property
     def tops_per_watt(self) -> float:
+        """Energy efficiency in TOPS/W (= GOPS/W / 1000)."""
         return self.gops_per_watt / 1000.0
 
 

@@ -62,10 +62,12 @@ class PerfResult:
 
     @property
     def total_cycles(self) -> float:
+        """End-to-end latency in core clock cycles."""
         return self.compute_cycles + self.memory_stall_cycles
 
     @property
     def macs_per_cycle(self) -> float:
+        """Sustained throughput in MACs per clock cycle."""
         return self.macs / self.total_cycles
 
     @property
@@ -75,6 +77,7 @@ class PerfResult:
 
     @property
     def seconds(self) -> float:
+        """Wall-clock latency in seconds at ``freq_ghz``."""
         return self.total_cycles / (self.freq_ghz * 1e9)
 
     def scaled(self, batch: int) -> "PerfResult":

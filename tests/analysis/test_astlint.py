@@ -1,0 +1,194 @@
+"""REP001-REP005 linter: every rule fires, every rule suppresses."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.astlint import (
+    KERNEL_MODULE_SUFFIXES,
+    is_test_path,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.diagnostics import AnalysisError
+
+
+def rules(source, path="src/repro/pkg/mod.py"):
+    return [d.rule for d in lint_source(textwrap.dedent(source), path)]
+
+
+KERNEL_PATH = "src/repro/core/binseg.py"
+
+
+class TestRep001:
+    def test_stdlib_only_base_flagged(self):
+        assert rules("class FooError(ValueError):\n    pass\n") == [
+            "REP001"]
+
+    def test_repro_error_base_passes(self):
+        assert rules(
+            "class FooError(ReproError, ValueError):\n    pass\n") == []
+
+    def test_derived_repro_error_passes(self):
+        # Subclassing another repo error type inherits the lineage.
+        assert rules("class SubError(BinSegError):\n    pass\n") == []
+
+    def test_non_exception_class_ignored(self):
+        assert rules("class Widget(Base):\n    pass\n") == []
+
+    def test_warning_classes_exempt(self):
+        assert rules(
+            "class SlowWarning(UserWarning):\n    pass\n") == []
+
+    def test_suppressed(self):
+        src = "class FooError(ValueError):  # repro: noqa REP001\n    pass\n"
+        assert rules(src) == []
+
+
+class TestRep002:
+    def test_global_numpy_rng_flagged(self):
+        assert rules("x = np.random.rand(3)\n") == ["REP002"]
+
+    def test_seeded_default_rng_passes(self):
+        assert rules("rng = np.random.default_rng(7)\n") == []
+
+    def test_unseeded_default_rng_flagged(self):
+        assert rules("rng = np.random.default_rng()\n") == ["REP002"]
+
+    def test_stdlib_random_flagged(self):
+        assert rules("import random\nx = random.random()\n") == [
+            "REP002"]
+
+    def test_test_files_exempt(self):
+        assert rules("x = np.random.rand(3)\n",
+                     path="tests/core/test_x.py") == []
+
+    def test_suppressed(self):
+        assert rules(
+            "x = np.random.rand(3)  # repro: noqa REP002\n") == []
+
+
+class TestRep003:
+    def test_float_literal_in_kernel_flagged(self):
+        assert rules("SCALE = 1.5\n", path=KERNEL_PATH) == ["REP003"]
+
+    def test_true_division_in_kernel_flagged(self):
+        assert rules("def f(a, b):\n    return a / b\n",
+                     path=KERNEL_PATH) == ["REP003"]
+
+    def test_float_call_in_kernel_flagged(self):
+        assert rules("def f(a):\n    return float(a)\n",
+                     path=KERNEL_PATH) == ["REP003"]
+
+    def test_allowed_inside_float_annotated_function(self):
+        src = "def ratio(a: int, b: int) -> float:\n    return a / b\n"
+        assert rules(src, path=KERNEL_PATH) == []
+
+    def test_floor_division_passes(self):
+        assert rules("def f(a, b):\n    return a // b\n",
+                     path=KERNEL_PATH) == []
+
+    def test_rule_scoped_to_kernel_modules(self):
+        assert rules("SCALE = 1.5\n", path="src/repro/sim/perf.py") == []
+
+    def test_suppressed(self):
+        assert rules("SCALE = 1.5  # repro: noqa REP003\n",
+                     path=KERNEL_PATH) == []
+
+    def test_kernel_suffixes_cover_the_four_modules(self):
+        assert len(KERNEL_MODULE_SUFFIXES) == 4
+
+
+class TestRep004:
+    def test_bare_except_flagged(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        assert rules(src) == ["REP004"]
+
+    def test_except_exception_pass_flagged(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert rules(src) == ["REP004"]
+
+    def test_except_exception_with_handling_passes(self):
+        src = "try:\n    f()\nexcept Exception as e:\n    log(e)\n"
+        assert rules(src) == []
+
+    def test_narrow_except_passes(self):
+        src = "try:\n    f()\nexcept ValueError:\n    pass\n"
+        assert rules(src) == []
+
+    def test_suppressed(self):
+        src = "try:\n    f()\nexcept:  # repro: noqa REP004\n    pass\n"
+        assert rules(src) == []
+
+
+class TestRep005:
+    COST_PATH = "src/repro/sim/energy.py"
+
+    def test_missing_units_flagged(self):
+        src = "def total_cycles(self):\n    return 4\n"
+        assert rules(src, path=self.COST_PATH) == ["REP005"]
+
+    def test_docstring_with_units_passes(self):
+        src = ('def total_cycles(self):\n'
+               '    """Latency in clock cycles."""\n    return 4\n')
+        assert rules(src, path=self.COST_PATH) == []
+
+    def test_non_cost_names_ignored(self):
+        src = "def helper(self):\n    return 4\n"
+        assert rules(src, path=self.COST_PATH) == []
+
+    def test_private_functions_ignored(self):
+        src = "def _cycles(self):\n    return 4\n"
+        assert rules(src, path=self.COST_PATH) == []
+
+    def test_rule_scoped_to_cost_models(self):
+        src = "def total_cycles(self):\n    return 4\n"
+        assert rules(src, path="src/repro/core/gemm.py") == []
+
+    def test_suppressed(self):
+        src = ("def watts(self):  # repro: noqa REP005\n"
+               "    return 4\n")
+        assert rules(src, path=self.COST_PATH) == []
+
+
+class TestNoqaEngine:
+    def test_blanket_noqa_suppresses_everything(self):
+        assert rules("x = np.random.rand(3)  # repro: noqa\n") == []
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        assert rules(
+            "x = np.random.rand(3)  # repro: noqa REP004\n") == [
+            "REP002"]
+
+    def test_multi_rule_noqa(self):
+        src = ("SCALE = float(1.5)  # repro: noqa REP003,REP002\n")
+        assert rules(src, path=KERNEL_PATH) == []
+
+
+class TestInfrastructure:
+    def test_syntax_error_becomes_rep000(self):
+        diags = lint_source("def broken(:\n", "bad.py")
+        assert [d.rule for d in diags] == ["REP000"]
+
+    def test_is_test_path(self):
+        assert is_test_path("tests/core/test_binseg.py")
+        assert is_test_path("conftest.py")
+        assert not is_test_path("src/repro/core/binseg.py")
+
+    def test_lint_paths_missing_target(self):
+        with pytest.raises(AnalysisError):
+            lint_paths(["/no/such/dir"])
+
+    def test_lint_paths_walks_directory(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text(
+            "class E(ValueError):\n    pass\n")
+        report = lint_paths([tmp_path])
+        assert [d.rule for d in report] == ["REP001"]
+
+    def test_repo_src_tree_is_clean(self):
+        # The satellite guarantee: zero error-severity findings on src/.
+        src = Path(__file__).resolve().parents[2] / "src"
+        report = lint_paths([src])
+        assert report.errors == []

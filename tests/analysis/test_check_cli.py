@@ -1,0 +1,136 @@
+"""``repro check`` end to end: targets, formats, exit-code gates."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.robustness.faults import demo_graph
+from repro.runtime.graph import GraphModel, NodeSpec
+
+
+@pytest.fixture()
+def clean_model(tmp_path):
+    path = tmp_path / "model.json"
+    demo_graph().save(str(path))
+    return str(path)
+
+
+@pytest.fixture()
+def overflowing_model(tmp_path):
+    graph = GraphModel(nodes=[NodeSpec(
+        op="quant_linear",
+        attrs={"act_scale": 1.0, "act_bits": 8, "act_signed": True,
+               "weight_bits": 8},
+        tensors={"weight": np.ones((4, 64))},
+    )])
+    path = tmp_path / "overflow.json"
+    graph.save(str(path))
+    return str(path)
+
+
+class TestParser:
+    def test_check_registered(self):
+        args = build_parser().parse_args(["check", "--lint", "src"])
+        assert callable(args.func)
+        assert args.lint == ["src"]
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["check", "--graph", "m.json"])
+        assert args.format == "text"
+        assert args.fail_on == "error"
+        assert args.accmem_bits is None
+
+
+class TestCheckCommand:
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_clean_graph_exits_zero(self, clean_model, capsys):
+        assert main(["check", "--graph", clean_model]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_overflow_graph_fails_with_acc_overflow(
+            self, overflowing_model, capsys):
+        code = main(["check", "--graph", overflowing_model,
+                     "--accmem-bits", "20"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ACC-OVERFLOW" in out
+
+    def test_same_graph_passes_at_default_width(self, overflowing_model):
+        assert main(["check", "--graph", overflowing_model]) == 0
+
+    def test_lint_repo_src_passes(self, capsys):
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        assert main(["check", "--lint", src]) == 0
+
+    def test_lint_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("class E(ValueError):\n    pass\n")
+        assert main(["check", "--lint", str(bad)]) == 1
+        assert "REP001" in capsys.readouterr().out
+
+    def test_missing_lint_target_is_usage_error(self, capsys):
+        assert main(["check", "--lint", "/no/such/path"]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = np.random.rand(2)\n")
+        assert main(["check", "--lint", str(bad),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 1
+        assert payload["diagnostics"][0]["rule"] == "REP002"
+
+    def test_sarif_output_file(self, tmp_path, clean_model, capsys):
+        out_file = tmp_path / "report.sarif"
+        assert main(["check", "--graph", clean_model,
+                     "--format", "sarif",
+                     "--output", str(out_file)]) == 0
+        log = json.loads(out_file.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"] == []
+        assert str(out_file) in capsys.readouterr().out
+
+    def test_sarif_records_findings(self, tmp_path, overflowing_model):
+        out_file = tmp_path / "report.sarif"
+        main(["check", "--graph", overflowing_model,
+              "--accmem-bits", "20", "--format", "sarif",
+              "--output", str(out_file)])
+        results = json.loads(out_file.read_text())["runs"][0]["results"]
+        assert any(r["ruleId"] == "ACC-OVERFLOW"
+                   and r["level"] == "error" for r in results)
+
+    def test_fail_on_warning_gates_warnings(self, tmp_path):
+        graph = GraphModel(nodes=[NodeSpec(
+            op="quant_linear",
+            attrs={"act_scale": 1.0, "act_bits": 8, "act_signed": True,
+                   "weight_bits": 8},
+            tensors={"weight": np.ones((4, 64))},
+        )])
+        path = tmp_path / "margin.json"
+        graph.save(str(path))
+        # 22 bits: fits, but with <1 bit of headroom -> ACC-MARGIN.
+        assert main(["check", "--graph", str(path),
+                     "--accmem-bits", "22"]) == 0
+        assert main(["check", "--graph", str(path),
+                     "--accmem-bits", "22",
+                     "--fail-on", "warning"]) == 1
+
+    def test_combined_graph_and_lint(self, clean_model, tmp_path,
+                                     capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    f()\nexcept:\n    pass\n")
+        assert main(["check", "--graph", clean_model,
+                     "--lint", str(bad)]) == 1
+        assert "REP004" in capsys.readouterr().out
+
+    def test_unparseable_model_reported(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.json"
+        path.write_text("]")
+        assert main(["check", "--graph", str(path)]) == 1
+        assert "GRF-PARSE" in capsys.readouterr().out

@@ -1,0 +1,224 @@
+"""Graph/packing/overflow contracts: one known-bad graph per class."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_config, check_graph, check_graph_file
+from repro.core.config import MixGemmConfig, UVectorLayout
+from repro.robustness.faults import demo_graph
+from repro.runtime.graph import GraphModel, NodeSpec
+
+
+def quant_linear(out_features=4, in_features=64, *, act_bits=8,
+                 weight_bits=8, act_scale=1.0, weight=None, **attrs):
+    if weight is None:
+        weight = np.ones((out_features, in_features))
+    return NodeSpec(
+        op="quant_linear",
+        attrs={"act_scale": act_scale, "act_bits": act_bits,
+               "act_signed": True, "weight_bits": weight_bits, **attrs},
+        tensors={"weight": weight},
+    )
+
+
+def rule_set(report):
+    return {d.rule for d in report}
+
+
+class TestCleanGraphs:
+    def test_shipped_demo_graph_is_clean(self):
+        report = check_graph(demo_graph())
+        assert list(report) == []
+        assert report.exit_code() == 0
+
+    def test_default_width_linear_is_clean(self):
+        report = check_graph(GraphModel(nodes=[quant_linear()]))
+        assert list(report) == []
+
+
+class TestOverflowContract:
+    def test_acc_overflow_on_narrow_accmem(self):
+        graph = GraphModel(nodes=[quant_linear(in_features=64)])
+        report = check_graph(graph, accmem_bits=20)
+        assert "ACC-OVERFLOW" in rule_set(report)
+        (diag,) = [d for d in report if d.rule == "ACC-OVERFLOW"]
+        assert diag.severity == "error"
+        assert diag.node == "n0"
+        assert "accmem_bits" in diag.hint
+
+    def test_acc_margin_warning_band(self):
+        # K=64, 8x8 signed: worst = 64 * 2^14 = 2^20, needs 22 bits
+        # (sign included); at exactly 22 the headroom is under one bit.
+        graph = GraphModel(nodes=[quant_linear(in_features=64)])
+        report = check_graph(graph, accmem_bits=22)
+        assert rule_set(report) == {"ACC-MARGIN"}
+        assert report.exit_code() == 0  # warnings don't gate by default
+
+    def test_k_capped_by_cache_block(self):
+        # Beyond kc_logical the scalar core folds partials outside
+        # AccMem, so doubling K past the block does not change the
+        # verdict width.
+        small = GraphModel(nodes=[quant_linear(in_features=512)])
+        large = GraphModel(nodes=[quant_linear(in_features=1024)])
+        for accmem_bits in (24, 25, 26):
+            assert (
+                "ACC-OVERFLOW" in rule_set(
+                    check_graph(small, accmem_bits=accmem_bits))
+            ) == (
+                "ACC-OVERFLOW" in rule_set(
+                    check_graph(large, accmem_bits=accmem_bits))
+            )
+
+    def test_conv_k_is_im2col_lowered(self):
+        # K = C_in * kh * kw = 8 * 3 * 3 = 72, not C_in alone.
+        node = NodeSpec(
+            op="quant_conv2d",
+            attrs={"act_scale": 1.0, "act_bits": 8, "act_signed": True,
+                   "weight_bits": 8, "stride": 1, "padding": 1,
+                   "groups": 1},
+            tensors={"weight": np.ones((4, 8, 3, 3))},
+        )
+        assert node.gemm_k() == 72
+        report = check_graph(GraphModel(nodes=[node]), accmem_bits=20)
+        assert "ACC-OVERFLOW" in rule_set(report)
+
+
+class TestPackingContract:
+    def test_consistent_config_clean(self):
+        assert check_config(MixGemmConfig(bw_a=8, bw_b=4)) == []
+
+    def test_out_of_band_ku_is_layout_error(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, kua=99, kub=1)
+        diags = check_config(cfg)
+        assert {d.rule for d in diags} == {"PACK-LAYOUT"}
+        assert all(d.severity == "error" for d in diags)
+
+    def test_shallow_source_buffer_deadlocks(self):
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, kua=2, kub=2,
+                            source_buffer_depth=1)
+        diags = check_config(cfg)
+        assert {d.rule for d in diags} == {"PACK-DEPTH"}
+
+    def test_unbalanced_ku_warns(self):
+        cfg = MixGemmConfig(bw_a=2, bw_b=8, kua=1, kub=1)
+        diags = check_config(cfg)
+        assert {d.rule for d in diags} == {"PACK-PAD"}
+        assert all(d.severity == "warning" for d in diags)
+
+    def test_layout_problems_short_circuit_derived_checks(self):
+        # A broken layout must not evaluate (or raise on) derived
+        # quantities; only PACK-LAYOUT comes back.
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, kua=99, kub=99,
+                            source_buffer_depth=1)
+        assert {d.rule for d in check_config(cfg)} == {"PACK-LAYOUT"}
+
+    def test_layout_consistency_problems_direct(self):
+        bad = UVectorLayout(bw_a=8, bw_b=8, kua=1, kub=1, word_bits=4)
+        assert any("word_bits" in p for p in bad.consistency_problems())
+
+
+class TestStructureContract:
+    def test_unsupported_op(self):
+        graph = GraphModel(nodes=[NodeSpec(op="softmax")])
+        assert rule_set(check_graph(graph)) == {"GRF-OP"}
+
+    def test_duplicate_and_reserved_ids(self):
+        graph = GraphModel(nodes=[
+            NodeSpec(op="relu", id="a"),
+            NodeSpec(op="relu", id="a"),
+            NodeSpec(op="relu", id="input"),
+        ])
+        report = check_graph(graph)
+        assert rule_set(report) == {"GRF-DUP"}
+        assert len(report.errors) == 2
+
+    def test_dangling_reference(self):
+        graph = GraphModel(nodes=[
+            NodeSpec(op="relu", inputs=["ghost"]),
+        ])
+        assert rule_set(check_graph(graph)) == {"GRF-DANGLING"}
+
+    def test_forward_reference_is_dangling(self):
+        graph = GraphModel(nodes=[
+            NodeSpec(op="relu", inputs=["later"], id="first"),
+            NodeSpec(op="relu", id="later"),
+        ])
+        assert "GRF-DANGLING" in rule_set(check_graph(graph))
+
+    def test_arity_violation(self):
+        graph = GraphModel(nodes=[
+            NodeSpec(op="add", inputs=["input"]),
+        ])
+        assert rule_set(check_graph(graph)) == {"GRF-ARITY"}
+
+    def test_channel_mismatch_across_edge(self):
+        conv = NodeSpec(
+            op="conv2d", id="c1",
+            attrs={"stride": 1, "padding": 1, "groups": 1},
+            tensors={"weight": np.ones((8, 3, 3, 3))},
+        )
+        # Expects 8 input channels, fed 8-channel conv's... wire a
+        # second conv expecting 16.
+        conv2 = NodeSpec(
+            op="conv2d", id="c2",
+            attrs={"stride": 1, "padding": 1, "groups": 1},
+            tensors={"weight": np.ones((4, 16, 3, 3))},
+        )
+        report = check_graph(GraphModel(nodes=[conv, conv2]))
+        assert rule_set(report) == {"GRF-SHAPE"}
+
+    def test_bias_size_mismatch(self):
+        node = NodeSpec(
+            op="linear",
+            tensors={"weight": np.ones((4, 8)), "bias": np.ones(5)},
+        )
+        assert rule_set(check_graph(GraphModel(nodes=[node]))) == {
+            "GRF-SHAPE"}
+
+
+class TestQuantMetadataContract:
+    def test_bad_bitwidths(self):
+        graph = GraphModel(nodes=[quant_linear(act_bits=16)])
+        assert "QNT-BITS" in rule_set(check_graph(graph))
+
+    def test_missing_bits_attr(self):
+        node = quant_linear()
+        del node.attrs["weight_bits"]
+        assert "QNT-BITS" in rule_set(
+            check_graph(GraphModel(nodes=[node])))
+
+    def test_bad_scale(self):
+        for scale in (0.0, -2.0, float("nan"), float("inf"), None):
+            graph = GraphModel(nodes=[quant_linear(act_scale=scale)])
+            assert "QNT-SCALE" in rule_set(check_graph(graph)), scale
+
+    def test_missing_weight_tensor(self):
+        node = quant_linear()
+        del node.tensors["weight"]
+        assert "QNT-TENSOR" in rule_set(
+            check_graph(GraphModel(nodes=[node])))
+
+    def test_nonfinite_weights(self):
+        w = np.ones((4, 64))
+        w[0, 0] = np.nan
+        graph = GraphModel(nodes=[quant_linear(weight=w)])
+        assert "QNT-TENSOR" in rule_set(check_graph(graph))
+
+
+class TestGraphFileEntry:
+    def test_load_and_check(self, tmp_path):
+        path = tmp_path / "model.json"
+        demo_graph().save(str(path))
+        report = check_graph_file(str(path))
+        assert report.exit_code() == 0
+
+    def test_unparseable_file_is_grf_parse(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        report = check_graph_file(str(path))
+        assert rule_set(report) == {"GRF-PARSE"}
+        assert report.exit_code() == 1
+
+    def test_missing_file_is_grf_parse(self, tmp_path):
+        report = check_graph_file(str(tmp_path / "nope.json"))
+        assert rule_set(report) == {"GRF-PARSE"}
