@@ -1,0 +1,218 @@
+"""Wall-clock speedup of the vectorized fast path over the event engine.
+
+Unlike every other benchmark in this directory, which measures the
+*modelled hardware* (cycles, GOPS, pJ), this one measures the
+*simulator itself*: host seconds for the event-driven reference versus
+the numpy fast path on identical GEMMs, with bit-exactness and
+cycle-exactness asserted on every comparison so a speedup can never
+hide a fidelity regression.
+
+Targets (recorded in ``BENCH_fastpath.json`` at the repo root):
+
+* >= 10x on the 256x256x256 a8-w8 GEMM (measured: several hundred x);
+* >= 5x on a full ResNet-style graph inference;
+* >= 3x on the small CI smoke shape -- the regression gate enforced by
+  the ``perf-smoke`` CI job (deliberately loose so CI-runner noise
+  never produces a false alarm).
+
+Run standalone for the full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py
+
+or ``--smoke`` for the CI gate.  Under pytest, ``test_wallclock_smoke``
+runs the gate and writes ``results/wallclock.txt``.
+"""
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.config import FIGURE6_CONFIGS
+from repro.eval.experiments import wallclock_speedup_study
+from repro.models.builders import build_tiny
+from repro.nn.layers import seed_init
+from repro.runtime import InferenceEngine, export_model
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+JSON_PATH = REPO_ROOT / "BENCH_fastpath.json"
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "wallclock.txt"
+
+#: Acceptance thresholds; the smoke gate is the CI-enforced floor.
+TARGETS = {"gemm_256_a8w8": 10.0, "graph_inference": 5.0, "smoke_gate": 3.0}
+
+SMOKE_SHAPES = [("smoke-a8w8", 8, 8, (32, 32, 64))]
+
+
+def figure6_shapes(size: int) -> list:
+    """The paper's 12 Figure-6 configurations on a square GEMM."""
+    return [(f"a{bw_a}-w{bw_b}", bw_a, bw_b, (size, size, size))
+            for bw_a, bw_b in FIGURE6_CONFIGS]
+
+
+def graph_inference_comparison(arch: str = "resnet18", *, batch: int = 2,
+                               size: int = 12, seed: int = 0) -> dict:
+    """Time one full DAG inference on the event vs the auto backend."""
+    seed_init(13)
+    model = build_tiny(arch, act_bits=8, weight_bits=8)
+    model.eval()
+    graph = export_model(model, name=arch)
+    x = np.random.default_rng(seed).normal(size=(batch, 1, size, size))
+
+    timings = {}
+    outputs = {}
+    cycles = {}
+    for backend in ("event", "auto"):
+        engine = InferenceEngine(graph, backend="mixgemm",
+                                 gemm_backend=backend)
+        t0 = time.perf_counter()
+        result = engine.run(x)
+        timings[backend] = time.perf_counter() - t0
+        outputs[backend] = result.output
+        cycles[backend] = result.total_cycles
+    return {
+        "arch": arch,
+        "batch": batch,
+        "event_seconds": timings["event"],
+        "fast_seconds": timings["auto"],
+        "speedup": timings["event"] / timings["auto"],
+        "cycles": cycles["event"],
+        "bit_exact": bool(np.array_equal(outputs["event"],
+                                         outputs["auto"])),
+        "cycles_equal": cycles["event"] == cycles["auto"],
+    }
+
+
+def run_suite(*, size: int = 128, headline_size: int = 256,
+              repeats: int = 1, smoke: bool = False) -> dict:
+    """Assemble the full payload written to ``BENCH_fastpath.json``."""
+    if smoke:
+        gemm = wallclock_speedup_study(SMOKE_SHAPES, repeats=repeats)
+        headline = gemm[0]
+        graph = None
+    else:
+        shapes = figure6_shapes(size)
+        shapes.append(("headline-256-a8w8", 8, 8,
+                       (headline_size, headline_size, headline_size)))
+        gemm = wallclock_speedup_study(shapes, repeats=repeats)
+        headline = gemm[-1]
+        graph = graph_inference_comparison()
+
+    def row(r):
+        return {
+            "name": r.name, "bw_a": r.bw_a, "bw_b": r.bw_b,
+            "m": r.m, "n": r.n, "k": r.k,
+            "event_seconds": r.event_seconds,
+            "fast_seconds": r.fast_seconds,
+            "speedup": r.speedup, "cycles": r.cycles,
+            "bit_exact": r.bit_exact, "cycles_equal": r.cycles_equal,
+        }
+
+    exact = all(r.bit_exact and r.cycles_equal for r in gemm)
+    if graph is not None:
+        exact = exact and graph["bit_exact"] and graph["cycles_equal"]
+    return {
+        "generated_by": "benchmarks/bench_wallclock.py",
+        "mode": "smoke" if smoke else "full",
+        "targets": TARGETS,
+        "gemm": [row(r) for r in gemm],
+        "headline": row(headline),
+        "graph_inference": graph,
+        "all_exact": exact,
+        "min_gemm_speedup": min(r.speedup for r in gemm),
+    }
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "Simulator wall-clock: vectorized fast path vs event engine",
+        f"(mode: {payload['mode']}; every row bit-exact AND "
+        f"cycle-exact: {payload['all_exact']})",
+        "",
+        f"{'config':>18} {'shape':>14} {'event s':>9} {'fast s':>9} "
+        f"{'speedup':>9}",
+    ]
+    for r in payload["gemm"]:
+        shape = f"{r['m']}x{r['k']}x{r['n']}"
+        lines.append(
+            f"{r['name']:>18} {shape:>14} "
+            f"{r['event_seconds']:9.3f} {r['fast_seconds']:9.4f} "
+            f"{r['speedup']:8.1f}x")
+    graph = payload["graph_inference"]
+    if graph is not None:
+        lines += [
+            "",
+            f"graph inference ({graph['arch']}, batch {graph['batch']}): "
+            f"{graph['event_seconds']:.3f}s event vs "
+            f"{graph['fast_seconds']:.3f}s fast = "
+            f"{graph['speedup']:.1f}x (target >= "
+            f"{payload['targets']['graph_inference']:.0f}x)",
+        ]
+    lines.append(
+        f"\nheadline {payload['headline']['name']}: "
+        f"{payload['headline']['speedup']:.1f}x "
+        f"(target >= {payload['targets']['gemm_256_a8w8']:.0f}x)")
+    return "\n".join(lines)
+
+
+def write_artifacts(payload: dict) -> None:
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(render(payload) + "\n")
+
+
+def check_gate(payload: dict, min_speedup: float) -> list:
+    """Return the violations (empty list = gate passes)."""
+    problems = []
+    if not payload["all_exact"]:
+        problems.append("fast path is not bit-/cycle-exact")
+    slowest = payload["min_gemm_speedup"]
+    if slowest < min_speedup:
+        problems.append(
+            f"slowest GEMM speedup {slowest:.2f}x below the "
+            f"{min_speedup:.1f}x gate")
+    return problems
+
+
+# -- pytest entry point (CI perf-smoke job) ----------------------------------
+
+
+def test_wallclock_smoke(save_result):
+    payload = run_suite(smoke=True, repeats=3)
+    save_result("wallclock", render(payload))
+    assert check_gate(payload, TARGETS["smoke_gate"]) == []
+
+
+# -- standalone entry point ---------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="one small shape + regression gate (CI)")
+    parser.add_argument("--size", type=int, default=128,
+                        help="square size for the Figure-6 sweep")
+    parser.add_argument("--headline-size", type=int, default=256,
+                        help="square size for the headline a8-w8 row")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="take the best of N timings")
+    parser.add_argument("--min-speedup", type=float,
+                        default=TARGETS["smoke_gate"],
+                        help="fail below this slowest-row speedup")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(size=args.size, headline_size=args.headline_size,
+                        repeats=args.repeats, smoke=args.smoke)
+    write_artifacts(payload)
+    print(render(payload))
+    print(f"\nwrote {JSON_PATH} and {RESULTS_PATH}")
+    problems = check_gate(payload, args.min_speedup)
+    for problem in problems:
+        print(f"GATE FAILURE: {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,9 +1,10 @@
 """Repo-invariant linter: ``ast``-level rules the reproduction lives by.
 
-Five rules, numbered flake8-style; each encodes an invariant the
+Six rules, numbered flake8-style; each encodes an invariant the
 codebase promises elsewhere (error hierarchy in ``core/errors.py``,
 determinism in the test harness, integer-exactness of the kernel
-modules, honest error handling, unit-annotated cost models):
+modules, honest error handling, unit-annotated cost models, GEMM
+execution routed through the backend dispatch):
 
 * **REP001** -- every exception class derives from ``ReproError``;
 * **REP002** -- no unseeded global RNG (``np.random.rand`` and friends,
@@ -14,7 +15,11 @@ modules, honest error handling, unit-annotated cost models):
   ``-> float``;
 * **REP004** -- no bare ``except:`` and no ``except Exception: pass``;
 * **REP005** -- cycle/energy-model functions in ``sim/perf.py`` and
-  ``sim/energy.py`` document their units in the docstring.
+  ``sim/energy.py`` document their units in the docstring;
+* **REP006** -- no direct ``MicroEngine.push_pair`` driving outside
+  ``core/``: everything else must go through ``MixGemm``/``mix_gemm``
+  so the backend dispatch (``core/backend.py``) can route the call to
+  the vectorized fast path or the event engine as fidelity demands.
 
 Suppress a finding with a trailing ``# repro: noqa`` (everything on the
 line) or ``# repro: noqa REP003`` / ``REP003,REP005`` (those rules).
@@ -39,6 +44,7 @@ LINT_RULES: dict[str, str] = {
     "REP003": "float arithmetic in an integer kernel module",
     "REP004": "bare except or silently swallowed Exception",
     "REP005": "cost-model function docstring does not state its units",
+    "REP006": "direct MicroEngine.push_pair call outside core/",
     "REP000": "lint target is not parseable Python",
 }
 
@@ -142,6 +148,7 @@ class RepoInvariantVisitor(ast.NodeVisitor):
         self._kernel = posix.endswith(KERNEL_MODULE_SUFFIXES)
         self._cost_model = posix.endswith(COST_MODEL_SUFFIXES)
         self._test_file = is_test_path(path) if path else False
+        self._core_file = "core" in Path(path).parts if path else False
         #: Stack of ``returns -> float`` flags for enclosing functions.
         self._float_ok: list[bool] = []
 
@@ -188,6 +195,15 @@ class RepoInvariantVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         if not self._test_file:
             self._check_rng_call(node)
+        if (not self._test_file and not self._core_file
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "push_pair"):
+            self._emit(
+                "REP006", node,
+                "direct MicroEngine.push_pair issue loop outside core/",
+                hint="drive GEMMs through MixGemm/mix_gemm so the "
+                     "backend dispatch can pick the fast path",
+            )
         if self._kernel and isinstance(node.func, ast.Name) \
                 and node.func.id == "float" and not self._in_float_fn():
             self._emit(

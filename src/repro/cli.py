@@ -4,6 +4,8 @@ Commands mirror the evaluation:
 
 * ``info``            -- library and configuration summary;
 * ``gemm``            -- one simulated GEMM (bit-exact + cycles);
+* ``run``             -- full graph inference on the simulator, with
+  ``--backend {event,fast,auto}`` execution-backend selection;
 * ``figure6``         -- the square-GEMM speed-up grid;
 * ``figure7``         -- the accuracy/throughput Pareto points;
 * ``table1|2|3``      -- the three tables;
@@ -50,14 +52,47 @@ def _cmd_gemm(args: argparse.Namespace) -> int:
         bw_a=args.abits, bw_b=args.wbits,
         blocking=BlockingParams(mc=16, nc=16, kc=64),
     )
-    result = MixGemm(cfg, emulate_datapath=False).gemm(a, b)
+    executor = MixGemm(cfg, emulate_datapath=False, backend=args.backend)
+    result = executor.gemm(a, b)
     exact = bool(np.array_equal(result.c, reference_gemm(a, b)))
     print(f"{cfg.name} GEMM {args.m}x{args.k}x{args.n}: exact={exact}")
+    print(f"  backend: {result.backend} "
+          f"({executor.last_decision.reason})")
     print(f"  {result.macs} MACs / {result.cycles} cycles "
           f"= {result.macs_per_cycle:.2f} MAC/cycle "
           f"({result.gops():.2f} GOPS @ 1.2 GHz)")
     print(f"  instructions: {result.instructions}")
     return 0 if exact else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.robustness.faults import demo_graph, demo_input
+    from repro.runtime.engine import InferenceEngine
+    from repro.runtime.graph import GraphModel
+
+    if args.model:
+        graph = GraphModel.load(args.model)
+    else:
+        graph = demo_graph()
+    x = demo_input(batch=args.batch, size=args.size, seed=args.seed)
+    engine = InferenceEngine(
+        graph, backend="mixgemm", guard_level=args.guard_level,
+        gemm_backend=args.backend,
+    )
+    result = engine.run(x)
+    stats = engine.pack_stats
+    print(f"graph: {len(list(graph))} nodes, "
+          f"{len(result.layer_stats)} quantized GEMM calls")
+    print(f"gemm backend: {args.backend} (guards: {args.guard_level})")
+    print(f"output shape: {result.output.shape}, "
+          f"predictions: {result.output.argmax(axis=1).tolist()}")
+    print(f"cycles: {result.total_cycles}, macs: {result.total_macs}, "
+          f"{result.gops():.2f} GOPS @ 1.2 GHz")
+    print(f"packing cache: {stats.packs} packs, {stats.hits} hits "
+          f"({stats.hit_rate:.0%} hit rate)")
+    if result.fault_events:
+        print(f"guard detections: {len(result.fault_events)}")
+    return 0
 
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
@@ -252,7 +287,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--abits", type=int, default=8)
     p.add_argument("--wbits", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", default="auto",
+                   choices=("event", "fast", "auto"),
+                   help="execution backend (auto picks the vectorized "
+                        "fast path on guard-free runs)")
     p.set_defaults(func=_cmd_gemm)
+
+    p = sub.add_parser(
+        "run", help="graph inference on the u-engine simulator")
+    p.add_argument("--model", default="",
+                   help="serialized GraphModel (default: the shipped "
+                        "demo CNN)")
+    p.add_argument("--batch", type=int, default=2)
+    p.add_argument("--size", type=int, default=6,
+                   help="input spatial size (input is batch x 1 x "
+                        "size x size)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", default="auto",
+                   choices=("event", "fast", "auto"),
+                   help="GEMM execution backend inside the simulator")
+    p.add_argument("--guard-level", default="off",
+                   choices=("off", "light", "standard", "full"),
+                   help="integrity-guard level (guards force the event "
+                        "backend per call)")
+    p.set_defaults(func=_cmd_run)
 
     sub.add_parser("figure6", help="square-GEMM speed-up grid"
                    ).set_defaults(func=_cmd_figure6)

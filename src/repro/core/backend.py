@@ -1,0 +1,108 @@
+"""Execution-backend dispatch for the Mix-GEMM library.
+
+Two interchangeable backends compute Algorithm 1:
+
+* ``event`` -- the reference path: every u-vector pair goes through the
+  event-timed :class:`~repro.core.microengine.MicroEngine`, one ``bs.ip``
+  at a time.  Bit-exact, cycle-exact, and able to host fault hooks, pack
+  guards and per-access memory tracing -- but pure Python and slow.
+* ``fast`` -- the vectorized path (:mod:`repro.core.fastpath`): whole
+  u-panels as numpy array operations plus an analytic cycle model that
+  replays the engine's own micro-kernel timing, so cycles, PMU counters
+  and instruction counts match the event backend exactly on guard-free
+  runs.
+
+``resolve_backend`` is the single decision point.  Fidelity demands
+always win: a fault hook, pack guard or memory system needs to observe
+individual packs/accumulations/accesses, which only the event backend
+models, so their presence forces ``event`` even when ``fast`` was
+requested explicitly.  The same applies to register blockings where
+``mc``/``nc`` are not multiples of ``mr``/``nr`` -- there the event
+path's edge tiles overlap neighbouring cache blocks, an accounting the
+fast path deliberately refuses to reproduce.
+
+Under ``auto`` (the default), datapath emulation additionally routes to
+``event``: callers asking for ``emulate_datapath=True`` want the binary
+segmentation pipeline exercised, not just its (identical) results.  An
+explicit ``fast`` request overrides that soft preference only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .config import EXECUTION_BACKENDS, MixGemmConfig
+from .errors import ReproError
+
+#: Canonical backend names (also see ``EXECUTION_BACKENDS`` in config).
+EVENT = "event"
+FAST = "fast"
+AUTO = "auto"
+
+
+class BackendError(ReproError, ValueError):
+    """Raised for unknown backend names."""
+
+
+@dataclass(frozen=True)
+class BackendDecision:
+    """Outcome of dispatch: the backend to run and why it was chosen."""
+
+    backend: str
+    reason: str
+
+    @property
+    def is_fast(self) -> bool:
+        return self.backend == FAST
+
+
+def resolve_backend(
+    requested: str,
+    config: MixGemmConfig,
+    *,
+    emulate_datapath: bool = False,
+    memory: Any = None,
+    fault_hook: Any = None,
+    pack_guard: Any = None,
+) -> BackendDecision:
+    """Pick the execution backend for one GEMM call.
+
+    ``requested`` is ``event``, ``fast`` or ``auto`` (normally taken from
+    ``MixGemmConfig.backend`` or the ``MixGemm(backend=...)`` override).
+    Hooks that need event fidelity force the event backend regardless of
+    the request; see the module docstring for the full rule set.
+    """
+    if requested not in EXECUTION_BACKENDS:
+        raise BackendError(
+            f"unknown backend {requested!r}; expected one of "
+            f"{EXECUTION_BACKENDS}"
+        )
+    if memory is not None:
+        return BackendDecision(
+            EVENT, "memory system traces per-access latencies"
+        )
+    if fault_hook is not None:
+        return BackendDecision(
+            EVENT, "fault hook observes individual packs/accumulations"
+        )
+    if pack_guard is not None:
+        return BackendDecision(
+            EVENT, "pack guard checksums the packed operands"
+        )
+    blk = config.blocking
+    if blk.mc % blk.mr or blk.nc % blk.nr:
+        return BackendDecision(
+            EVENT,
+            f"blocking mc={blk.mc}/nc={blk.nc} not a multiple of "
+            f"mr={blk.mr}/nr={blk.nr}; edge tiles overlap cache blocks",
+        )
+    if requested == EVENT:
+        return BackendDecision(EVENT, "event backend explicitly requested")
+    if requested == FAST:
+        return BackendDecision(FAST, "fast backend explicitly requested")
+    if emulate_datapath:
+        return BackendDecision(
+            EVENT, "datapath emulation exercises the binseg pipeline"
+        )
+    return BackendDecision(FAST, "guard-free run; fast path is exact")

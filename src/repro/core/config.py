@@ -35,6 +35,10 @@ MAX_KU = 4
 #: area for the overflow headroom the static contract checker verifies.
 DEFAULT_ACCMEM_BITS = 64
 
+#: Execution backends a :class:`MixGemmConfig` may request (see
+#: :mod:`repro.core.backend` for the dispatch rules).
+EXECUTION_BACKENDS = ("event", "fast", "auto")
+
 
 def elements_per_uvector(bw: int, word_bits: int = WORD_BITS) -> int:
     """Narrow elements one u-vector packs: 8 at 8-bit up to 32 at 2-bit."""
@@ -211,10 +215,15 @@ class MixGemmConfig:
     accmem_bits: int = DEFAULT_ACCMEM_BITS
     kua: int | None = None
     kub: int | None = None
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.source_buffer_depth < 1:
             raise ValueError("source_buffer_depth must be positive")
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"backend={self.backend!r} not one of {EXECUTION_BACKENDS}"
+            )
         if not 8 <= self.accmem_bits <= 128:
             raise ValueError(
                 f"accmem_bits={self.accmem_bits} outside the buildable "

@@ -1,0 +1,270 @@
+"""Vectorized fast-path backend: exact values, exact analytic timing.
+
+The event backend executes Algorithm 1 word by word -- every u-vector
+pair is a :meth:`~repro.core.microengine.MicroEngine.push_pair` call --
+which makes a 256x256x256 GEMM millions of Python-level events.  This
+module computes the identical :class:`~repro.core.gemm.GemmResult`
+without ever touching the engine on the hot path, exploiting two
+properties of the reference implementation:
+
+**Values.**  Within one kc-block, the engine folds per-group partial
+products into a finite AccMem slot with ``wrap_signed`` after every
+group; because reduction mod ``2**bits`` commutes with addition, the
+collected slot value equals ``wrap_signed(block_dot_product,
+accmem_bits)`` -- one wrap of the exact block inner product.  numpy's
+int64 matmul reduces mod ``2**64``, and mod ``2**bits`` factors through
+mod ``2**64`` for ``bits <= 64``, so a blocked int64 matmul plus one
+vectorized wrap per kc-block reproduces the event backend bit for bit.
+When ``kc * max|A| * max|B| < 2**53`` every partial sum fits a float64
+mantissa exactly and the block can ride the BLAS dgemm instead.
+
+**Timing.**  The micro-kernel's cycle count is data independent (stall
+logic only looks at counts and arrival times, never word values) and
+translation invariant (each micro-kernel starts with the CPU at or past
+the engine, empty queues, and all buffer releases in the past, because
+the collection loop drains the engine).  One micro-kernel execution is
+therefore a pure function of ``(config, costs, n_groups)`` -- so we run
+the *real* engine once per distinct signature on zero panels, memoize
+the observed deltas (CPU cycles, stalls, busy cycles, instruction
+counts), and assemble whole-GEMM totals arithmetically.  The C-update
+cycles are added analytically: with ``mc % mr == 0`` and ``nc % nr ==
+0`` the in-range cells of each kc-block sum to exactly ``m * n``.
+
+The oracle *is* the production micro-kernel, so cycles, PMU counters
+and instruction counts match the event backend exactly -- the
+differential suite in ``tests/core/test_fastpath.py`` asserts equality,
+not approximation.  Configurations the model cannot reproduce (register
+blockings that overlap cache blocks, >64-bit AccMems near int64
+overflow) refuse via :class:`FastPathFallback` and run on the event
+backend instead; :mod:`repro.core.backend` makes that routing decision.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .binseg import BinSegError, ceil_div, value_range
+from .config import MixGemmConfig
+from .microengine import PmuCounters
+from .packing import (
+    _check_matrix,
+    aligned_kc,
+    create_micro_panel,
+    pack_matrix_a,
+    pack_matrix_b,
+)
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep gemm -> fastpath
+    from .gemm import GemmResult, KernelCosts  # one-directional at load
+
+#: Largest magnitude whose integer arithmetic is exact in a float64.
+_FLOAT64_EXACT = 1 << 53
+
+#: First magnitude an int64 accumulator cannot represent.
+_INT64_HALF = 1 << 63
+
+
+class FastPathFallback(Exception):  # repro: noqa REP001
+    """The fast path cannot reproduce this run; use the event backend.
+
+    Deliberately *not* a :class:`~repro.core.errors.ReproError`: it is
+    an internal control-flow signal consumed by ``MixGemm.gemm``, never
+    an error surfaced to callers.
+    """
+
+
+def wrap_signed_array(values: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized :func:`~repro.core.microengine.wrap_signed`.
+
+    For ``bits >= 64`` the int64 representation already is the wrapped
+    value.  Below that, the add-half / mask / subtract-half dance stays
+    inside uint64 arithmetic, avoiding the signed-overflow hazards a
+    naive ``np.where`` formulation would hit at ``1 << 63``.
+    """
+    if bits >= 64:
+        return values
+    half = 1 << (bits - 1)
+    shifted = (values.astype(np.uint64) + np.uint64(half)) \
+        & np.uint64((1 << bits) - 1)
+    return shifted.astype(np.int64) - np.int64(half)
+
+
+@dataclass(frozen=True)
+class MicroKernelTiming:
+    """Observed per-micro-kernel deltas (C updates excluded)."""
+
+    cpu_cycles: int
+    buffer_full_stall_cycles: int
+    get_stall_cycles: int
+    engine_busy_cycles: int
+    groups: int
+    macs: int
+    ip_instructions: int
+    get_instructions: int
+
+
+@functools.lru_cache(maxsize=None)
+def _tile_timing(config: MixGemmConfig, costs: "KernelCosts",
+                 n_groups: int) -> MicroKernelTiming:
+    """Run the real micro-kernel once on zero panels and record deltas.
+
+    ``n_groups`` is the per-tile group count of one kc-block; the engine
+    always schedules *full* groups (tail groups keep the full DSU walk),
+    so a ``n_groups * group_elements``-long zero run times identically
+    to any ragged production tile with the same group count.  Passing an
+    empty C matrix keeps every collection cell out of range, so the
+    measured CPU delta excludes C updates -- those are added
+    analytically per in-range output element.
+    """
+    from .gemm import MixGemm
+
+    blk = config.blocking
+    lay = config.layout
+    k_len = n_groups * lay.group_elements
+    executor = MixGemm(config, emulate_datapath=False, costs=costs,
+                       backend="event")
+    a_up = create_micro_panel(
+        pack_matrix_a(np.zeros((blk.mr, k_len), dtype=np.int64), config),
+        0, blk.mr, 0, k_len,
+    )
+    b_up = create_micro_panel(
+        pack_matrix_b(np.zeros((k_len, blk.nr), dtype=np.int64), config),
+        0, blk.nr, 0, k_len,
+    )
+    engine = executor.engine
+    engine.set_config(config)
+    pmu = engine.pmu
+    start = engine.now
+    base = (
+        pmu.buffer_full_stall_cycles,
+        pmu.get_stall_cycles,
+        pmu.engine_busy_cycles,
+        pmu.groups,
+        pmu.macs,
+        pmu.ip_instructions,
+        pmu.get_instructions,
+    )
+    executor._micro_kernel(a_up, b_up, np.zeros((0, 0), dtype=np.int64),
+                           0, 0)
+    return MicroKernelTiming(
+        cpu_cycles=engine.now - start,
+        buffer_full_stall_cycles=pmu.buffer_full_stall_cycles - base[0],
+        get_stall_cycles=pmu.get_stall_cycles - base[1],
+        engine_busy_cycles=pmu.engine_busy_cycles - base[2],
+        groups=pmu.groups - base[3],
+        macs=pmu.macs - base[4],
+        ip_instructions=pmu.ip_instructions - base[5],
+        get_instructions=pmu.get_instructions - base[6],
+    )
+
+
+def run_fastpath(config: MixGemmConfig, costs: "KernelCosts", a: np.ndarray,
+                 b: np.ndarray,
+                 c: np.ndarray | None = None) -> "GemmResult":
+    """Compute one GEMM on the fast path; returns a ``GemmResult``.
+
+    Validation mirrors ``MixGemm.gemm`` + the packers step for step so
+    both backends raise the same :class:`BinSegError` in the same order
+    on malformed inputs.  Raises :class:`FastPathFallback` when only the
+    event backend can reproduce the run.
+    """
+    from .gemm import GemmResult
+
+    a_arr = np.asarray(a)
+    b_arr = np.asarray(b)
+    if a_arr.ndim != 2 or b_arr.ndim != 2:
+        raise BinSegError("gemm expects 2-D operands")
+    m, k = a_arr.shape
+    kb, n = b_arr.shape
+    if k != kb:
+        raise BinSegError(f"inner dimensions differ: {k} vs {kb}")
+    if c is None:
+        c = np.zeros((m, n), dtype=np.int64)
+    elif c.shape != (m, n):
+        raise BinSegError(f"C shape {c.shape} does not match ({m}, {n})")
+
+    a64 = _check_matrix(a_arr, config.bw_a, config.signed_a, "A")
+    if k == 0 and m > 0:
+        raise BinSegError("cannot pack an empty k vector")
+    b64 = _check_matrix(b_arr, config.bw_b, config.signed_b, "B")
+    if k == 0 and n > 0:
+        raise BinSegError("cannot pack an empty k vector")
+
+    blk = config.blocking
+    lay = config.layout
+    if blk.mc % blk.mr or blk.nc % blk.nr:
+        raise FastPathFallback(
+            "edge tiles overlap cache blocks; event backend required"
+        )
+    kc_eff = aligned_kc(blk.kc * lay.elems_a, lay.group_elements)
+
+    lo_a, hi_a = value_range(config.bw_a, config.signed_a)
+    lo_b, hi_b = value_range(config.bw_b, config.signed_b)
+    amax = max(abs(lo_a), abs(hi_a))
+    bmax = max(abs(lo_b), abs(hi_b))
+    bits = config.accmem_bits
+    block_bound = min(kc_eff, max(k, 1)) * amax * bmax
+    if bits > 64 and block_bound >= _INT64_HALF:
+        # A >64-bit AccMem would carry where int64 wraps; only the
+        # bignum-backed event engine models that faithfully.
+        raise FastPathFallback(
+            f"accmem_bits={bits} with block bound {block_bound} "
+            f">= 2**63 exceeds int64 accumulation"
+        )
+
+    oracle_config = replace(config, backend="event")
+    row_tiles = sum(ceil_div(min(blk.mc, m - ic), blk.mr)
+                    for ic in range(0, m, blk.mc))
+    col_tiles = sum(ceil_div(min(blk.nc, n - jc), blk.nr)
+                    for jc in range(0, n, blk.nc))
+    tiles_per_kblock = row_tiles * col_tiles
+
+    cycles = 1  # the single bs.set
+    pmu = PmuCounters(set_instructions=1)
+    c_update_cost = costs.c_update_cost
+    for pc in range(0, k, kc_eff):
+        kc_blk = min(kc_eff, k - pc)
+        n_groups = ceil_div(kc_blk, lay.group_elements)
+        tile = _tile_timing(oracle_config, costs, n_groups)
+        cycles += (tiles_per_kblock * tile.cpu_cycles
+                   + m * n * c_update_cost)
+        pmu.buffer_full_stall_cycles += (
+            tiles_per_kblock * tile.buffer_full_stall_cycles)
+        pmu.get_stall_cycles += tiles_per_kblock * tile.get_stall_cycles
+        pmu.engine_busy_cycles += (
+            tiles_per_kblock * tile.engine_busy_cycles)
+        pmu.groups += tiles_per_kblock * tile.groups
+        pmu.macs += tiles_per_kblock * tile.macs
+        pmu.ip_instructions += tiles_per_kblock * tile.ip_instructions
+        pmu.get_instructions += tiles_per_kblock * tile.get_instructions
+
+        a_blk = a64[:, pc:pc + kc_blk]
+        b_blk = b64[pc:pc + kc_blk, :]
+        if kc_blk * amax * bmax < _FLOAT64_EXACT:
+            # Every partial sum is exactly representable: take the BLAS.
+            partial = (a_blk.astype(np.float64)
+                       @ b_blk.astype(np.float64)).astype(np.int64)
+        else:
+            partial = a_blk @ b_blk
+        if bits < 64:
+            partial = wrap_signed_array(partial, bits)
+        c += partial
+
+    pmu.cycles_total = cycles
+    return GemmResult(
+        c=c,
+        cycles=cycles,
+        macs=m * n * k,
+        pmu=pmu,
+        config=config,
+        instructions={
+            "bs.set": pmu.set_instructions,
+            "bs.ip": pmu.ip_instructions,
+            "bs.get": pmu.get_instructions,
+        },
+        backend="fast",
+    )

@@ -24,9 +24,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .backend import EVENT, FAST, BackendDecision, resolve_backend
 from .binseg import BinSegError, ceil_div
 from .config import MixGemmConfig
 from .microengine import MicroEngine, PmuCounters
+from .packcache import PackingCache
 from .packing import (
     MicroPanel,
     PackedMatrix,
@@ -78,6 +80,7 @@ class GemmResult:
     pmu: PmuCounters
     config: MixGemmConfig
     instructions: dict[str, int] = field(default_factory=dict)
+    backend: str = EVENT
 
     @property
     def macs_per_cycle(self) -> float:
@@ -129,6 +132,17 @@ class MixGemm:
         words; the accumulated C is range-checked against the algebraic
         bound.  Guard failures raise
         :class:`repro.robustness.errors.GuardError`.
+    backend:
+        ``"event"``, ``"fast"`` or ``"auto"``; overrides
+        ``config.backend``.  Dispatch happens per :meth:`gemm` call via
+        :func:`repro.core.backend.resolve_backend`; hooks that need
+        event fidelity always win.  The decision taken by the last call
+        is kept on :attr:`last_decision`.
+    pack_cache:
+        Optional :class:`~repro.core.packcache.PackingCache` consulted
+        before packing either operand on the event path (the fast path
+        never materializes u-vectors).  Share one instance across
+        executors to amortize static-weight packing.
     """
 
     def __init__(
@@ -140,12 +154,18 @@ class MixGemm:
         memory=None,
         fault_hook=None,
         pack_guard=None,
+        backend: str | None = None,
+        pack_cache: PackingCache | None = None,
     ) -> None:
         self.config = config
         self.costs = costs or KernelCosts()
         self.memory = memory
         self.fault_hook = fault_hook
         self.pack_guard = pack_guard
+        self.emulate_datapath = emulate_datapath
+        self.backend = backend if backend is not None else config.backend
+        self.pack_cache = pack_cache
+        self.last_decision: BackendDecision | None = None
         self.engine = MicroEngine(emulate_datapath=emulate_datapath,
                                   fault_hook=fault_hook)
         # kc counts 64-bit u-vectors; convert to logical elements and align
@@ -176,8 +196,28 @@ class MixGemm:
         elif c.shape != (m, n):
             raise BinSegError(f"C shape {c.shape} does not match ({m}, {n})")
 
-        packed_a = pack_matrix_a(a, self.config)
-        packed_b = pack_matrix_b(b, self.config)
+        decision = resolve_backend(
+            self.backend, self.config,
+            emulate_datapath=self.emulate_datapath,
+            memory=self.memory, fault_hook=self.fault_hook,
+            pack_guard=self.pack_guard,
+        )
+        self.last_decision = decision
+        if decision.backend == FAST:
+            from .fastpath import FastPathFallback, run_fastpath
+            try:
+                result = run_fastpath(self.config, self.costs, a, b, c)
+            except FastPathFallback as fallback:
+                self.last_decision = BackendDecision(EVENT, str(fallback))
+            else:
+                return self._fold_fast_result(result)
+
+        if self.pack_cache is not None:
+            packed_a = self.pack_cache.get_or_pack("A", a, self.config)
+            packed_b = self.pack_cache.get_or_pack("B", b, self.config)
+        else:
+            packed_a = pack_matrix_a(a, self.config)
+            packed_b = pack_matrix_b(b, self.config)
 
         # Checksums at pack time; storage corruption (the fault hook)
         # happens between packing and consumption, exactly where a real
@@ -225,6 +265,38 @@ class MixGemm:
                 "bs.get": pmu.get_instructions,
             },
         )
+
+    def _fold_fast_result(self, result: GemmResult) -> GemmResult:
+        """Fold a fast-path run into the executor's cumulative engine state.
+
+        The event backend never resets between :meth:`gemm` calls: the
+        engine clock and PMU accumulate, so a reused executor reports
+        cumulative cycles and instruction counts.  A fast run models the
+        same ``bs.set`` (which also resets the AccMem) and the same
+        modelled cycles, so interleaving backends on one executor stays
+        exactly cycle- and counter-compatible with an all-event history.
+        """
+        engine = self.engine
+        engine.set_config(self.config)       # the modelled bs.set
+        engine.advance(result.cycles - 1)    # everything after it
+        pmu = engine.pmu
+        delta = result.pmu
+        pmu.engine_busy_cycles += delta.engine_busy_cycles
+        pmu.buffer_full_stall_cycles += delta.buffer_full_stall_cycles
+        pmu.get_stall_cycles += delta.get_stall_cycles
+        pmu.macs += delta.macs
+        pmu.groups += delta.groups
+        pmu.ip_instructions += delta.ip_instructions
+        pmu.get_instructions += delta.get_instructions
+        pmu.cycles_total = engine.now
+        result.pmu = pmu
+        result.cycles = engine.now
+        result.instructions = {
+            "bs.set": pmu.set_instructions,
+            "bs.ip": pmu.ip_instructions,
+            "bs.get": pmu.get_instructions,
+        }
+        return result
 
     # -- Algorithm 1 internals --------------------------------------------------
 

@@ -25,6 +25,7 @@ from .binseg import BinSegError
 from .config import MixGemmConfig
 from .gemm import GemmResult, KernelCosts, MixGemm
 from .microengine import PmuCounters
+from .packcache import PackingCache
 
 #: Barrier cost per synchronization point (cycles): a sense-reversing
 #: barrier over a snoopy bus at edge-SoC scale.
@@ -69,14 +70,21 @@ class ParallelMixGemm:
         emulate_datapath: bool = False,
         costs: KernelCosts | None = None,
         barrier_cycles: int = DEFAULT_BARRIER_CYCLES,
+        backend: str | None = None,
+        pack_cache: PackingCache | None = None,
     ) -> None:
         if cores < 1:
             raise ValueError(f"need at least one core, got {cores}")
         self.config = config
         self.cores = cores
         self.barrier_cycles = barrier_cycles
+        # One shared cache across the per-core executors: every core
+        # consumes the same packed A, and the N-slices of B are distinct
+        # matrices (distinct fingerprints), so sharing is always safe.
+        self.pack_cache = pack_cache
         self._executors = [
-            MixGemm(config, emulate_datapath=emulate_datapath, costs=costs)
+            MixGemm(config, emulate_datapath=emulate_datapath, costs=costs,
+                    backend=backend, pack_cache=pack_cache)
             for _ in range(cores)
         ]
 

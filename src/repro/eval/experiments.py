@@ -190,3 +190,87 @@ def qat_bitwidth_sweep(
             top1=100 * history.best_val_accuracy,
         ))
     return out
+
+
+# ---------------------------------------------------------------------------
+# Backend wall-clock study (simulator throughput, not modelled hardware)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WallClockResult:
+    """Event-vs-fast backend comparison on one GEMM shape.
+
+    ``speedup`` is *simulator* wall-clock (host seconds), orthogonal to
+    the modelled hardware cycles -- which both backends must agree on
+    exactly, asserted by ``bit_exact`` / ``cycles_equal``.
+    """
+
+    name: str
+    bw_a: int
+    bw_b: int
+    m: int
+    n: int
+    k: int
+    event_seconds: float
+    fast_seconds: float
+    cycles: int
+    bit_exact: bool
+    cycles_equal: bool
+
+    @property
+    def speedup(self) -> float:
+        return (self.event_seconds / self.fast_seconds
+                if self.fast_seconds else float("inf"))
+
+
+def wallclock_speedup_study(
+    shapes: list[tuple[str, int, int, tuple[int, int, int]]] | None = None,
+    *,
+    seed: int = 0,
+    repeats: int = 1,
+) -> list[WallClockResult]:
+    """Time the event and fast backends on identical GEMMs.
+
+    Each shape entry is ``(name, bw_a, bw_b, (m, n, k))``.  Both
+    backends run on the same operands; outputs and cycle counts are
+    compared so a speedup claim can never hide a fidelity regression.
+    The default is a single small shape suitable for CI smoke gating;
+    ``benchmarks/bench_wallclock.py`` drives the full Figure-6 sweep.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.gemm import MixGemm
+
+    if shapes is None:
+        shapes = [("smoke-a8w8", 8, 8, (32, 32, 64))]
+    rng = np.random.default_rng(seed)
+    out: list[WallClockResult] = []
+    for name, bw_a, bw_b, (m, n, k) in shapes:
+        config = MixGemmConfig(bw_a=bw_a, bw_b=bw_b)
+        a = rng.integers(-(1 << (bw_a - 1)), 1 << (bw_a - 1), size=(m, k))
+        b = rng.integers(-(1 << (bw_b - 1)), 1 << (bw_b - 1), size=(k, n))
+        event_s = fast_s = float("inf")
+        event = fast = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            event = MixGemm(config, emulate_datapath=False,
+                            backend="event").gemm(a, b)
+            event_s = min(event_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            fast = MixGemm(config, emulate_datapath=False,
+                           backend="fast").gemm(a, b)
+            fast_s = min(fast_s, time.perf_counter() - t0)
+        out.append(WallClockResult(
+            name=name, bw_a=bw_a, bw_b=bw_b, m=m, n=n, k=k,
+            event_seconds=event_s, fast_seconds=fast_s,
+            cycles=event.cycles,
+            bit_exact=bool(np.array_equal(event.c, fast.c)),
+            cycles_equal=(event.cycles == fast.cycles
+                          and event.pmu.engine_busy_cycles
+                          == fast.pmu.engine_busy_cycles
+                          and event.instructions == fast.instructions),
+        ))
+    return out

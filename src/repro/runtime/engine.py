@@ -33,9 +33,11 @@ import numpy as np
 from repro.core.config import (
     BlockingParams,
     DEFAULT_ACCMEM_BITS,
+    EXECUTION_BACKENDS,
     MixGemmConfig,
 )
 from repro.core.gemm import GemmResult, MixGemm, reference_gemm
+from repro.core.packcache import PackCacheStats, PackingCache
 from repro.nn.functional_quant import weight_absmax_scale
 from repro.nn.im2col import conv_geometry, im2row, rows_to_nchw
 from repro.quant.affine import QuantParams, quantize
@@ -152,6 +154,13 @@ class InferenceEngine:
         registers (default: the paper's 64-bit slots).  The static
         checker's ``ACC-OVERFLOW`` verdicts are computed against this
         same width, so the two stay in agreement by construction.
+    gemm_backend:
+        Execution backend *within* the mixgemm simulator: ``"event"``,
+        ``"fast"`` or ``"auto"`` (see :mod:`repro.core.backend`).  With
+        ``auto``, guard-free inference rides the vectorized fast path;
+        arming fault injection, pack guards or shadow verification
+        forces per-call event fidelity automatically.  Ignored by the
+        numpy backend.
     """
 
     def __init__(self, graph: GraphModel, *,
@@ -159,11 +168,19 @@ class InferenceEngine:
                  guard_level: str = "off",
                  fault_plan: Optional[FaultPlan] = None,
                  recovery: Optional[RecoveryPolicy] = None,
-                 accmem_bits: int = DEFAULT_ACCMEM_BITS) -> None:
+                 accmem_bits: int = DEFAULT_ACCMEM_BITS,
+                 gemm_backend: str = "auto") -> None:
         if backend not in ("numpy", "mixgemm"):
             raise GraphError(f"unknown backend: {backend}")
+        if gemm_backend not in EXECUTION_BACKENDS:
+            raise GraphError(f"unknown gemm backend: {gemm_backend}")
         self.graph = graph
         self.backend = backend
+        self.gemm_backend = gemm_backend
+        # One cache for the whole deployment: static weights are packed
+        # once per graph and reused across layers, batches and repeated
+        # infer() calls (the BLIS amortization the paper assumes).
+        self._pack_cache = PackingCache()
         self.accmem_bits = accmem_bits
         self.guard_level = guard_level
         self._guard_rank = guard_rank(guard_level)
@@ -263,6 +280,11 @@ class InferenceEngine:
         """Class ids for a batch (softmax-free argmax)."""
         return self.run(x).output.argmax(axis=1)
 
+    @property
+    def pack_stats(self) -> PackCacheStats:
+        """Packing-cache accounting (``packs`` = actual pack calls)."""
+        return self._pack_cache.stats
+
     # -- op implementations -------------------------------------------------------
 
     def _dispatch(self, node: NodeSpec, arrays: list[np.ndarray],
@@ -348,7 +370,9 @@ class InferenceEngine:
             retrying = attempt < attempts - 1
             executor = MixGemm(config, emulate_datapath=False,
                                fault_hook=self.injector,
-                               pack_guard=pack_guard)
+                               pack_guard=pack_guard,
+                               backend=self.gemm_backend,
+                               pack_cache=self._pack_cache)
             try:
                 gemm: GemmResult = executor.gemm(x_q, w_q)
             except GuardError as exc:

@@ -1,4 +1,4 @@
-"""REP001-REP005 linter: every rule fires, every rule suppresses."""
+"""REP001-REP006 linter: every rule fires, every rule suppresses."""
 
 import textwrap
 from pathlib import Path
@@ -150,6 +150,34 @@ class TestRep005:
         src = ("def watts(self):  # repro: noqa REP005\n"
                "    return 4\n")
         assert rules(src, path=self.COST_PATH) == []
+
+
+class TestRep006:
+    SRC = ("def drive(engine, pairs):\n"
+           "    for pa, pb in pairs:\n"
+           "        engine.push_pair(pa, pb)\n")
+
+    def test_push_pair_outside_core_flagged(self):
+        assert rules(self.SRC, path="src/repro/sim/custom.py") == [
+            "REP006"]
+
+    def test_push_pair_inside_core_passes(self):
+        assert rules(self.SRC, path="src/repro/core/gemm.py") == []
+
+    def test_push_pair_in_tests_exempt(self):
+        assert rules(self.SRC, path="tests/sim/test_custom.py") == []
+
+    def test_other_attribute_calls_pass(self):
+        assert rules("engine.read_slot(0)\n",
+                     path="src/repro/sim/custom.py") == []
+
+    def test_hint_steers_to_dispatch(self):
+        diags = lint_source(self.SRC, "src/repro/sim/custom.py")
+        assert "MixGemm" in diags[0].hint
+
+    def test_suppressed(self):
+        src = ("engine.push_pair(pa, pb)  # repro: noqa REP006\n")
+        assert rules(src, path="src/repro/sim/custom.py") == []
 
 
 class TestNoqaEngine:

@@ -1,0 +1,205 @@
+"""Packing cache: pack once, reuse everywhere, invalidate on change."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlockingParams, MixGemmConfig
+from repro.core.gemm import MixGemm
+from repro.core.packcache import (
+    PackCacheError,
+    PackingCache,
+)
+from repro.core.packing import pack_matrix_a
+from repro.core.parallel import ParallelMixGemm
+
+BLK = BlockingParams(mc=8, nc=8, kc=2, mr=4, nr=4)
+
+
+def make_config(**kw):
+    kw.setdefault("blocking", BLK)
+    return MixGemmConfig(**kw)
+
+
+def operands(config, m=5, k=12, n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(-(1 << (config.bw_a - 1)), 1 << (config.bw_a - 1),
+                     size=(m, k))
+    b = rng.integers(-(1 << (config.bw_b - 1)), 1 << (config.bw_b - 1),
+                     size=(k, n))
+    return a, b
+
+
+class TestCacheMechanics:
+    def test_pack_happens_once(self):
+        cache = PackingCache()
+        config = make_config()
+        a, _ = operands(config)
+        first = cache.get_or_pack("A", a, config)
+        second = cache.get_or_pack("A", a, config)
+        assert first is second
+        assert cache.stats.packs == 1
+        assert cache.stats.hits == 1
+
+    def test_content_fingerprint_invalidates_on_mutation(self):
+        cache = PackingCache()
+        config = make_config()
+        a, _ = operands(config)
+        cache.get_or_pack("A", a, config)
+        a[0, 0] ^= 1
+        cache.get_or_pack("A", a, config)
+        assert cache.stats.packs == 2
+
+    def test_equal_values_share_an_entry_across_objects(self):
+        # Content hashing, not identity: the runtime re-quantizes into
+        # a fresh (byte-identical) array each inference.
+        cache = PackingCache()
+        config = make_config()
+        a, _ = operands(config)
+        cache.get_or_pack("A", a, config)
+        cache.get_or_pack("A", a.copy(), config)
+        assert cache.stats.hits == 1
+
+    def test_layout_key_separates_operand_sides(self):
+        config = make_config(bw_a=4, bw_b=4)
+        square = np.ones((8, 8), dtype=np.int64)
+        cache = PackingCache()
+        cache.get_or_pack("A", square, config)
+        cache.get_or_pack("B", square, config)
+        assert cache.stats.packs == 2
+
+    def test_layout_key_separates_bitwidths(self):
+        key4 = PackingCache.layout_key("A", make_config(bw_a=4))
+        key8 = PackingCache.layout_key("A", make_config(bw_a=8))
+        assert key4 != key8
+
+    def test_blocking_not_in_layout_key(self):
+        # Panels are cut from the packed matrix afterwards, so the
+        # blocking must NOT invalidate the cache.
+        small = PackingCache.layout_key("A", make_config())
+        large = PackingCache.layout_key(
+            "A", make_config(blocking=BlockingParams()))
+        assert small == large
+
+    def test_unknown_operand_rejected(self):
+        with pytest.raises(PackCacheError):
+            PackingCache.layout_key("C", make_config())
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(PackCacheError):
+            PackingCache(capacity=0)
+
+    def test_lru_eviction(self):
+        cache = PackingCache(capacity=2)
+        config = make_config()
+        mats = [np.full((4, 4), i, dtype=np.int64) for i in range(3)]
+        cache.get_or_pack("A", mats[0], config)
+        cache.get_or_pack("A", mats[1], config)
+        cache.get_or_pack("A", mats[0], config)   # refresh 0
+        cache.get_or_pack("A", mats[2], config)   # evicts 1
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        cache.get_or_pack("A", mats[0], config)   # still cached
+        assert cache.stats.hits == 2
+
+    def test_clear_keeps_statistics(self):
+        cache = PackingCache()
+        config = make_config()
+        a, _ = operands(config)
+        cache.get_or_pack("A", a, config)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.packs == 1
+
+    def test_cached_pack_equals_direct_pack(self):
+        cache = PackingCache()
+        config = make_config()
+        a, _ = operands(config)
+        assert cache.get_or_pack("A", a, config) == pack_matrix_a(
+            a, config)
+
+
+class TestExecutorIntegration:
+    def test_repeated_gemm_packs_static_weights_once(self):
+        # The satellite fix: re-running GEMM over the same operands
+        # must not re-pack them (event backend; the fast path never
+        # materializes u-vectors at all).
+        cache = PackingCache()
+        config = make_config()
+        a, b = operands(config)
+        executor = MixGemm(config, emulate_datapath=False,
+                           backend="event", pack_cache=cache)
+        first = executor.gemm(a, b)
+        assert cache.stats.packs == 2           # one A + one B
+        second = executor.gemm(a, b)
+        assert cache.stats.packs == 2           # no re-packing
+        assert cache.stats.hits == 2
+        np.testing.assert_array_equal(first.c, second.c)
+
+    def test_cached_run_matches_uncached_run(self):
+        config = make_config()
+        a, b = operands(config, seed=3)
+        plain = MixGemm(config, emulate_datapath=False,
+                        backend="event").gemm(a, b)
+        cached = MixGemm(config, emulate_datapath=False,
+                         backend="event",
+                         pack_cache=PackingCache()).gemm(a, b)
+        np.testing.assert_array_equal(plain.c, cached.c)
+        assert plain.cycles == cached.cycles
+
+    def test_shared_cache_across_parallel_cores(self):
+        # Every core consumes the same packed A; the second call over
+        # identical operands packs nothing at all.
+        cache = PackingCache()
+        config = make_config()
+        a, b = operands(config, m=8, k=8, n=16, seed=4)
+        pool = ParallelMixGemm(config, cores=2, backend="event",
+                               pack_cache=cache)
+        pool.gemm(a, b)
+        packs_first = cache.stats.packs
+        pool.gemm(a, b)
+        assert cache.stats.packs == packs_first
+        assert cache.stats.hits >= packs_first
+
+
+class TestRuntimeIntegration:
+    def test_repeated_inference_does_not_repack_weights(self):
+        from repro.robustness.faults import demo_graph, demo_input
+        from repro.runtime.engine import InferenceEngine
+
+        graph = demo_graph()
+        engine = InferenceEngine(graph, backend="mixgemm",
+                                 gemm_backend="event")
+        x = demo_input()
+        engine.run(x)
+        packs_first = engine.pack_stats.packs
+        assert packs_first > 0
+        engine.run(x)
+        # Identical input -> identical quantized activations -> every
+        # operand (weights AND activations) hits the cache.
+        assert engine.pack_stats.packs == packs_first
+        assert engine.pack_stats.hits >= packs_first
+
+    def test_fresh_activations_only_pack_the_activations(self):
+        from repro.robustness.faults import demo_graph, demo_input
+        from repro.runtime.engine import InferenceEngine
+
+        graph = demo_graph()
+        engine = InferenceEngine(graph, backend="mixgemm",
+                                 gemm_backend="event")
+        engine.run(demo_input(seed=0))
+        packs_first = engine.pack_stats.packs
+        engine.run(demo_input(seed=1))
+        # New input repacks activations but never the static weights:
+        # fewer new packs than the cold run, which packed both.
+        new_packs = engine.pack_stats.packs - packs_first
+        assert 0 < new_packs < packs_first
+
+    def test_guard_free_auto_inference_skips_packing_entirely(self):
+        from repro.robustness.faults import demo_graph, demo_input
+        from repro.runtime.engine import InferenceEngine
+
+        graph = demo_graph()
+        engine = InferenceEngine(graph, backend="mixgemm",
+                                 gemm_backend="auto")
+        engine.run(demo_input())
+        assert engine.pack_stats.packs == 0
