@@ -1,0 +1,237 @@
+"""Wall-clock payoff of compiled plans and batched multi-worker serving.
+
+Two measurements, both of the *simulator/runtime itself* (host seconds),
+not the modelled hardware:
+
+1. **Compilation speedup** -- one resnet18-style DAG inference on the
+   uncompiled per-call engine versus a compiled
+   :class:`~repro.runtime.plan.GraphPlan`, bit-exactness and
+   cycle-exactness asserted on every comparison.  The plan hoists
+   weight quantization, packing, conv lowering geometry and executor
+   construction out of the hot path; the target is what remains.
+2. **Worker scaling** -- serving throughput of the batched
+   multi-worker runtime (:mod:`repro.runtime.serving`) across worker
+   counts, demonstrating that plan replicas behind a shared packing
+   cache turn compilation into serving capacity.
+
+Targets (recorded in ``BENCH_serving.json`` at the repo root):
+
+* >= 5x compiled-vs-uncompiled on the resnet18-style graph (full run);
+* >= 2x on the CI smoke gate -- deliberately loose so runner noise
+  never produces a false alarm; what it catches is compilation
+  silently degrading to the per-call path.
+
+Run standalone for the full sweep::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+or ``--smoke`` for the CI gate.  Under pytest, ``test_serving_smoke``
+runs the gate and writes ``results/serving.txt``.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.models.builders import build_tiny
+from repro.nn.layers import seed_init
+from repro.runtime import InferenceEngine, compile_graph, export_model
+from repro.runtime.serving import scaling_sweep
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+JSON_PATH = REPO_ROOT / "BENCH_serving.json"
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "serving.txt"
+
+#: Acceptance thresholds; the smoke gate is the CI-enforced floor.
+TARGETS = {"compiled_speedup": 5.0, "smoke_gate": 2.0}
+
+#: (label, batch, spatial size) shapes for the compilation comparison.
+FULL_SHAPES = [("serve-1x12", 1, 12), ("batch-2x12", 2, 12),
+               ("batch-4x16", 4, 16)]
+SMOKE_SHAPES = [("smoke-1x12", 1, 12)]
+
+
+def _resnet_graph(arch: str = "resnet18"):
+    seed_init(13)
+    model = build_tiny(arch, act_bits=8, weight_bits=8)
+    model.eval()
+    return export_model(model, name=arch)
+
+
+def _best_of(fn, x, repeats: int) -> float:
+    fn(x)  # warm caches, scratch buffers and executor bindings
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def compiled_speedup_study(graph, shapes, *, repeats: int = 20,
+                           seed: int = 0) -> list[dict]:
+    """Uncompiled engine vs compiled plan; exactness asserted per row."""
+    rng = np.random.default_rng(seed)
+    engine = InferenceEngine(graph, backend="mixgemm")
+    plan = compile_graph(graph, backend="mixgemm")
+    rows = []
+    for name, batch, size in shapes:
+        x = rng.standard_normal((batch, 1, size, size))
+        ref = engine.run(x)
+        got = plan.run(x)
+        bit_exact = bool(np.array_equal(ref.output, got.output))
+        cycles_equal = ref.total_cycles == got.total_cycles
+        uncompiled = _best_of(engine.run, x, repeats)
+        compiled = _best_of(plan.run, x, repeats)
+        rows.append({
+            "name": name, "batch": batch, "size": size,
+            "uncompiled_seconds": uncompiled,
+            "compiled_seconds": compiled,
+            "speedup": uncompiled / compiled,
+            "cycles": got.total_cycles,
+            "bit_exact": bit_exact,
+            "cycles_equal": cycles_equal,
+        })
+    return rows
+
+
+def worker_scaling_study(graph, *, requests: int = 64, size: int = 12,
+                         seed: int = 1,
+                         worker_counts=(1, 2, 4)) -> list[dict]:
+    """Serving throughput rows across worker-pool widths."""
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal((1, size, size))
+              for _ in range(requests)]
+    return scaling_sweep(graph, inputs, worker_counts=worker_counts,
+                         max_batch=8, max_wait_ms=2.0,
+                         backend="mixgemm")
+
+
+def run_suite(*, repeats: int = 20, requests: int = 64,
+              smoke: bool = False) -> dict:
+    """Assemble the full payload written to ``BENCH_serving.json``."""
+    graph = _resnet_graph()
+    shapes = SMOKE_SHAPES if smoke else FULL_SHAPES
+    compiled = compiled_speedup_study(graph, shapes, repeats=repeats)
+    if smoke:
+        scaling = worker_scaling_study(graph, requests=requests // 2,
+                                       worker_counts=(1, 2))
+    else:
+        scaling = worker_scaling_study(graph, requests=requests)
+    headline = compiled[0]
+    return {
+        "generated_by": "benchmarks/bench_serving.py",
+        "mode": "smoke" if smoke else "full",
+        "arch": "resnet18",
+        # Worker scaling is only meaningful on multi-core hosts: the
+        # ThreadPoolExecutor overlaps GIL-releasing numpy kernels, so a
+        # single-CPU machine measures pure batching overhead instead.
+        "host_cpus": os.cpu_count(),
+        "targets": TARGETS,
+        "compiled": compiled,
+        "worker_scaling": scaling,
+        "headline": headline,
+        "all_exact": all(r["bit_exact"] and r["cycles_equal"]
+                         for r in compiled),
+        "headline_speedup": headline["speedup"],
+    }
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "Runtime wall-clock: compiled plans + batched serving "
+        f"({payload['arch']})",
+        f"(mode: {payload['mode']}; every row bit-exact AND "
+        f"cycle-exact: {payload['all_exact']})",
+        "",
+        f"{'shape':>12} {'uncompiled s':>13} {'compiled s':>11} "
+        f"{'speedup':>8}",
+    ]
+    for r in payload["compiled"]:
+        lines.append(
+            f"{r['name']:>12} {r['uncompiled_seconds']:13.5f} "
+            f"{r['compiled_seconds']:11.5f} {r['speedup']:7.1f}x")
+    lines += [
+        "",
+        f"{'workers':>8} {'req/s':>9} {'p50 ms':>8} {'p95 ms':>8} "
+        f"{'mean batch':>11}",
+    ]
+    for r in payload["worker_scaling"]:
+        lines.append(
+            f"{r['workers']:>8} {r['throughput_rps']:9.0f} "
+            f"{r['latency_p50_ms']:8.2f} {r['latency_p95_ms']:8.2f} "
+            f"{r['mean_batch_size']:11.2f}")
+    if payload["host_cpus"] == 1:
+        lines.append(
+            "(single-CPU host: worker rows measure batching overhead, "
+            "not parallel speedup)")
+    lines.append(
+        f"\nheadline {payload['headline']['name']}: "
+        f"{payload['headline_speedup']:.1f}x compiled vs uncompiled "
+        f"(target >= {payload['targets']['compiled_speedup']:.0f}x full, "
+        f">= {payload['targets']['smoke_gate']:.0f}x smoke gate)")
+    return "\n".join(lines)
+
+
+def write_artifacts(payload: dict) -> None:
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(render(payload) + "\n")
+
+
+def check_gate(payload: dict, min_speedup: float) -> list:
+    """Return the violations (empty list = gate passes)."""
+    problems = []
+    if not payload["all_exact"]:
+        problems.append("compiled plan is not bit-/cycle-exact")
+    if payload["headline_speedup"] < min_speedup:
+        problems.append(
+            f"compiled speedup {payload['headline_speedup']:.2f}x below "
+            f"the {min_speedup:.1f}x gate")
+    if not payload["worker_scaling"]:
+        problems.append("no worker-scaling rows measured")
+    return problems
+
+
+# -- pytest entry point (CI serving-smoke job) --------------------------------
+
+
+def test_serving_smoke(save_result):
+    payload = run_suite(smoke=True, repeats=10, requests=32)
+    save_result("serving", render(payload))
+    assert check_gate(payload, TARGETS["smoke_gate"]) == []
+
+
+# -- standalone entry point ---------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="one small shape + regression gate (CI)")
+    parser.add_argument("--repeats", type=int, default=20,
+                        help="take the best of N timings per row")
+    parser.add_argument("--requests", type=int, default=64,
+                        help="requests per worker-scaling row")
+    parser.add_argument("--min-speedup", type=float,
+                        default=TARGETS["smoke_gate"],
+                        help="fail below this headline compiled speedup")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(repeats=args.repeats, requests=args.requests,
+                        smoke=args.smoke)
+    write_artifacts(payload)
+    print(render(payload))
+    print(f"\nwrote {JSON_PATH} and {RESULTS_PATH}")
+    problems = check_gate(payload, args.min_speedup)
+    for problem in problems:
+        print(f"GATE FAILURE: {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,10 @@ Commands mirror the evaluation:
 * ``info``            -- library and configuration summary;
 * ``gemm``            -- one simulated GEMM (bit-exact + cycles);
 * ``run``             -- full graph inference on the simulator, with
-  ``--backend {event,fast,auto}`` execution-backend selection;
+  ``--backend {event,fast,auto}`` execution-backend selection and
+  ``--compiled`` to serve from an ahead-of-time compiled plan;
+* ``serve``           -- batched multi-worker serving load test over
+  compiled inference plans;
 * ``figure6``         -- the square-GEMM speed-up grid;
 * ``figure7``         -- the accuracy/throughput Pareto points;
 * ``table1|2|3``      -- the three tables;
@@ -77,8 +80,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     x = demo_input(batch=args.batch, size=args.size, seed=args.seed)
     engine = InferenceEngine(
         graph, backend="mixgemm", guard_level=args.guard_level,
-        gemm_backend=args.backend,
+        gemm_backend=args.backend, compiled=args.compiled,
     )
+    if args.compiled and args.guard_level == "off":
+        plan = engine.compile()
+        info = plan.info
+        print(f"compiled plan: {info.steps} steps "
+              f"({info.folded_batchnorms} batchnorms folded, "
+              f"{info.fused_activations} activations fused, "
+              f"{info.bound_executors} bound GEMM executors)")
+    elif args.compiled:
+        print("compiled plan: disabled (guards force the per-call path)")
     result = engine.run(x)
     stats = engine.pack_stats
     print(f"graph: {len(list(graph))} nodes, "
@@ -88,10 +100,56 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"predictions: {result.output.argmax(axis=1).tolist()}")
     print(f"cycles: {result.total_cycles}, macs: {result.total_macs}, "
           f"{result.gops():.2f} GOPS @ 1.2 GHz")
+    if result.layer_stats:
+        width = max(len(s.layer) for s in result.layer_stats)
+        print("per-layer:")
+        for s in result.layer_stats:
+            print(f"  {s.layer:{width}s} {s.op:13s} {s.config:8s} "
+                  f"macs={s.macs} cycles={s.cycles}")
     print(f"packing cache: {stats.packs} packs, {stats.hits} hits "
           f"({stats.hit_rate:.0%} hit rate)")
     if result.fault_events:
         print(f"guard detections: {len(result.fault_events)}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.robustness.faults import demo_graph, demo_input
+    from repro.runtime.graph import GraphModel
+    from repro.runtime.serving import BatchedServer
+
+    if args.requests < 1:
+        print("--requests must be at least 1", file=sys.stderr)
+        return 2
+    if args.model:
+        graph = GraphModel.load(args.model)
+    else:
+        graph = demo_graph()
+    rng = np.random.default_rng(args.seed)
+    inputs = [demo_input(batch=1, size=args.size,
+                         seed=int(rng.integers(1 << 31)))[0]
+              for _ in range(args.requests)]
+    with BatchedServer(graph, workers=args.workers,
+                       max_batch=args.max_batch,
+                       max_wait_ms=args.max_wait_ms,
+                       compiled=not args.uncompiled,
+                       backend="mixgemm",
+                       gemm_backend=args.backend) as server:
+        report = server.run_requests(inputs)
+    s = report.stats
+    mode = "compiled plans" if report.compiled else "uncompiled engines"
+    print(f"served {s.requests} requests in {s.seconds:.3f}s on "
+          f"{report.workers} workers ({mode}, max batch "
+          f"{report.max_batch})")
+    print(f"throughput: {s.throughput_rps:.1f} req/s, "
+          f"{s.batches} batches, mean batch {s.mean_batch_size:.2f}")
+    print(f"latency ms: p50={s.latency_p50_ms:.2f} "
+          f"p95={s.latency_p95_ms:.2f} p99={s.latency_p99_ms:.2f} "
+          f"mean={s.latency_mean_ms:.2f}")
+    print(f"batch histogram: "
+          + ", ".join(f"{k}x{v}" for k, v
+                      in sorted(s.batch_histogram.items())))
+    print(f"max queue depth: {s.max_queue_depth}")
     return 0
 
 
@@ -310,7 +368,33 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("off", "light", "standard", "full"),
                    help="integrity-guard level (guards force the event "
                         "backend per call)")
+    p.add_argument("--compiled", action="store_true",
+                   help="run from an ahead-of-time compiled plan "
+                        "(falls back to the per-call path under guards "
+                        "or fault injection)")
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "serve", help="batched multi-worker serving load test")
+    p.add_argument("--model", default="",
+                   help="serialized GraphModel (default: the shipped "
+                        "demo CNN)")
+    p.add_argument("--requests", type=int, default=64,
+                   help="number of single-sample requests to submit")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--max-batch", type=int, default=8,
+                   dest="max_batch")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   dest="max_wait_ms",
+                   help="micro-batcher deadline window")
+    p.add_argument("--size", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backend", default="auto",
+                   choices=("event", "fast", "auto"))
+    p.add_argument("--uncompiled", action="store_true",
+                   help="serve from uncompiled engines (baseline for "
+                        "what compilation buys)")
+    p.set_defaults(func=_cmd_serve)
 
     sub.add_parser("figure6", help="square-GEMM speed-up grid"
                    ).set_defaults(func=_cmd_figure6)

@@ -107,6 +107,38 @@ class MicroKernelTiming:
     get_instructions: int
 
 
+@dataclass(frozen=True)
+class FastPathTiming:
+    """Whole-GEMM analytic timing (the single ``bs.set`` included).
+
+    ``macs`` here is the PMU's issued-MAC count (full register tiles,
+    zero-padded edges included), not the algebraic ``m * n * k``.
+    """
+
+    cycles: int
+    buffer_full_stall_cycles: int
+    get_stall_cycles: int
+    engine_busy_cycles: int
+    groups: int
+    macs: int
+    ip_instructions: int
+    get_instructions: int
+
+    def to_pmu(self) -> PmuCounters:
+        """Materialize the equivalent PMU counter block."""
+        return PmuCounters(
+            cycles_total=self.cycles,
+            buffer_full_stall_cycles=self.buffer_full_stall_cycles,
+            get_stall_cycles=self.get_stall_cycles,
+            engine_busy_cycles=self.engine_busy_cycles,
+            groups=self.groups,
+            macs=self.macs,
+            ip_instructions=self.ip_instructions,
+            get_instructions=self.get_instructions,
+            set_instructions=1,
+        )
+
+
 @functools.lru_cache(maxsize=None)
 def _tile_timing(config: MixGemmConfig, costs: "KernelCosts",
                  n_groups: int) -> MicroKernelTiming:
@@ -162,6 +194,78 @@ def _tile_timing(config: MixGemmConfig, costs: "KernelCosts",
     )
 
 
+def fastpath_applicable(config: MixGemmConfig, k: int) -> str | None:
+    """Why the fast path must refuse this run, or ``None`` if it can go.
+
+    Mirrors the refusal checks of :func:`run_fastpath` (same order) so a
+    compiled plan can decide *once* whether a layer will ride the fast
+    path without paying an exception on every call.
+    """
+    blk = config.blocking
+    lay = config.layout
+    if blk.mc % blk.mr or blk.nc % blk.nr:
+        return "edge tiles overlap cache blocks; event backend required"
+    kc_eff = aligned_kc(blk.kc * lay.elems_a, lay.group_elements)
+    lo_a, hi_a = value_range(config.bw_a, config.signed_a)
+    lo_b, hi_b = value_range(config.bw_b, config.signed_b)
+    amax = max(abs(lo_a), abs(hi_a))
+    bmax = max(abs(lo_b), abs(hi_b))
+    bits = config.accmem_bits
+    block_bound = min(kc_eff, max(k, 1)) * amax * bmax
+    if bits > 64 and block_bound >= _INT64_HALF:
+        return (f"accmem_bits={bits} with block bound {block_bound} "
+                f">= 2**63 exceeds int64 accumulation")
+    return None
+
+
+@functools.lru_cache(maxsize=None)
+def fastpath_timing(config: MixGemmConfig, costs: "KernelCosts", m: int,
+                    n: int, k: int) -> FastPathTiming:
+    """Analytic timing of one fast-path GEMM, memoized by shape.
+
+    Cycles on the fast path are a pure function of ``(config, costs, m,
+    n, k)`` -- the per-tile oracle is data independent and the blocked
+    loop structure depends only on the shape -- so a compiled plan can
+    look the whole-GEMM timing up once and reuse it on every call.
+    Caller must have cleared :func:`fastpath_applicable` first.
+    """
+    blk = config.blocking
+    lay = config.layout
+    kc_eff = aligned_kc(blk.kc * lay.elems_a, lay.group_elements)
+    oracle_config = replace(config, backend="event")
+    row_tiles = sum(ceil_div(min(blk.mc, m - ic), blk.mr)
+                    for ic in range(0, m, blk.mc))
+    col_tiles = sum(ceil_div(min(blk.nc, n - jc), blk.nr)
+                    for jc in range(0, n, blk.nc))
+    tiles_per_kblock = row_tiles * col_tiles
+
+    cycles = 1  # the single bs.set
+    stalls_full = stalls_get = busy = groups = macs = ips = gets = 0
+    for pc in range(0, k, kc_eff):
+        kc_blk = min(kc_eff, k - pc)
+        n_groups = ceil_div(kc_blk, lay.group_elements)
+        tile = _tile_timing(oracle_config, costs, n_groups)
+        cycles += (tiles_per_kblock * tile.cpu_cycles
+                   + m * n * costs.c_update_cost)
+        stalls_full += tiles_per_kblock * tile.buffer_full_stall_cycles
+        stalls_get += tiles_per_kblock * tile.get_stall_cycles
+        busy += tiles_per_kblock * tile.engine_busy_cycles
+        groups += tiles_per_kblock * tile.groups
+        macs += tiles_per_kblock * tile.macs
+        ips += tiles_per_kblock * tile.ip_instructions
+        gets += tiles_per_kblock * tile.get_instructions
+    return FastPathTiming(
+        cycles=cycles,
+        buffer_full_stall_cycles=stalls_full,
+        get_stall_cycles=stalls_get,
+        engine_busy_cycles=busy,
+        groups=groups,
+        macs=macs,
+        ip_instructions=ips,
+        get_instructions=gets,
+    )
+
+
 def run_fastpath(config: MixGemmConfig, costs: "KernelCosts", a: np.ndarray,
                  b: np.ndarray,
                  c: np.ndarray | None = None) -> "GemmResult":
@@ -194,54 +298,24 @@ def run_fastpath(config: MixGemmConfig, costs: "KernelCosts", a: np.ndarray,
     if k == 0 and n > 0:
         raise BinSegError("cannot pack an empty k vector")
 
+    refusal = fastpath_applicable(config, k)
+    if refusal is not None:
+        # The >64-bit AccMem case would carry where int64 wraps; only
+        # the bignum-backed event engine models that faithfully.
+        raise FastPathFallback(refusal)
+
     blk = config.blocking
     lay = config.layout
-    if blk.mc % blk.mr or blk.nc % blk.nr:
-        raise FastPathFallback(
-            "edge tiles overlap cache blocks; event backend required"
-        )
     kc_eff = aligned_kc(blk.kc * lay.elems_a, lay.group_elements)
-
     lo_a, hi_a = value_range(config.bw_a, config.signed_a)
     lo_b, hi_b = value_range(config.bw_b, config.signed_b)
     amax = max(abs(lo_a), abs(hi_a))
     bmax = max(abs(lo_b), abs(hi_b))
     bits = config.accmem_bits
-    block_bound = min(kc_eff, max(k, 1)) * amax * bmax
-    if bits > 64 and block_bound >= _INT64_HALF:
-        # A >64-bit AccMem would carry where int64 wraps; only the
-        # bignum-backed event engine models that faithfully.
-        raise FastPathFallback(
-            f"accmem_bits={bits} with block bound {block_bound} "
-            f">= 2**63 exceeds int64 accumulation"
-        )
 
-    oracle_config = replace(config, backend="event")
-    row_tiles = sum(ceil_div(min(blk.mc, m - ic), blk.mr)
-                    for ic in range(0, m, blk.mc))
-    col_tiles = sum(ceil_div(min(blk.nc, n - jc), blk.nr)
-                    for jc in range(0, n, blk.nc))
-    tiles_per_kblock = row_tiles * col_tiles
-
-    cycles = 1  # the single bs.set
-    pmu = PmuCounters(set_instructions=1)
-    c_update_cost = costs.c_update_cost
+    timing = fastpath_timing(config, costs, m, n, k)
     for pc in range(0, k, kc_eff):
         kc_blk = min(kc_eff, k - pc)
-        n_groups = ceil_div(kc_blk, lay.group_elements)
-        tile = _tile_timing(oracle_config, costs, n_groups)
-        cycles += (tiles_per_kblock * tile.cpu_cycles
-                   + m * n * c_update_cost)
-        pmu.buffer_full_stall_cycles += (
-            tiles_per_kblock * tile.buffer_full_stall_cycles)
-        pmu.get_stall_cycles += tiles_per_kblock * tile.get_stall_cycles
-        pmu.engine_busy_cycles += (
-            tiles_per_kblock * tile.engine_busy_cycles)
-        pmu.groups += tiles_per_kblock * tile.groups
-        pmu.macs += tiles_per_kblock * tile.macs
-        pmu.ip_instructions += tiles_per_kblock * tile.ip_instructions
-        pmu.get_instructions += tiles_per_kblock * tile.get_instructions
-
         a_blk = a64[:, pc:pc + kc_blk]
         b_blk = b64[pc:pc + kc_blk, :]
         if kc_blk * amax * bmax < _FLOAT64_EXACT:
@@ -254,10 +328,10 @@ def run_fastpath(config: MixGemmConfig, costs: "KernelCosts", a: np.ndarray,
             partial = wrap_signed_array(partial, bits)
         c += partial
 
-    pmu.cycles_total = cycles
+    pmu = timing.to_pmu()
     return GemmResult(
         c=c,
-        cycles=cycles,
+        cycles=timing.cycles,
         macs=m * n * k,
         pmu=pmu,
         config=config,

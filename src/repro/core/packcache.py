@@ -32,6 +32,7 @@ so sharing one entry across calls and cores is safe.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -79,6 +80,10 @@ class PackingCache:
             tuple[object, ...], PackedMatrix
         ] = OrderedDict()
         self.stats = PackCacheStats()
+        # One cache is shared across ParallelMixGemm cores and serving
+        # workers; the OrderedDict reorder-on-hit is not atomic under
+        # free-threaded access, so every public mutation takes the lock.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -112,20 +117,44 @@ class PackingCache:
                     config: MixGemmConfig) -> PackedMatrix:
         """Return the packed form of ``matrix``, packing at most once."""
         key = self.layout_key(operand, config) + (self.fingerprint(matrix),)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return cached
         packer = pack_matrix_a if operand == "A" else pack_matrix_b
         packed = packer(matrix, config)
-        self._entries[key] = packed
-        if len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            raced = self._entries.get(key)
+            if raced is not None:
+                # Another thread packed the same content concurrently;
+                # keep its (identical, immutable) entry.
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return raced
+            self.stats.misses += 1
+            self._entries[key] = packed
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return packed
+
+    def prewarm(self, operand: str, matrix: np.ndarray,
+                config: MixGemmConfig) -> bool:
+        """Pack ``matrix`` into the cache ahead of time.
+
+        Compiled plans call this once per static weight so the first
+        served request never pays a pack.  Returns ``True`` when this
+        call performed the pack, ``False`` on an already-warm entry.
+        """
+        key = self.layout_key(operand, config) + (self.fingerprint(matrix),)
+        with self._lock:
+            warm = key in self._entries
+        self.get_or_pack(operand, matrix, config)
+        return not warm
 
     def clear(self) -> None:
         """Drop every entry; statistics are preserved."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

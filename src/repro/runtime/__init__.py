@@ -10,6 +10,8 @@ from .graph import (
     NodeSpec,
     export_sequential,
 )
+from .plan import GraphPlan, PlanInfo, compile_graph
+from .serving import BatchedServer, ServingReport, ServingStats
 
 __all__ = [
     "InferenceEngine",
@@ -23,4 +25,10 @@ __all__ = [
     "GraphModel",
     "NodeSpec",
     "export_sequential",
+    "GraphPlan",
+    "PlanInfo",
+    "compile_graph",
+    "BatchedServer",
+    "ServingReport",
+    "ServingStats",
 ]

@@ -1,0 +1,672 @@
+"""Ahead-of-time compilation of deployment graphs (the paper's AOT stage).
+
+The uncompiled :class:`~repro.runtime.engine.InferenceEngine` pays graph
+overhead on **every** ``run()`` call: static weights are re-quantized,
+per-channel absmax scales recomputed, conv geometry re-derived, operand
+matrices re-validated and a fresh :class:`~repro.core.gemm.MixGemm`
+executor built per GEMM.  That is the right shape for a debugger and for
+the hardened/fault-injection paths (which must observe the per-call
+pipeline), but it turns steady-state serving into a metadata benchmark.
+The BLIS lineage Mix-GEMM builds on amortizes exactly this work: packing
+and layout decisions happen once per deployment, the hot loop is pure
+arithmetic.
+
+:func:`compile_graph` performs that amortization once and returns a
+:class:`GraphPlan`:
+
+* static weights are quantized once and their per-channel scales cached;
+* ``batchnorm2d`` nodes whose sole input is a preceding conv become part
+  of that conv's epilogue (the BN ``scale``/``shift`` arrays are
+  precomputed constants), and elementwise ``relu``/``relu6`` nodes fuse
+  into the producing step's epilogue;
+* conv lowering state (output geometry, the padded scratch buffer) is
+  cached per input shape, replacing the per-call ``np.pad``;
+* event-backend weight panels are pre-packed into the shared
+  :class:`~repro.core.packcache.PackingCache`, and one reusable
+  executor is bound per (config, layer) instead of one per call;
+* fast-backend weight operands are validated, split into kc-blocks and
+  pre-cast once, with per-call cycles served by the memoized
+  :func:`~repro.core.fastpath.fastpath_timing` oracle.
+
+Bit-exactness is a design invariant, not an aspiration: every float
+operation the plan executes is the *same numpy expression in the same
+order* as the uncompiled engine (shared kernels live in
+:mod:`repro.runtime.ops`), the integer GEMM path reproduces
+:func:`~repro.core.fastpath.run_fastpath` block by block, and the
+BN/activation "fusion" hoists only *constant computation* -- the
+per-element float sequence is untouched.  ``tests/runtime/test_plan.py``
+asserts equality (outputs and per-layer cycles), never closeness.
+
+Plans hold per-call scratch state (lowering buffers, bound executors)
+and are therefore **not** thread-safe; the batched server in
+:mod:`repro.runtime.serving` gives each worker its own plan and shares
+only the (locked) packing cache.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.backend import resolve_backend
+from repro.core.binseg import value_range
+from repro.core.config import (
+    DEFAULT_ACCMEM_BITS,
+    EXECUTION_BACKENDS,
+    MixGemmConfig,
+)
+from repro.core.fastpath import (
+    _FLOAT64_EXACT,
+    fastpath_applicable,
+    fastpath_timing,
+    wrap_signed_array,
+)
+from repro.core.gemm import KernelCosts, MixGemm
+from repro.core.packcache import PackingCache
+from repro.core.packing import _check_matrix, aligned_kc
+from repro.nn.functional_quant import weight_absmax_scale
+from repro.nn.im2col import rows_to_nchw
+from repro.quant.affine import QuantParams, quantize
+
+from . import ops
+from .engine import SIM_BLOCKING, InferenceResult, LayerStats
+from .graph import GraphError, GraphModel, NodeSpec
+
+
+# -- bound GEMM executors -----------------------------------------------------
+
+
+class _ActQuantizer:
+    """Per-tensor activation quantizer with the constants pre-resolved.
+
+    Evaluates the same numpy expression as
+    :func:`repro.quant.affine.quantize` -- divide, add zero-point,
+    round, clip, cast -- with the broadcasting/`value_range` bookkeeping
+    hoisted to construction, so the result is bitwise identical and the
+    per-call cost is five ufuncs.
+    """
+
+    def __init__(self, qp: QuantParams) -> None:
+        self.qp = qp
+        self._scale = qp._expand(qp.scale, 1)
+        self._zp = qp._expand(qp.zero_point, 1)
+        self._qmin = qp.qmin
+        self._qmax = qp.qmax
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        q = (x / self._scale + self._zp).round()
+        return q.clip(self._qmin, self._qmax).astype(np.int64)
+
+
+class _BoundGemm:
+    """One (config, layer, group) GEMM with the weight operand baked in.
+
+    The backend decision is taken **once** at bind time with the same
+    rules the engine applies per call (guard-free compile implies no
+    hooks, so :func:`~repro.core.backend.resolve_backend` sees the
+    identical inputs).  The fast mode reproduces
+    :func:`~repro.core.fastpath.run_fastpath` exactly -- same kc-block
+    splits, same float64-vs-int64 cast rule, same wrap -- with the
+    weight-side validation, casting and timing loop hoisted out of the
+    call.  The event mode keeps one reusable
+    :class:`~repro.core.gemm.MixGemm`; per-call cycles are the engine
+    clock *delta*, which equals a fresh executor's count because the
+    micro-kernel timing is translation invariant (see the
+    :mod:`repro.core.fastpath` module docstring).
+    """
+
+    def __init__(self, b: np.ndarray, config: MixGemmConfig,
+                 gemm_backend: str, pack_cache: PackingCache) -> None:
+        self.config = config
+        self.k, self.n = b.shape
+        self._costs = KernelCosts()
+        decision = resolve_backend(gemm_backend, config,
+                                   emulate_datapath=False)
+        self.mode = ("fast" if decision.is_fast
+                     and fastpath_applicable(config, self.k) is None
+                     else "event")
+        self.prepacked = False
+        if self.mode == "fast":
+            b64 = _check_matrix(b, config.bw_b, config.signed_b, "B")
+            lay = config.layout
+            kc_eff = aligned_kc(config.blocking.kc * lay.elems_a,
+                                lay.group_elements)
+            lo_a, hi_a = value_range(config.bw_a, config.signed_a)
+            lo_b, hi_b = value_range(config.bw_b, config.signed_b)
+            amax = max(abs(lo_a), abs(hi_a))
+            bmax = max(abs(lo_b), abs(hi_b))
+            self._bits = config.accmem_bits
+            self._blocks: list[tuple[slice, np.ndarray, bool]] = []
+            for pc in range(0, self.k, kc_eff):
+                kc_blk = min(kc_eff, self.k - pc)
+                blk = b64[pc:pc + kc_blk, :]
+                exact = kc_blk * amax * bmax < _FLOAT64_EXACT
+                self._blocks.append((
+                    slice(pc, pc + kc_blk),
+                    blk.astype(np.float64) if exact else blk,
+                    exact,
+                ))
+            self._single = (self._blocks[0] if len(self._blocks) == 1
+                            else None)
+            self._cycles_by_m: dict[int, int] = {}
+        else:
+            self._b = b
+            self._executor = MixGemm(config, emulate_datapath=False,
+                                    backend="event",
+                                    pack_cache=pack_cache)
+            self.prepacked = pack_cache.prewarm("B", b, config)
+
+    def __call__(self, a: np.ndarray) -> tuple[np.ndarray, int]:
+        """``(C, cycles)`` for int64 ``a`` already in the config's range.
+
+        The A-side ``_check_matrix`` is provably redundant here --
+        ``quantize`` clipped the activations into exactly the
+        ``(bw_a, signed_a)`` range this config declares -- so the fast
+        mode skips it; values and cycles are unaffected.
+        """
+        if self.mode == "event":
+            engine = self._executor.engine
+            before = engine.now
+            res = self._executor.gemm(a, self._b)
+            return res.c, res.cycles - before
+        m = a.shape[0]
+        cycles = self._cycles_by_m.get(m)
+        if cycles is None:
+            cycles = fastpath_timing(self.config, self._costs, m, self.n,
+                                     self.k).cycles
+            self._cycles_by_m[m] = cycles
+        if self._single is not None:
+            _, b_blk, exact = self._single
+            if exact:
+                c = (a.astype(np.float64) @ b_blk).astype(np.int64)
+            else:
+                c = a @ b_blk
+            if self._bits < 64:
+                c = wrap_signed_array(c, self._bits)
+            return c, cycles
+        c = np.zeros((m, self.n), dtype=np.int64)
+        for sl, b_blk, exact in self._blocks:
+            a_blk = a[:, sl]
+            if exact:
+                partial = (a_blk.astype(np.float64)
+                           @ b_blk).astype(np.int64)
+            else:
+                partial = a_blk @ b_blk
+            if self._bits < 64:
+                partial = wrap_signed_array(partial, self._bits)
+            c += partial
+        return c, cycles
+
+
+# -- compiled steps -----------------------------------------------------------
+
+
+class _Step:
+    """Base compiled step: one output label plus a fused epilogue chain."""
+
+    #: Set by subclasses that accept a batchnorm fold.
+    can_fold_bn = False
+
+    def __init__(self, label: str, input_ids: list[str]) -> None:
+        self.label = label
+        self.input_ids = list(input_ids)
+        self.epilogue: list[Callable[[np.ndarray], np.ndarray]] = []
+        self.fused: list[str] = []
+
+    def fuse(self, node: NodeSpec, label: str) -> None:
+        """Absorb an elementwise follower; the step takes its label."""
+        if node.op == "batchnorm2d":
+            scale, shift = ops.batchnorm_params(node.tensors,
+                                                node.attrs["eps"])
+            self.epilogue.append(
+                lambda y: ops.apply_batchnorm(y, scale, shift))
+        elif node.op == "relu":
+            self.epilogue.append(ops.relu)
+            self.can_fold_bn = False  # BN after a non-linearity is no fold
+        elif node.op == "relu6":
+            self.epilogue.append(ops.relu6)
+            self.can_fold_bn = False
+        else:  # pragma: no cover - guarded by the fusion pass
+            raise GraphError(f"cannot fuse op {node.op}")
+        self.fused.append(node.op)
+        self.label = label
+
+    def _finish(self, y: np.ndarray) -> np.ndarray:
+        for fn in self.epilogue:
+            y = fn(y)
+        return y
+
+    def __call__(self, arrays: list[np.ndarray],
+                 result: InferenceResult) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _GenericStep(_Step):
+    """Non-GEMM op: a precompiled closure over the node's constants."""
+
+    def __init__(self, node: NodeSpec, label: str,
+                 input_ids: list[str]) -> None:
+        super().__init__(label, input_ids)
+        self.op = node.op
+        self._fn = self._build(node)
+
+    @staticmethod
+    def _build(node: NodeSpec) -> Callable[..., np.ndarray]:
+        op = node.op
+        if op == "add":
+            def _add(a, b):
+                if a.shape != b.shape:
+                    raise GraphError(
+                        f"add shape mismatch: {a.shape} vs {b.shape}")
+                return a + b
+            return _add
+        if op == "channel_scale":
+            def _cs(x, s):
+                if s.shape != x.shape[:2]:
+                    raise GraphError(
+                        f"channel_scale gates {s.shape} do not match "
+                        f"features {x.shape}")
+                return ops.channel_scale(x, s)
+            return _cs
+        if op == "batchnorm2d":
+            scale, shift = ops.batchnorm_params(node.tensors,
+                                                node.attrs["eps"])
+            return lambda x: ops.apply_batchnorm(x, scale, shift)
+        if op in ("max_pool2d", "avg_pool2d"):
+            kernel, stride = node.attrs["kernel"], node.attrs["stride"]
+            pool = ops.max_pool2d if op == "max_pool2d" else ops.avg_pool2d
+            return lambda x: pool(x, kernel, stride)
+        if op == "linear":
+            weight_t = node.tensors["weight"].T
+            bias = node.tensors.get("bias")
+            if bias is None:
+                return lambda x: x @ weight_t
+            return lambda x: x @ weight_t + bias
+        simple = {
+            "relu": ops.relu, "relu6": ops.relu6, "sigmoid": ops.sigmoid,
+            "silu": ops.silu, "flatten": ops.flatten,
+            "global_avg_pool2d": ops.global_avg_pool2d,
+            "identity": lambda x: x,
+        }
+        if op in simple:
+            return simple[op]
+        raise GraphError(f"unsupported op: {op}")
+
+    def __call__(self, arrays: list[np.ndarray],
+                 result: InferenceResult) -> np.ndarray:
+        return self._finish(self._fn(*arrays))
+
+
+class _ConvLowering:
+    """Per-input-shape conv lowering state (geometry + gather indices).
+
+    Reproduces :func:`~repro.nn.im2col.im2row` value for value while
+    replacing its per-call ``np.pad`` + strided-view copy with a
+    persistent zero-halo scratch buffer (interior refreshed per call)
+    and one precomputed gather: the index matrix is built by running the
+    *same* windowing arithmetic over a position array once at compile
+    time, so ``rows[i, j]`` picks exactly the element ``im2row`` would.
+    Not thread-safe (the buffer is shared across calls) -- one plan per
+    worker.
+    """
+
+    def __init__(self, x_shape: tuple[int, ...], kh: int, kw: int,
+                 stride: int, padding: int, dtype) -> None:
+        n, c, h, w = x_shape
+        self.h, self.w, self.padding = h, w, padding
+        self.out_h = (h + 2 * padding - kh) // stride + 1
+        self.out_w = (w + 2 * padding - kw) // stride + 1
+        self.m = n * self.out_h * self.out_w
+        pad_shape = (n, c, h + 2 * padding, w + 2 * padding)
+        self._buf = np.zeros(pad_shape, dtype=dtype)
+        self._flat = self._buf.reshape(-1)
+        positions = np.arange(self._buf.size,
+                              dtype=np.intp).reshape(pad_shape)
+        sn, sc, sh, sw = positions.strides
+        windows = np.lib.stride_tricks.as_strided(
+            positions, shape=(n, c, self.out_h, self.out_w, kh, kw),
+            strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+            writeable=False,
+        )
+        self._idx = np.ascontiguousarray(
+            windows.transpose(0, 2, 3, 1, 4, 5).reshape(self.m,
+                                                        c * kh * kw))
+
+    def rows(self, x: np.ndarray) -> np.ndarray:
+        p = self.padding
+        self._buf[:, :, p:p + self.h, p:p + self.w] = x
+        return np.take(self._flat, self._idx)
+
+
+class _ConvStep(_Step):
+    """``quant_conv2d`` / ``conv2d`` with everything static precomputed."""
+
+    can_fold_bn = True
+
+    def __init__(self, node: NodeSpec, label: str, input_ids: list[str], *,
+                 backend: str, gemm_backend: str, accmem_bits: int,
+                 pack_cache: PackingCache) -> None:
+        super().__init__(label, input_ids)
+        self.op = node.op
+        self.stats_label = label
+        self.quant = node.op == "quant_conv2d"
+        self.backend = backend
+        attrs = node.attrs
+        w = node.tensors["weight"]
+        self.stride = attrs["stride"]
+        self.kpad = attrs["padding"]
+        self.groups = attrs["groups"]
+        self.out_channels, cpg, self.kh, self.kw = w.shape
+        self.cpg = cpg
+        self.fpg = self.out_channels // self.groups
+        bias = node.tensors.get("bias")
+        self._bias = bias.reshape(1, -1, 1, 1) if bias is not None else None
+        self._lowerings: dict[tuple[int, ...], _ConvLowering] = {}
+
+        if self.quant:
+            self.act_qp = QuantParams(
+                scale=attrs["act_scale"], zero_point=0.0,
+                bits=attrs["act_bits"], signed=attrs["act_signed"],
+            )
+            self._quant_act = _ActQuantizer(self.act_qp)
+            w_scale = weight_absmax_scale(w, attrs["weight_bits"],
+                                          channel_axis=0)
+            wgt_qp = QuantParams(scale=w_scale, zero_point=0.0,
+                                 bits=attrs["weight_bits"], signed=True,
+                                 axis=0)
+            w_q = quantize(w, wgt_qp)
+            # Same expression the engine evaluates per call; hoisting it
+            # does not change a single bit of the product below.
+            self._out_scale = (float(self.act_qp.scale)
+                               * wgt_qp.scale[None, :])
+            panels = [
+                w_q[g * self.fpg:(g + 1) * self.fpg].reshape(self.fpg, -1).T
+                for g in range(self.groups)
+            ]
+            if backend == "mixgemm":
+                config = MixGemmConfig(
+                    bw_a=attrs["act_bits"], bw_b=attrs["weight_bits"],
+                    signed_a=attrs["act_signed"], signed_b=True,
+                    blocking=SIM_BLOCKING, accmem_bits=accmem_bits,
+                )
+                self.gemms = [_BoundGemm(p, config, gemm_backend,
+                                         pack_cache) for p in panels]
+            else:
+                self.panels = panels
+        else:
+            # Keep the engine's exact view (reshape + transpose of the
+            # original array): float matmul results can depend on the
+            # operand memory layout BLAS sees, so we do not re-pack.
+            self.panels = [
+                w[g * self.fpg:(g + 1) * self.fpg].reshape(self.fpg, -1).T
+                for g in range(self.groups)
+            ]
+
+    def _lowering(self, x_shape: tuple[int, ...]) -> _ConvLowering:
+        low = self._lowerings.get(x_shape)
+        if low is None:
+            n, c, h, w = x_shape
+            if c != self.cpg * self.groups:
+                raise ValueError(
+                    f"channel mismatch: input {c}, weight {self.cpg} x "
+                    f"groups {self.groups}")
+            dtype = np.int64 if self.quant else np.float64
+            low = _ConvLowering((n, self.cpg, h, w), self.kh, self.kw,
+                                self.stride, self.kpad, dtype)
+            self._lowerings[x_shape] = low
+        return low
+
+    def __call__(self, arrays: list[np.ndarray],
+                 result: InferenceResult) -> np.ndarray:
+        x = arrays[0]
+        low = self._lowering(x.shape)
+        src = self._quant_act(x) if self.quant else x
+        outs = []
+        for g in range(self.groups):
+            rows = low.rows(src[:, g * self.cpg:(g + 1) * self.cpg])
+            if self.quant and self.backend == "mixgemm":
+                gemm = self.gemms[g]
+                c, cycles = gemm(rows)
+                result.layer_stats.append(LayerStats(
+                    op=self.op, config=gemm.config.name,
+                    macs=rows.shape[0] * gemm.n * gemm.k, cycles=cycles,
+                    layer=self.stats_label,
+                ))
+                outs.append(c)
+            else:
+                outs.append(rows @ self.panels[g])
+        acc = np.concatenate(outs, axis=1)
+        if self.quant:
+            y = acc.astype(np.float64) * self._out_scale
+        else:
+            y = acc
+        y = rows_to_nchw(y, x.shape[0], low.out_h, low.out_w)
+        if self._bias is not None:
+            y = y + self._bias
+        return self._finish(y)
+
+
+class _QuantLinearStep(_Step):
+    """``quant_linear`` with quantized weights and scales baked in."""
+
+    def __init__(self, node: NodeSpec, label: str, input_ids: list[str], *,
+                 backend: str, gemm_backend: str, accmem_bits: int,
+                 pack_cache: PackingCache) -> None:
+        super().__init__(label, input_ids)
+        self.op = node.op
+        self.stats_label = label
+        self.backend = backend
+        attrs = node.attrs
+        w = node.tensors["weight"]
+        self.act_qp = QuantParams(
+            scale=attrs["act_scale"], zero_point=0.0,
+            bits=attrs["act_bits"], signed=attrs["act_signed"],
+        )
+        self._quant_act = _ActQuantizer(self.act_qp)
+        w_scale = weight_absmax_scale(w, attrs["weight_bits"],
+                                      channel_axis=0)
+        wgt_qp = QuantParams(scale=w_scale, zero_point=0.0,
+                             bits=attrs["weight_bits"], signed=True, axis=0)
+        w_q_t = quantize(w, wgt_qp).T
+        self._out_scale = float(self.act_qp.scale) * wgt_qp.scale
+        self._bias = node.tensors.get("bias")
+        if backend == "mixgemm":
+            config = MixGemmConfig(
+                bw_a=attrs["act_bits"], bw_b=attrs["weight_bits"],
+                signed_a=attrs["act_signed"], signed_b=True,
+                blocking=SIM_BLOCKING, accmem_bits=accmem_bits,
+            )
+            self.gemm = _BoundGemm(w_q_t, config, gemm_backend, pack_cache)
+        else:
+            self.panel = w_q_t
+
+    def __call__(self, arrays: list[np.ndarray],
+                 result: InferenceResult) -> np.ndarray:
+        x_q = self._quant_act(arrays[0])
+        if self.backend == "mixgemm":
+            acc, cycles = self.gemm(x_q)
+            result.layer_stats.append(LayerStats(
+                op=self.op, config=self.gemm.config.name,
+                macs=x_q.shape[0] * self.gemm.n * self.gemm.k,
+                cycles=cycles, layer=self.stats_label,
+            ))
+        else:
+            acc = x_q @ self.panel
+        y = acc.astype(np.float64) * self._out_scale
+        if self._bias is not None:
+            y = y + self._bias
+        return self._finish(y)
+
+
+# -- the plan -----------------------------------------------------------------
+
+
+@dataclass
+class PlanInfo:
+    """Compile-time report: what the plan hoisted and fused."""
+
+    nodes: int
+    steps: int
+    folded_batchnorms: int
+    fused_activations: int
+    bound_executors: int
+    prepacked_panels: int
+    backend: str
+    gemm_backend: str
+    fusions: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "nodes": self.nodes, "steps": self.steps,
+            "folded_batchnorms": self.folded_batchnorms,
+            "fused_activations": self.fused_activations,
+            "bound_executors": self.bound_executors,
+            "prepacked_panels": self.prepacked_panels,
+            "backend": self.backend, "gemm_backend": self.gemm_backend,
+            "fusions": list(self.fusions),
+        }
+
+
+class GraphPlan:
+    """A compiled graph: call :meth:`run` like the engine, minus the tax.
+
+    Plans snapshot the graph's weights at compile time; mutating the
+    graph afterwards (e.g. a fault campaign) requires recompiling.  Not
+    thread-safe -- see the module docstring.
+    """
+
+    def __init__(self, graph: GraphModel, steps: list[_Step],
+                 info: PlanInfo, pack_cache: PackingCache) -> None:
+        self.graph = graph
+        self.steps = steps
+        self.info = info
+        self.pack_cache = pack_cache
+
+    def run(self, x: np.ndarray) -> InferenceResult:
+        """Execute the compiled plan; mirrors ``InferenceEngine.run``."""
+        result = InferenceResult(output=np.asarray(x, dtype=np.float64),
+                                 guard_level="off")
+        values: dict[str, np.ndarray] = {"input": result.output}
+        label = "input"
+        for step in self.steps:
+            try:
+                arrays = [values[name] for name in step.input_ids]
+            except KeyError as exc:
+                raise GraphError(
+                    f"step {step.label} references unknown tensor {exc}"
+                ) from None
+            label = step.label
+            values[label] = step(arrays, result)
+        result.output = values[label]
+        return result
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class ids for a batch (softmax-free argmax)."""
+        return self.run(x).output.argmax(axis=1)
+
+    @property
+    def pack_stats(self):
+        return self.pack_cache.stats
+
+    def describe(self) -> dict:
+        return self.info.as_dict()
+
+
+def _effective_wiring(graph: GraphModel
+                      ) -> tuple[list[str], list[list[str]]]:
+    """Labels and resolved input lists, engine-identical, validated."""
+    labels = graph.effective_ids()
+    seen: set[str] = set()
+    for i, (node, label) in enumerate(zip(graph, labels)):
+        if label == "input":
+            raise GraphError(
+                f"node {i} ({node.op}) uses the reserved id 'input'")
+        if label in seen:
+            raise GraphError(
+                f"duplicate node id {label!r} at node {i} ({node.op}); "
+                f"its output would overwrite an earlier tensor")
+        seen.add(label)
+    inputs_of: list[list[str]] = []
+    prev = "input"
+    for node, label in zip(graph, labels):
+        inputs_of.append(list(node.inputs) if node.inputs else [prev])
+        prev = label
+    return labels, inputs_of
+
+
+#: Ops a step can absorb into its epilogue (elementwise, single-input).
+_FUSABLE_ACTS = frozenset({"relu", "relu6"})
+
+
+def compile_graph(graph: GraphModel, *, backend: str = "numpy",
+                  gemm_backend: str = "auto",
+                  accmem_bits: int = DEFAULT_ACCMEM_BITS,
+                  pack_cache: Optional[PackingCache] = None,
+                  fuse: bool = True) -> GraphPlan:
+    """Compile ``graph`` into a :class:`GraphPlan` for ``backend``.
+
+    Fusion is conservative and therefore exact: a follower is absorbed
+    only when it has a single input, that input is the immediately
+    preceding step's output, and no other node consumes it.  BN folds
+    restrict further to conv producers that have not fused an activation
+    yet (BN after a non-linearity is not a conv epilogue).  Everything
+    else becomes its own step running the shared :mod:`~repro.runtime.ops`
+    kernels, so an unfusable graph still compiles -- it just keeps more
+    steps.
+    """
+    if backend not in ("numpy", "mixgemm"):
+        raise GraphError(f"unknown backend: {backend}")
+    if gemm_backend not in EXECUTION_BACKENDS:
+        raise GraphError(f"unknown gemm backend: {gemm_backend}")
+    if pack_cache is None:
+        pack_cache = PackingCache()
+    labels, inputs_of = _effective_wiring(graph)
+    consumers = Counter(name for eff in inputs_of for name in eff)
+
+    gemm_kwargs = dict(backend=backend, gemm_backend=gemm_backend,
+                       accmem_bits=accmem_bits, pack_cache=pack_cache)
+    steps: list[_Step] = []
+    folded_bn = fused_act = 0
+    fusions: list[str] = []
+    for node, label, eff in zip(graph, labels, inputs_of):
+        if fuse and steps:
+            tail = steps[-1]
+            mergeable = (len(eff) == 1 and eff[0] == tail.label
+                         and consumers[eff[0]] == 1)
+            if mergeable and node.op == "batchnorm2d" and tail.can_fold_bn:
+                fusions.append(f"{tail.label}+{node.op}->{label}")
+                tail.fuse(node, label)
+                folded_bn += 1
+                continue
+            if mergeable and node.op in _FUSABLE_ACTS:
+                fusions.append(f"{tail.label}+{node.op}->{label}")
+                tail.fuse(node, label)
+                fused_act += 1
+                continue
+        if node.op in ("quant_conv2d", "conv2d"):
+            steps.append(_ConvStep(node, label, eff, **gemm_kwargs))
+        elif node.op == "quant_linear":
+            steps.append(_QuantLinearStep(node, label, eff, **gemm_kwargs))
+        else:
+            steps.append(_GenericStep(node, label, eff))
+
+    bound = prepacked = 0
+    for step in steps:
+        for gemm in getattr(step, "gemms", []):
+            bound += 1
+            prepacked += int(gemm.prepacked)
+        gemm = getattr(step, "gemm", None)
+        if gemm is not None:
+            bound += 1
+            prepacked += int(gemm.prepacked)
+
+    info = PlanInfo(
+        nodes=len(graph), steps=len(steps), folded_batchnorms=folded_bn,
+        fused_activations=fused_act, bound_executors=bound,
+        prepacked_panels=prepacked, backend=backend,
+        gemm_backend=gemm_backend, fusions=fusions,
+    )
+    return GraphPlan(graph, steps, info, pack_cache)

@@ -1,0 +1,312 @@
+"""Batched multi-worker serving on top of compiled inference plans.
+
+The ROADMAP's north star is a runtime that can "serve heavy traffic" --
+sharding, batching, async, caching.  This module supplies the
+single-process core of that story:
+
+* a **request queue** accepting one sample per request;
+* a **dynamic micro-batcher**: the first request of a batch opens a
+  deadline window (``max_wait_ms``); further requests join until either
+  the window closes or ``max_batch`` is reached, trading a bounded
+  per-request latency for GEMM batches big enough to amortize per-call
+  overhead (batching a conv graph multiplies the GEMM ``m`` dimension,
+  not the call count);
+* a **worker pool** of compiled :class:`~repro.runtime.plan.GraphPlan`
+  instances behind a ``ThreadPoolExecutor``.  Plans hold mutable
+  scratch state and are not thread-safe, so each worker owns a private
+  plan checked out of a pool queue; all plans share one (locked)
+  :class:`~repro.core.packcache.PackingCache`, so static weights are
+  packed once for the whole server.  Threads (not processes) are the
+  right pool here because the hot path is numpy kernels -- BLAS matmuls
+  and large elementwise ops release the GIL, so batches genuinely
+  overlap; the remaining Python bookkeeping is microseconds per batch.
+
+Every request's journey is timed: :class:`ServingReport` carries p50 /
+p95 / p99 / mean latency, total throughput, the batch-size histogram
+and observed queue depths, so a load test doubles as a capacity
+measurement.  Process-level sharding and an async client API remain
+open items (see ROADMAP.md).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import Counter
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import DEFAULT_ACCMEM_BITS
+from repro.core.errors import ReproError
+from repro.core.packcache import PackingCache
+
+from .engine import InferenceEngine
+from .graph import GraphModel
+from .plan import compile_graph
+
+#: Queue sentinel telling the batcher thread to drain and exit.
+_STOP = object()
+
+
+class ServingError(ReproError, RuntimeError):
+    """Raised on server misuse (bad parameters, submit after close)."""
+
+
+@dataclass
+class _Request:
+    """One in-flight sample plus its promise and timing."""
+
+    x: np.ndarray
+    future: Future
+    submitted: float
+    completed: float = 0.0
+
+
+@dataclass
+class ServingStats:
+    """Latency/throughput accounting for one measurement window."""
+
+    requests: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+    latency_mean_ms: float = 0.0
+    throughput_rps: float = 0.0
+    batch_histogram: dict[int, int] = field(default_factory=dict)
+    max_queue_depth: int = 0
+    mean_batch_size: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests, "batches": self.batches,
+            "seconds": self.seconds,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "throughput_rps": self.throughput_rps,
+            "batch_histogram": {str(k): v for k, v
+                                in sorted(self.batch_histogram.items())},
+            "max_queue_depth": self.max_queue_depth,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+@dataclass
+class ServingReport:
+    """Outputs (request order) plus the stats of the run."""
+
+    outputs: list[np.ndarray]
+    stats: ServingStats
+    workers: int
+    max_batch: int
+    compiled: bool
+
+
+class BatchedServer:
+    """Queue + micro-batcher + worker pool over one deployment graph.
+
+    Parameters
+    ----------
+    graph:
+        The deployment IR every worker serves.
+    workers:
+        Worker-pool width; also the number of plan replicas compiled.
+    max_batch:
+        Upper bound on the dynamic batch size.
+    max_wait_ms:
+        How long the batcher holds an open batch for stragglers.  The
+        first queued request starts the clock; ``0`` degenerates to
+        batch-per-request.
+    compiled:
+        Serve from compiled :class:`~repro.runtime.plan.GraphPlan`
+        replicas (default) or from uncompiled engines -- the latter
+        exists so benchmarks can measure exactly what compilation buys
+        under identical batching.
+    backend / gemm_backend / accmem_bits:
+        Forwarded to the plan/engine, same semantics as
+        :class:`~repro.runtime.engine.InferenceEngine`.
+    """
+
+    def __init__(self, graph: GraphModel, *, workers: int = 2,
+                 max_batch: int = 8, max_wait_ms: float = 2.0,
+                 compiled: bool = True, backend: str = "numpy",
+                 gemm_backend: str = "auto",
+                 accmem_bits: int = DEFAULT_ACCMEM_BITS) -> None:
+        if workers < 1:
+            raise ServingError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ServingError(
+                f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.workers = workers
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.compiled = compiled
+        self.pack_cache = PackingCache()
+        self._runners: queue.SimpleQueue = queue.SimpleQueue()
+        for _ in range(workers):
+            if compiled:
+                runner = compile_graph(
+                    graph, backend=backend, gemm_backend=gemm_backend,
+                    accmem_bits=accmem_bits, pack_cache=self.pack_cache)
+            else:
+                runner = InferenceEngine(
+                    graph, backend=backend, gemm_backend=gemm_backend,
+                    accmem_bits=accmem_bits)
+            self._runners.put(runner)
+        self._queue: queue.Queue = queue.Queue()
+        self._pool = ThreadPoolExecutor(max_workers=workers)
+        self._batch_sizes: Counter = Counter()
+        self._queue_depths: list[int] = []
+        self._stats_lock = threading.Lock()
+        self._closed = False
+        self._batcher = threading.Thread(target=self._batch_loop,
+                                         name="repro-batcher", daemon=True)
+        self._batcher.start()
+
+    # -- client API -----------------------------------------------------------
+
+    def submit(self, x: np.ndarray) -> Future:
+        """Enqueue one sample (no batch axis); resolves to its output."""
+        if self._closed:
+            raise ServingError("submit() on a closed server")
+        request = _Request(x=np.asarray(x, dtype=np.float64),
+                           future=Future(), submitted=time.perf_counter())
+        request.future._repro_request = request
+        self._queue.put(request)
+        return request.future
+
+    def run_requests(self, inputs: Sequence[np.ndarray],
+                     ) -> ServingReport:
+        """Submit every sample, wait for all, and report the window."""
+        t0 = time.perf_counter()
+        futures = [self.submit(x) for x in inputs]
+        outputs = [f.result() for f in futures]
+        seconds = time.perf_counter() - t0
+        requests = [f._repro_request for f in futures]
+        latencies = sorted((r.completed - r.submitted) * 1000.0
+                           for r in requests)
+        with self._stats_lock:
+            histogram = dict(self._batch_sizes)
+            depths = list(self._queue_depths)
+            self._batch_sizes.clear()
+            self._queue_depths.clear()
+        n = len(latencies)
+        batches = sum(histogram.values())
+        stats = ServingStats(
+            requests=n, batches=batches, seconds=seconds,
+            latency_p50_ms=float(np.percentile(latencies, 50)) if n else 0.0,
+            latency_p95_ms=float(np.percentile(latencies, 95)) if n else 0.0,
+            latency_p99_ms=float(np.percentile(latencies, 99)) if n else 0.0,
+            latency_mean_ms=float(np.mean(latencies)) if n else 0.0,
+            throughput_rps=n / seconds if seconds > 0 else 0.0,
+            batch_histogram=histogram,
+            max_queue_depth=max(depths, default=0),
+            mean_batch_size=(n / batches) if batches else 0.0,
+        )
+        return ServingReport(outputs=outputs, stats=stats,
+                             workers=self.workers,
+                             max_batch=self.max_batch,
+                             compiled=self.compiled)
+
+    def close(self) -> None:
+        """Stop accepting work, drain in-flight batches, shut down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._batcher.join()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchedServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- internals ------------------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        """Collect requests into deadline-bounded batches; dispatch."""
+        while True:
+            first = self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            deadline = time.perf_counter() + self.max_wait_s
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stop = True
+                    break
+                batch.append(item)
+            with self._stats_lock:
+                self._queue_depths.append(self._queue.qsize())
+            # Mixed sample shapes cannot share one np.stack; split the
+            # batch into shape-homogeneous sub-batches (rare path).
+            by_shape: dict[tuple[int, ...], list[_Request]] = {}
+            for request in batch:
+                by_shape.setdefault(request.x.shape, []).append(request)
+            for group in by_shape.values():
+                with self._stats_lock:
+                    self._batch_sizes[len(group)] += 1
+                self._pool.submit(self._run_batch, group)
+            if stop:
+                return
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        """Execute one shape-homogeneous batch on a checked-out runner."""
+        runner = self._runners.get()
+        try:
+            stacked = np.stack([r.x for r in batch])
+            result = runner.run(stacked)
+            done = time.perf_counter()
+            for i, request in enumerate(batch):
+                request.completed = done
+                request.future.set_result(result.output[i])
+        except BaseException as exc:  # pragma: no cover - defensive
+            for request in batch:
+                request.completed = time.perf_counter()
+                if not request.future.done():
+                    request.future.set_exception(exc)
+        finally:
+            self._runners.put(runner)
+
+
+def scaling_sweep(graph: GraphModel, inputs: Sequence[np.ndarray], *,
+                  worker_counts: Sequence[int] = (1, 2, 4),
+                  max_batch: int = 8, max_wait_ms: float = 2.0,
+                  backend: str = "numpy", gemm_backend: str = "auto",
+                  compiled: bool = True) -> list[dict]:
+    """Throughput rows for increasing worker counts (benchmark helper)."""
+    rows = []
+    for workers in worker_counts:
+        with BatchedServer(graph, workers=workers, max_batch=max_batch,
+                           max_wait_ms=max_wait_ms, backend=backend,
+                           gemm_backend=gemm_backend,
+                           compiled=compiled) as server:
+            report = server.run_requests(inputs)
+        rows.append({
+            "workers": workers,
+            "requests": report.stats.requests,
+            "throughput_rps": report.stats.throughput_rps,
+            "latency_p50_ms": report.stats.latency_p50_ms,
+            "latency_p95_ms": report.stats.latency_p95_ms,
+            "mean_batch_size": report.stats.mean_batch_size,
+        })
+    return rows

@@ -155,3 +155,43 @@ class TestFloatGraph:
         got = InferenceEngine(graph).run(x).output
         expected = model(Tensor(x)).data
         assert np.allclose(got, expected)
+
+
+class TestActivationStability:
+    """Stable sigmoid/silu: no overflow warnings at extreme inputs."""
+
+    def _run_op(self, op, x):
+        from repro.runtime.graph import GraphBuilder, NodeSpec
+
+        b = GraphBuilder(op)
+        b.add(NodeSpec(op=op), inputs=["input"])
+        engine = InferenceEngine(b.build())
+        return engine.run(x).output
+
+    @pytest.mark.parametrize("op", ["sigmoid", "silu"])
+    def test_no_overflow_at_extremes(self, op):
+        x = np.array([[-1000.0, -50.0, 0.0, 50.0, 1000.0]])
+        with np.errstate(over="raise"):
+            out = self._run_op(op, x)
+        assert np.all(np.isfinite(out))
+
+    def test_sigmoid_saturates_correctly(self):
+        out = self._run_op("sigmoid", np.array([[-1000.0, 1000.0]]))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(1.0)
+
+    def test_silu_saturates_correctly(self):
+        out = self._run_op("silu", np.array([[-1000.0, 1000.0]]))
+        # x * sigmoid(x): -1000 * ~0 underflows to ~0; +1000 * ~1 = 1000.
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(1000.0)
+
+    def test_stable_form_matches_textbook_in_safe_range(self):
+        from repro.runtime import ops
+
+        x = np.linspace(0, 30, 151)
+        # For x >= 0 the stable form *is* the textbook form: bit-exact.
+        assert np.array_equal(ops.sigmoid(x), 1.0 / (1.0 + np.exp(-x)))
+        neg = np.linspace(-30, 0, 151)
+        assert np.allclose(ops.sigmoid(neg), 1.0 / (1.0 + np.exp(-neg)),
+                           rtol=1e-15, atol=1e-300)
