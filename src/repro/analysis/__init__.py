@@ -27,6 +27,12 @@ from repro.analysis.astlint import (
     lint_paths,
     lint_source,
 )
+from repro.analysis.concurrency import (
+    CONC_RULES,
+    ConcurrencyAnalysis,
+    analyze_concurrency,
+    check_concurrency,
+)
 from repro.analysis.contracts import (
     CONTRACT_RULES,
     check_config,
@@ -48,12 +54,15 @@ from repro.analysis.diagnostics import (
 from repro.analysis.sarif import to_sarif, to_sarif_json
 
 #: Every rule id ``repro check`` can emit.
-ALL_RULES: dict[str, str] = {**CONTRACT_RULES, **LINT_RULES}
+ALL_RULES: dict[str, str] = {**CONTRACT_RULES, **LINT_RULES,
+                             **CONC_RULES}
 
 __all__ = [
     "ALL_RULES",
     "AnalysisError",
+    "CONC_RULES",
     "CONTRACT_RULES",
+    "ConcurrencyAnalysis",
     "Diagnostic",
     "DiagnosticReport",
     "ERROR",
@@ -61,6 +70,8 @@ __all__ = [
     "LINT_RULES",
     "SEVERITIES",
     "WARNING",
+    "analyze_concurrency",
+    "check_concurrency",
     "check_config",
     "check_graph",
     "check_graph_file",

@@ -25,7 +25,14 @@ hoisted out of the per-call hot path):
   ``InferenceEngine`` per-call op handler (``_op_*``): weight
   quantization belongs in a dedicated helper (or the compiled plan)
   so compilation can hoist it; re-quantizing static weights on every
-  call is exactly the overhead ``runtime/plan.py`` exists to remove.
+  call is exactly the overhead ``runtime/plan.py`` exists to remove;
+* **REP008** -- no bare ``threading.Lock()``/``threading.RLock()``
+  construction outside the lock factory (``core/locks.py``), the
+  sanitizer (``analysis/concurrency/sanitizer.py``) and the
+  grandfathered lock owners (``core/packcache.py``,
+  ``runtime/serving.py``): production locks come from
+  ``repro.core.locks.make_lock``/``make_rlock`` so the concurrency
+  sanitizer (``repro serve --sanitize``) can wrap and trace them.
 
 Suppress a finding with a trailing ``# repro: noqa`` (everything on the
 line) or ``# repro: noqa REP003`` / ``REP003,REP005`` (those rules).
@@ -52,8 +59,20 @@ LINT_RULES: dict[str, str] = {
     "REP005": "cost-model function docstring does not state its units",
     "REP006": "direct MicroEngine.push_pair call outside core/",
     "REP007": "weight quantize() inside an engine per-call op handler",
+    "REP008": "bare threading.Lock()/RLock() outside the lock factory",
     "REP000": "lint target is not parseable Python",
 }
+
+#: Module path suffixes (POSIX form) allowed to construct raw locks
+#: (REP008): the factory itself, the sanitizer whose wrappers *are*
+#: the instrumentation, and the two grandfathered lock owners named in
+#: the rule.
+LOCK_FACTORY_SUFFIXES = (
+    "core/locks.py",
+    "analysis/concurrency/sanitizer.py",
+    "core/packcache.py",
+    "runtime/serving.py",
+)
 
 #: Module path suffixes (POSIX form) where REP003 applies.
 KERNEL_MODULE_SUFFIXES = (
@@ -165,6 +184,9 @@ class RepoInvariantVisitor(ast.NodeVisitor):
         self._cost_model = posix.endswith(COST_MODEL_SUFFIXES)
         self._test_file = is_test_path(path) if path else False
         self._core_file = "core" in Path(path).parts if path else False
+        self._lock_factory = posix.endswith(LOCK_FACTORY_SUFFIXES)
+        #: Local names bound to threading.Lock/RLock by imports.
+        self._lock_aliases: set[str] = set()
         #: Stack of ``returns -> float`` flags for enclosing functions.
         self._float_ok: list[bool] = []
         #: Stack of enclosing class names (REP007 scoping).
@@ -210,11 +232,36 @@ class RepoInvariantVisitor(ast.NodeVisitor):
         self.generic_visit(node)
         self._class_stack.pop()
 
+    # -- REP008 ------------------------------------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "threading":
+            for alias in node.names:
+                if alias.name in ("Lock", "RLock"):
+                    self._lock_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def _check_lock_construction(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        direct = name in ("threading.Lock", "threading.RLock")
+        aliased = (isinstance(node.func, ast.Name)
+                   and node.func.id in self._lock_aliases)
+        if direct or aliased:
+            self._emit(
+                "REP008", node,
+                f"bare {name or node.func.id}() construction outside "
+                f"the lock factory",
+                hint="use repro.core.locks.make_lock/make_rlock so "
+                     "'repro serve --sanitize' can wrap the lock",
+            )
+
     # -- REP002 ------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         if not self._test_file:
             self._check_rng_call(node)
+        if not self._test_file and not self._lock_factory:
+            self._check_lock_construction(node)
         if (not self._test_file and not self._core_file
                 and isinstance(node.func, ast.Attribute)
                 and node.func.attr == "push_pair"):
@@ -456,6 +503,7 @@ __all__ = [
     "KERNEL_MODULE_SUFFIXES",
     "COST_MODEL_SUFFIXES",
     "LINT_RULES",
+    "LOCK_FACTORY_SUFFIXES",
     "RepoInvariantVisitor",
     "is_test_path",
     "iter_python_files",

@@ -1,0 +1,67 @@
+"""Concurrency-safety analysis for the serving stack.
+
+Static passes (all surfaced through ``repro check --concurrency``):
+
+* **lockset** (:mod:`.lockset`) -- ``# repro: guarded-by(<lock>)``
+  annotated attributes must be accessed under their lock
+  (CONC-UNGUARDED), and attributes shared between worker callables and
+  public methods must be annotated (CONC-SHARED-UNANNOTATED);
+* **lock order** (:mod:`.lockorder`) -- the acquires-while-holding
+  digraph must be acyclic (CONC-LOCK-ORDER);
+* **escape** (:mod:`.escape`) -- objects handed to workers must not be
+  mutated afterwards by the parent (CONC-ESCAPED-MUTATION).
+
+Runtime side (:mod:`.sanitizer`): an opt-in instrumentation layer
+records lock acquisitions and annotated-attribute accesses during real
+workloads and :func:`~repro.analysis.concurrency.sanitizer.crosscheck`
+replays them against the static verdicts -- every dynamic unguarded
+access must have a static diagnostic, integration-tested over the
+serving and parallel-GEMM paths.
+"""
+
+from __future__ import annotations
+
+from .checker import (
+    CONC_RULES,
+    ConcurrencyAnalysis,
+    analyze_concurrency,
+    annotated_targets,
+    check_concurrency,
+    default_targets,
+)
+from .lockorder import LockOrderGraph, build_lock_order_graph
+from .lockset import LocksetResult, check_locksets
+from .model import ClassModel, ModuleModel, extract_module, scan_paths
+from .sanitizer import (
+    CrosscheckResult,
+    LockSanitizer,
+    SanitizedLock,
+    SanitizerTrace,
+    crosscheck,
+    sanitized_session,
+    sanitizer,
+)
+
+__all__ = [
+    "CONC_RULES",
+    "ClassModel",
+    "ConcurrencyAnalysis",
+    "CrosscheckResult",
+    "LockOrderGraph",
+    "LockSanitizer",
+    "LocksetResult",
+    "ModuleModel",
+    "SanitizedLock",
+    "SanitizerTrace",
+    "analyze_concurrency",
+    "annotated_targets",
+    "build_lock_order_graph",
+    "check_concurrency",
+    "check_locksets",
+    "crosscheck",
+    "default_targets",
+    "extract_module",
+    "sanitized_session",
+    "sanitizer",
+    "scan_paths",
+]

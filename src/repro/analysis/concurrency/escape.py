@@ -1,0 +1,141 @@
+"""Escape analysis: parent mutation of objects handed to workers.
+
+When a local object is passed into ``ThreadPoolExecutor.submit(...)``,
+``threading.Thread(target=..., args=(...,))`` or a ``*Worker(...)``
+constructor, ownership transfers to the worker thread: the parent no
+longer knows *when* the worker reads it.  Any later attribute mutation
+of that object by the parent in the same function races with the
+worker and is reported as **CONC-ESCAPED-MUTATION**.
+
+The pass is function-local and name-based: it tracks simple names, the
+most common way a request/task object is built and handed off.  A name
+is "escaped" from the line of the hand-off onward; rebinding the name
+(``obj = ...``) un-escapes it (the parent now holds a different
+object).  Mutations *before* the hand-off are the normal build-then-
+publish pattern and are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import Diagnostic, ERROR
+
+from .model import FunctionNode, ModuleModel, THREAD_SPAWNERS, _dotted
+
+
+@dataclass(frozen=True)
+class EscapeSite:
+    """Where a local name was handed to a worker."""
+
+    name: str
+    line: int
+    via: str
+
+
+def _escaping_names(node: ast.Call) -> list[tuple[str, str]]:
+    """``(name, via)`` pairs this call hands to a worker, if any."""
+    escapes: list[tuple[str, str]] = []
+    func_name = _dotted(node.func).rsplit(".", 1)[-1]
+
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "submit":
+        # submit(fn, *args): everything after the callable escapes; a
+        # bound method's receiver escapes too (obj.m captures obj).
+        for arg in node.args[1:]:
+            if isinstance(arg, ast.Name):
+                escapes.append((arg.id, "submit"))
+        if node.args:
+            fn = node.args[0]
+            if isinstance(fn, ast.Attribute) \
+                    and isinstance(fn.value, ast.Name) \
+                    and fn.value.id != "self":
+                escapes.append((fn.value.id, "submit"))
+    elif func_name in THREAD_SPAWNERS:
+        for keyword in node.keywords:
+            if keyword.arg == "args" and isinstance(
+                    keyword.value, (ast.Tuple, ast.List)):
+                for element in keyword.value.elts:
+                    if isinstance(element, ast.Name):
+                        escapes.append((element.id, func_name))
+            elif keyword.arg == "target" \
+                    and isinstance(keyword.value, ast.Attribute) \
+                    and isinstance(keyword.value.value, ast.Name) \
+                    and keyword.value.value.id != "self":
+                escapes.append((keyword.value.value.id, func_name))
+    elif func_name.endswith("Worker"):
+        for arg in node.args:
+            if isinstance(arg, ast.Name):
+                escapes.append((arg.id, func_name))
+        for keyword in node.keywords:
+            if isinstance(keyword.value, ast.Name):
+                escapes.append((keyword.value.id, func_name))
+    return escapes
+
+
+def _check_function(fn: FunctionNode, path: str,
+                    diagnostics: list[Diagnostic]) -> None:
+    escaped: dict[str, EscapeSite] = {}
+    # Walk in source order: ast.walk is breadth-first, so sort events.
+    events: list[tuple[int, int, ast.AST]] = []
+    for sub in ast.walk(fn):
+        if isinstance(sub, (ast.Call, ast.Assign, ast.AugAssign,
+                            ast.Delete, ast.AnnAssign)):
+            events.append((getattr(sub, "lineno", 0),
+                           getattr(sub, "col_offset", 0), sub))
+    events.sort(key=lambda item: (item[0], item[1]))
+
+    for line, _col, sub in events:
+        if isinstance(sub, ast.Call):
+            for name, via in _escaping_names(sub):
+                escaped.setdefault(name, EscapeSite(
+                    name=name, line=line, via=via))
+            continue
+        targets: list[ast.expr]
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, ast.AnnAssign):
+            targets = [sub.target]
+        elif isinstance(sub, ast.AugAssign):
+            targets = [sub.target]
+        else:
+            targets = list(sub.targets)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                # Rebinding the name: the parent holds a new object.
+                escaped.pop(target.id, None)
+                continue
+            root = target
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if not isinstance(root, ast.Name):
+                continue
+            site = escaped.get(root.id)
+            if site is not None and line > site.line:
+                attr = (target.attr if isinstance(target, ast.Attribute)
+                        else "<item>")
+                diagnostics.append(Diagnostic(
+                    rule="CONC-ESCAPED-MUTATION", severity=ERROR,
+                    message=(
+                        f"'{root.id}.{attr}' is mutated after "
+                        f"'{root.id}' was handed to a worker via "
+                        f"{site.via}() on line {site.line}; the worker "
+                        f"may observe either state"),
+                    hint=("finish building the object before handing "
+                          "it off, or pass an immutable snapshot"),
+                    path=path, line=line,
+                    col=getattr(target, "col_offset", 0) + 1,
+                ))
+
+
+def check_escapes(modules: list[ModuleModel]) -> list[Diagnostic]:
+    """CONC-ESCAPED-MUTATION diagnostics across every function."""
+    diagnostics: list[Diagnostic] = []
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _check_function(node, module.path, diagnostics)
+    return diagnostics
+
+
+__all__ = ["EscapeSite", "check_escapes"]

@@ -1,0 +1,175 @@
+"""Lock-order graph: acquires-while-holding edges and deadlock cycles.
+
+Locks are identified as ``ClassName.attr``.  An edge ``L -> M`` means
+some code path acquires ``M`` while already holding ``L``; any cycle in
+the digraph is a potential deadlock (two threads entering the cycle at
+different points block each other forever) and is reported as
+**CONC-LOCK-ORDER** with both witness paths in the message.
+
+Edges come from two sources:
+
+* direct nesting -- ``with self.a:`` containing ``with self.b:``;
+* interprocedural nesting within a class -- ``with self.a:`` around a
+  call to a method that (transitively) acquires ``self.b``, including
+  locks guaranteed held at method entry by the lockset pass.
+
+Cross-*class* edges (holding ``A._lock`` while calling into an object
+of another class that locks internally) are out of scope: attribute
+types are not resolvable syntactically.  The repo convention that makes
+this sound is layering -- ``PackingCache`` is a leaf lock (it calls out
+to pure packing functions only), enforced by the cycle check inside
+each class that embeds it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic, ERROR
+
+from .lockset import entry_locksets
+from .model import ClassModel
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``held -> acquired`` with the source location that witnesses it."""
+
+    held: str
+    acquired: str
+    path: str
+    line: int
+    method: str
+
+
+@dataclass
+class LockOrderGraph:
+    """Acquires-while-holding digraph over ``ClassName.attr`` locks."""
+
+    #: edge key -> first witness (one witness per ordered pair suffices
+    #: to show the cycle; later duplicates add nothing).
+    edges: dict[tuple[str, str], LockEdge] = field(default_factory=dict)
+
+    def add(self, edge: LockEdge) -> None:
+        self.edges.setdefault((edge.held, edge.acquired), edge)
+
+    def successors(self, lock: str) -> list[str]:
+        return sorted(acquired for held, acquired in self.edges
+                      if held == lock)
+
+    def cycles(self) -> list[list[str]]:
+        """Elementary cycles, deduplicated by their lock set."""
+        found: list[list[str]] = []
+        seen: set[frozenset[str]] = set()
+        nodes = sorted({lock for pair in self.edges for lock in pair})
+        for start in nodes:
+            if (start, start) in self.edges:
+                # Re-acquiring a non-reentrant lock deadlocks immediately.
+                found.append([start, start])
+            # Each longer cycle is discovered exactly once: from its
+            # lexicographically smallest lock, walking larger ones only.
+            stack = [(start, [start])]
+            while stack:
+                current, trail = stack.pop()
+                for nxt in self.successors(current):
+                    if nxt == start and len(trail) > 1:
+                        key = frozenset(trail)
+                        if key not in seen:
+                            seen.add(key)
+                            found.append(trail + [start])
+                    elif nxt > start and nxt not in trail:
+                        stack.append((nxt, trail + [nxt]))
+        return found
+
+
+def _acquired_within(cls: ClassModel,
+                     entry: dict[str, frozenset[str]]
+                     ) -> dict[str, set[str]]:
+    """Locks possibly acquired during each method, transitively."""
+    acquired: dict[str, set[str]] = {
+        name: {acq.lock for acq in method.acquires}
+        for name, method in cls.methods.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, method in cls.methods.items():
+            for call in method.calls:
+                if call.callee not in acquired:
+                    continue
+                before = len(acquired[name])
+                acquired[name] |= acquired[call.callee]
+                if len(acquired[name]) != before:
+                    changed = True
+    return acquired
+
+
+def build_lock_order_graph(classes: list[ClassModel]) -> LockOrderGraph:
+    """Collect acquires-while-holding edges across every class."""
+    graph = LockOrderGraph()
+    for cls in classes:
+        if not any(m.acquires for m in cls.methods.values()):
+            continue
+        entry = entry_locksets(cls)
+        acquired = _acquired_within(cls, entry)
+
+        def qualify(lock: str) -> str:
+            return f"{cls.name}.{lock}"
+
+        for name, method in cls.methods.items():
+            base = entry.get(name, frozenset())
+            for acq in method.acquires:
+                for held in acq.held | base:
+                    if held != acq.lock:
+                        graph.add(LockEdge(
+                            held=qualify(held),
+                            acquired=qualify(acq.lock),
+                            path=cls.path, line=acq.line, method=name))
+            for call in method.calls:
+                inner = acquired.get(call.callee, set())
+                for held in call.held | base:
+                    for target in inner:
+                        if held != target:
+                            graph.add(LockEdge(
+                                held=qualify(held),
+                                acquired=qualify(target),
+                                path=cls.path, line=call.line,
+                                method=name))
+    return graph
+
+
+def _witness(graph: LockOrderGraph, held: str, acquired: str) -> str:
+    edge = graph.edges.get((held, acquired))
+    if edge is None:
+        return f"{held} -> {acquired}"
+    return (f"{held} -> {acquired} "
+            f"({edge.path}:{edge.line} in {edge.method}())")
+
+
+def check_lock_order(classes: list[ClassModel]) -> list[Diagnostic]:
+    """CONC-LOCK-ORDER diagnostics, one per distinct cycle."""
+    graph = build_lock_order_graph(classes)
+    diagnostics: list[Diagnostic] = []
+    for cycle in graph.cycles():
+        steps = [_witness(graph, cycle[i], cycle[i + 1])
+                 for i in range(len(cycle) - 1)]
+        first = graph.edges.get((cycle[0], cycle[1]))
+        diagnostics.append(Diagnostic(
+            rule="CONC-LOCK-ORDER", severity=ERROR,
+            message=("inconsistent lock acquisition order (potential "
+                     "deadlock): " + "; ".join(steps)),
+            hint=("impose one global order on these locks and acquire "
+                  "them in that order on every path"),
+            path=first.path if first else "",
+            line=first.line if first else 0,
+            col=1,
+        ))
+    return diagnostics
+
+
+__all__ = [
+    "LockEdge",
+    "LockOrderGraph",
+    "build_lock_order_graph",
+    "check_lock_order",
+]

@@ -1,0 +1,234 @@
+"""Lockset analysis: every guarded attribute access holds its lock.
+
+For each analyzed class the pass computes, per method, the set of locks
+*guaranteed* held on entry, then checks every ``self.<attr>`` access of
+a ``# repro: guarded-by(<lock>)`` attribute against the union of that
+entry set and the intraprocedural ``with`` nesting at the access point.
+
+Interprocedural entry sets are a meet-over-call-sites fixpoint:
+
+* public methods, dunders and worker-submitted callables can be invoked
+  by arbitrary threads with nothing held -- their entry set is empty;
+* a private helper's entry set is the *intersection* of the locksets at
+  every internal call site (a helper only ever called under
+  ``with self._lock:`` is guaranteed the lock, which is exactly how
+  ``_locked_*`` helper idioms stay diagnostic-free);
+* helpers reachable only from ``__init__`` are exempt entirely: the
+  object is thread-confined until the constructor returns.
+
+Two rules fire here:
+
+* **CONC-UNGUARDED** (error): an annotated attribute is read or written
+  without its lock.
+* **CONC-SHARED-UNANNOTATED** (warning): an attribute that is not
+  annotated, not a lock, and not of a known thread-safe type is mutated
+  both from a worker-submitted callable and from a public method -- two
+  threads can race on it and the analyzer has no contract to check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic, ERROR, WARNING
+
+from .model import Access, ClassModel
+
+@dataclass
+class LocksetResult:
+    """Diagnostics plus the structured site index the sanitizer joins."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: ``(class name, attr)`` -> lock attr, for every annotation seen.
+    guarded: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: ``(class name, attr)`` pairs with at least one unguarded access
+    #: (pre-noqa: the cross-check must see suppressed sites too).
+    unguarded_sites: set[tuple[str, str]] = field(default_factory=set)
+    #: method name -> locks guaranteed held on entry, per class.
+    entry_locks: dict[str, dict[str, frozenset[str]]] = \
+        field(default_factory=dict)
+
+
+def _externally_callable(cls: ClassModel, name: str) -> bool:
+    method = cls.methods[name]
+    return (method.public or name in cls.worker_entries
+            or name == "__init__")
+
+
+def entry_locksets(cls: ClassModel) -> dict[str, frozenset[str]]:
+    """Meet-over-call-sites fixpoint of locks held at method entry.
+
+    Externally callable methods start at the empty set and never grow;
+    private helpers start unknown (``None``) and meet (intersect) the
+    lockset of every call site whose caller is itself resolved.  The
+    lattice is finite and the meet monotone, so the loop terminates.
+    """
+    entry: dict[str, frozenset[str] | None] = {
+        name: (frozenset() if _externally_callable(cls, name) else None)
+        for name in cls.methods
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, method in cls.methods.items():
+            caller_entry = entry[name]
+            if caller_entry is None:
+                continue  # not known reachable yet
+            for call in method.calls:
+                callee = call.callee
+                if callee not in cls.methods \
+                        or _externally_callable(cls, callee):
+                    continue
+                site_held = call.held | caller_entry
+                current = entry[callee]
+                new = (site_held if current is None
+                       else current & site_held)
+                if new != current:
+                    entry[callee] = new
+                    changed = True
+    # Helpers never called internally: conservatively assume no locks.
+    return {name: (locks if locks is not None else frozenset())
+            for name, locks in entry.items()}
+
+
+def init_only_methods(cls: ClassModel) -> set[str]:
+    """Private methods reachable *only* from ``__init__``.
+
+    These run before the object escapes the constructing thread, so
+    guarded-attribute accesses inside them are exempt -- mirroring the
+    runtime sanitizer, which tags constructor-frame accesses
+    ``in_init``.
+    """
+    callers: dict[str, set[str]] = {name: set() for name in cls.methods}
+    for name, method in cls.methods.items():
+        for call in method.calls:
+            if call.callee in callers:
+                callers[call.callee].add(name)
+    exempt = {"__init__"}
+    changed = True
+    while changed:
+        changed = False
+        for name, method in cls.methods.items():
+            if name in exempt or method.public \
+                    or name in cls.worker_entries:
+                continue
+            if callers[name] and callers[name] <= exempt:
+                exempt.add(name)
+                changed = True
+    return exempt
+
+
+def _worker_reachable(cls: ClassModel) -> set[str]:
+    """Methods reachable from any worker-submitted entry point."""
+    reachable = set(cls.worker_entries)
+    frontier = list(cls.worker_entries)
+    while frontier:
+        current = frontier.pop()
+        method = cls.methods.get(current)
+        if method is None:
+            continue
+        for call in method.calls:
+            if call.callee in cls.methods \
+                    and call.callee not in reachable:
+                reachable.add(call.callee)
+                frontier.append(call.callee)
+    return reachable
+
+
+def check_class_locksets(cls: ClassModel,
+                         result: LocksetResult) -> None:
+    """Emit CONC-UNGUARDED / CONC-SHARED-UNANNOTATED for one class."""
+    if not cls.concurrent:
+        return
+    entry = entry_locksets(cls)
+    result.entry_locks[cls.name] = entry
+    exempt = init_only_methods(cls)
+
+    for attr, lock in cls.guarded.items():
+        result.guarded[(cls.name, attr)] = lock
+
+    for name, method in cls.methods.items():
+        if name in exempt:
+            continue
+        for access in method.accesses:
+            lock = cls.guarded.get(access.attr)
+            if lock is None:
+                continue
+            effective = access.held | entry[name]
+            if lock not in effective:
+                result.unguarded_sites.add((cls.name, access.attr))
+                kind = "write" if access.write else "read"
+                result.diagnostics.append(Diagnostic(
+                    rule="CONC-UNGUARDED", severity=ERROR,
+                    message=(
+                        f"{cls.name}.{access.attr} is guarded by "
+                        f"'{lock}' but {cls.name}.{name}() {kind}s it "
+                        f"without holding the lock"),
+                    hint=(f"wrap the access in 'with self.{lock}:' or "
+                          f"call it from a context that already holds "
+                          f"the lock"),
+                    path=cls.path, line=access.line, col=access.col,
+                ))
+
+    _check_shared_unannotated(cls, exempt, result)
+
+
+def _check_shared_unannotated(cls: ClassModel,
+                              exempt: set[str],
+                              result: LocksetResult) -> None:
+    if not cls.creates_threads or not cls.worker_entries:
+        return
+    worker_methods = _worker_reachable(cls)
+
+    def mutations(names: set[str]) -> dict[str, Access]:
+        first: dict[str, Access] = {}
+        for name in names:
+            method = cls.methods.get(name)
+            if method is None or name in exempt:
+                continue
+            for access in method.accesses:
+                if access.write and access.attr not in first:
+                    first.setdefault(access.attr, access)
+        return first
+
+    public_methods = {name for name, m in cls.methods.items()
+                      if m.public and name not in worker_methods}
+    worker_writes = mutations(worker_methods)
+    public_writes = mutations(public_methods)
+    for attr, worker_access in sorted(worker_writes.items()):
+        if attr in cls.guarded or attr in cls.safe_attrs \
+                or attr in cls.lock_attrs:
+            continue
+        public_access = public_writes.get(attr)
+        if public_access is None:
+            continue
+        result.diagnostics.append(Diagnostic(
+            rule="CONC-SHARED-UNANNOTATED", severity=WARNING,
+            message=(
+                f"{cls.name}.{attr} is mutated from worker callable "
+                f"{cls.name}.{worker_access.method}() and public "
+                f"method {cls.name}.{public_access.method}() but "
+                f"carries no guarded-by annotation"),
+            hint=(f"annotate the attribute '# repro: "
+                  f"guarded-by(<lock>)' and take the lock on both "
+                  f"paths, or make it a thread-safe container"),
+            path=cls.path, line=worker_access.line,
+            col=worker_access.col,
+        ))
+
+
+def check_locksets(classes: list[ClassModel]) -> LocksetResult:
+    """Run the lockset pass over every extracted class model."""
+    result = LocksetResult()
+    for cls in classes:
+        check_class_locksets(cls, result)
+    return result
+
+
+__all__ = [
+    "LocksetResult",
+    "check_class_locksets",
+    "check_locksets",
+    "entry_locksets",
+    "init_only_methods",
+]

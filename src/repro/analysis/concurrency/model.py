@@ -1,0 +1,479 @@
+"""AST extraction layer for the concurrency-safety analyzer.
+
+This module turns Python source into per-class *concurrency models*:
+which attributes are annotated ``# repro: guarded-by(<lock>)``, which
+attributes hold locks, where locks are acquired (``with self.<lock>:``),
+every ``self.<attr>`` access with the intraprocedural lockset held at
+that point, every ``self.<method>()`` call site, and which methods are
+handed to worker threads (``executor.submit(self.m, ...)``,
+``threading.Thread(target=self.m)``).
+
+The downstream passes (:mod:`.lockset`, :mod:`.lockorder`,
+:mod:`.escape`) consume these models; nothing here emits diagnostics.
+
+Scope and honesty
+-----------------
+The extractor is deliberately syntactic: it recognizes locks held via
+``with self.<attr>:`` (including multi-item ``with``) and attribute
+access spelled ``self.<attr>``.  Locks stashed in local aliases, locks
+acquired via bare ``.acquire()`` calls, and attributes reached through
+intermediate locals are *not* tracked -- the repo's house style (and
+lint rule REP008) keeps locks in ``self`` attributes acquired with
+``with``, so the syntactic subset is the enforced subset.  Nested
+function bodies (closures, lambdas) are skipped: they execute under an
+unknown lockset, so neither claiming "guarded" nor "unguarded" for
+them would be sound.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+#: ``# repro: guarded-by(_lock)`` trailing-comment annotation.
+GUARDED_BY_PATTERN = re.compile(
+    r"#\s*repro:\s*guarded-by\(\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)\s*\)"
+)
+
+#: Constructor names (last dotted component) that produce lock objects.
+LOCK_CONSTRUCTORS = frozenset({
+    "Lock", "RLock", "make_lock", "make_rlock",
+})
+
+#: Constructor names whose instances are internally synchronized, so
+#: unannotated sharing of the *attribute* is safe (the reference is
+#: written once in ``__init__`` and only methods are invoked after).
+THREAD_SAFE_CONSTRUCTORS = frozenset({
+    "Queue", "SimpleQueue", "LifoQueue", "PriorityQueue",
+    "ThreadPoolExecutor", "ProcessPoolExecutor", "Thread",
+    "Event", "Condition", "Semaphore", "BoundedSemaphore", "Barrier",
+    "local", "Future",
+}) | LOCK_CONSTRUCTORS
+
+#: Method names on an attribute that mutate the underlying container.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "move_to_end", "pop", "popitem", "popleft", "put",
+    "put_nowait", "remove", "reverse", "setdefault", "sort", "update",
+    "__setitem__", "__delitem__",
+})
+
+#: Callable names (last component) whose invocation spawns a thread.
+THREAD_SPAWNERS = frozenset({
+    "Thread", "ThreadPoolExecutor", "Timer",
+})
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One ``self.<attr>`` touch inside a method body."""
+
+    attr: str
+    write: bool
+    method: str
+    held: frozenset[str]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class LockAcquire:
+    """One ``with self.<lock>:`` entry, with the locks already held."""
+
+    lock: str
+    held: frozenset[str]
+    method: str
+    line: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One ``self.<method>()`` invocation, with the locks held."""
+
+    callee: str
+    held: frozenset[str]
+    method: str
+    line: int
+
+
+@dataclass
+class MethodModel:
+    """Everything the analyzer knows about one method body."""
+
+    name: str
+    line: int
+    accesses: list[Access] = field(default_factory=list)
+    acquires: list[LockAcquire] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def public(self) -> bool:
+        """Callable from outside the class with no lock discipline."""
+        if self.name.startswith("__") and self.name.endswith("__"):
+            return self.name != "__init__"
+        return not self.name.startswith("_")
+
+
+@dataclass
+class ClassModel:
+    """Concurrency-relevant summary of one class definition."""
+
+    name: str
+    path: str
+    line: int
+    methods: dict[str, MethodModel] = field(default_factory=dict)
+    #: attr -> lock attr from ``# repro: guarded-by(<lock>)``.
+    guarded: dict[str, str] = field(default_factory=dict)
+    #: line of the annotated assignment, for diagnostics.
+    guarded_lines: dict[str, int] = field(default_factory=dict)
+    lock_attrs: set[str] = field(default_factory=set)
+    safe_attrs: set[str] = field(default_factory=set)
+    worker_entries: set[str] = field(default_factory=set)
+    creates_threads: bool = False
+
+    @property
+    def concurrent(self) -> bool:
+        """Worth analyzing: annotated, or spawns its own workers."""
+        return bool(self.guarded) or self.creates_threads
+
+
+@dataclass
+class ModuleModel:
+    """All class models plus the raw tree of one parsed module."""
+
+    path: str
+    tree: ast.Module
+    source_lines: list[str]
+    classes: list[ClassModel] = field(default_factory=list)
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` for an ``self.X`` attribute node, else ``None``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _root_self_attr(node: ast.AST) -> Optional[str]:
+    """``X`` when a Subscript/Attribute chain bottoms out at ``self.X``.
+
+    ``self.X[k]``, ``self.X.field``, ``self.X[k].field`` all root at
+    ``X``; a store through any of them mutates the object behind
+    ``self.X``.
+    """
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        direct = _self_attr(node)
+        if direct is not None:
+            return direct
+        node = node.value
+    return None
+
+
+class _AnnotationIndex:
+    """Line -> lock-name map of ``guarded-by`` comments in one module."""
+
+    def __init__(self, source_lines: list[str]) -> None:
+        self.by_line: dict[int, str] = {}
+        for i, text in enumerate(source_lines, start=1):
+            match = GUARDED_BY_PATTERN.search(text)
+            if match is not None:
+                self.by_line[i] = match.group("lock")
+
+    def lock_for(self, node: ast.stmt) -> Optional[str]:
+        """Annotation on any physical line the statement spans."""
+        end = getattr(node, "end_lineno", None) or node.lineno
+        for line in range(node.lineno, end + 1):
+            lock = self.by_line.get(line)
+            if lock is not None:
+                return lock
+        return None
+
+
+class _MethodExtractor:
+    """Walk one method body tracking the ``with self.<lock>:`` stack."""
+
+    def __init__(self, cls: ClassModel, method: MethodModel,
+                 annotations: _AnnotationIndex) -> None:
+        self.cls = cls
+        self.method = method
+        self.annotations = annotations
+
+    # -- statement walk ------------------------------------------------
+
+    def walk(self, body: Iterable[ast.stmt],
+             held: frozenset[str]) -> None:
+        for stmt in body:
+            self._statement(stmt, held)
+
+    def _statement(self, stmt: ast.stmt, held: frozenset[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scope: unknown lockset, skip (see module doc)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                self._expression(item.context_expr, held,
+                                 skip_self_attr=True)
+                lock = _self_attr(item.context_expr)
+                if lock is not None:
+                    self.method.acquires.append(LockAcquire(
+                        lock=lock, held=inner, method=self.method.name,
+                        line=item.context_expr.lineno))
+                    inner = inner | {lock}
+                if item.optional_vars is not None:
+                    self._expression(item.optional_vars, inner)
+            self.walk(stmt.body, inner)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._record_binding(stmt, stmt.targets, stmt.value, held)
+            for target in stmt.targets:
+                self._target(target, held)
+            self._expression(stmt.value, held)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._record_binding(stmt, [stmt.target], stmt.value,
+                                     held)
+                self._expression(stmt.value, held)
+            self._target(stmt.target, held)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._target(stmt.target, held, aug=True)
+            self._expression(stmt.value, held)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._target(target, held)
+            return
+        # Compound statements (and bare Expr/Return, via "value"): walk
+        # nested bodies under the same lockset; expressions in
+        # tests/iters are plain reads.
+        for expr_field in ("test", "iter", "value", "exc", "cause",
+                           "msg", "subject"):
+            sub = getattr(stmt, expr_field, None)
+            if isinstance(sub, ast.expr):
+                self._expression(sub, held)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._target(stmt.target, held, container_write=False)
+        for body_field in ("body", "orelse", "finalbody"):
+            sub_body = getattr(stmt, body_field, None)
+            if isinstance(sub_body, list):
+                self.walk(sub_body, held)
+        for handler in getattr(stmt, "handlers", []) or []:
+            self.walk(handler.body, held)
+
+    # -- attribute bookkeeping -----------------------------------------
+
+    def _record_binding(self, stmt: ast.stmt, targets: list[ast.expr],
+                        value: ast.expr, held: frozenset[str]) -> None:
+        """Classify ``self.X = <ctor>()`` bindings and annotations."""
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            lock = self.annotations.lock_for(stmt)
+            if lock is not None:
+                self.cls.guarded.setdefault(attr, lock)
+                self.cls.guarded_lines.setdefault(attr, stmt.lineno)
+            if isinstance(value, ast.Call):
+                ctor = _dotted(value.func).rsplit(".", 1)[-1]
+                if ctor in LOCK_CONSTRUCTORS:
+                    self.cls.lock_attrs.add(attr)
+                if ctor in THREAD_SAFE_CONSTRUCTORS:
+                    self.cls.safe_attrs.add(attr)
+
+    def _target(self, target: ast.expr, held: frozenset[str],
+                aug: bool = False, container_write: bool = True) -> None:
+        """Record the mutation a Store/Del/AugStore target performs."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._target(element, held, aug=aug,
+                             container_write=container_write)
+            return
+        if isinstance(target, ast.Starred):
+            self._target(target.value, held, aug=aug,
+                         container_write=container_write)
+            return
+        attr = _root_self_attr(target)
+        if attr is not None:
+            direct = _self_attr(target) is not None
+            self._access(attr, write=direct or container_write,
+                         line=target.lineno, col=target.col_offset,
+                         held=held)
+        # Subscript/attribute targets also *read* their inner expressions.
+        if isinstance(target, ast.Subscript):
+            if _self_attr(target.value) is None:
+                self._expression(target.value, held)
+            self._expression(target.slice, held)
+        elif isinstance(target, ast.Attribute):
+            if _self_attr(target) is None \
+                    and _self_attr(target.value) is None:
+                self._expression(target.value, held)
+
+    def _access(self, attr: str, *, write: bool, line: int, col: int,
+                held: frozenset[str]) -> None:
+        if attr in self.cls.lock_attrs:
+            return  # touching the lock itself is the discipline, not data
+        self.method.accesses.append(Access(
+            attr=attr, write=write, method=self.method.name,
+            held=held, line=line, col=col + 1))
+
+    # -- expression walk -----------------------------------------------
+
+    def _expression(self, node: ast.expr, held: frozenset[str],
+                    skip_self_attr: bool = False) -> None:
+        if isinstance(node, (ast.Lambda,)):
+            return  # nested scope, unknown lockset
+        if isinstance(node, ast.Call):
+            self._call(node, held)
+            return
+        attr = _self_attr(node)
+        if attr is not None:
+            if not skip_self_attr:
+                self._access(attr, write=False, line=node.lineno,
+                             col=node.col_offset, held=held)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self._expression(child, held)
+
+    def _call(self, node: ast.Call, held: frozenset[str]) -> None:
+        func = node.func
+        callee_attr = _self_attr(func)
+        if callee_attr is not None:
+            # self.m(...) -- a method call *or* a callable attribute;
+            # resolved against the class's methods by the lockset pass.
+            self.method.calls.append(CallSite(
+                callee=callee_attr, held=held,
+                method=self.method.name, line=node.lineno))
+        elif isinstance(func, ast.Attribute):
+            base_attr = _self_attr(func.value)
+            if base_attr is not None:
+                # self.X.m(...): a read of X, a write when m mutates X.
+                self._access(base_attr,
+                             write=func.attr in MUTATOR_METHODS,
+                             line=func.lineno, col=func.col_offset,
+                             held=held)
+            else:
+                self._expression(func.value, held)
+        elif isinstance(func, ast.expr) and not isinstance(func, ast.Name):
+            self._expression(func, held)
+
+        name = _dotted(func).rsplit(".", 1)[-1]
+        if name in THREAD_SPAWNERS:
+            self.cls.creates_threads = True
+        self._submission(node, name)
+
+        for arg in node.args:
+            self._expression(arg, held)
+        for keyword in node.keywords:
+            self._expression(keyword.value, held)
+
+    def _submission(self, node: ast.Call, name: str) -> None:
+        """Record methods handed to workers (submit/Thread targets)."""
+        candidates: list[ast.expr] = []
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "submit" and node.args:
+            candidates.append(node.args[0])
+        if name in THREAD_SPAWNERS:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    candidates.append(keyword.value)
+        for candidate in candidates:
+            target_attr = _self_attr(candidate)
+            if target_attr is not None:
+                self.cls.worker_entries.add(target_attr)
+
+
+def extract_class(node: ast.ClassDef, path: str,
+                  annotations: _AnnotationIndex) -> ClassModel:
+    """Build the :class:`ClassModel` of one class definition."""
+    cls = ClassModel(name=node.name, path=path, line=node.lineno)
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            method = MethodModel(name=stmt.name, line=stmt.lineno)
+            cls.methods[stmt.name] = method
+            _MethodExtractor(cls, method, annotations).walk(
+                stmt.body, frozenset())
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            # Class-level ``X: T = ...  # repro: guarded-by(_lock)``.
+            lock = annotations.lock_for(stmt)
+            if lock is not None:
+                targets = (stmt.targets
+                           if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        cls.guarded.setdefault(target.id, lock)
+                        cls.guarded_lines.setdefault(
+                            target.id, stmt.lineno)
+    return cls
+
+
+def extract_module(source: str, path: str) -> ModuleModel:
+    """Parse one module and extract every class model (raises on
+    syntax errors; callers turn that into a CONC-PARSE diagnostic)."""
+    tree = ast.parse(source, filename=path)
+    source_lines = source.splitlines()
+    annotations = _AnnotationIndex(source_lines)
+    module = ModuleModel(path=path, tree=tree,
+                         source_lines=source_lines)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            module.classes.append(
+                extract_class(node, path, annotations))
+    return module
+
+
+def scan_paths(targets: Iterable[Union[str, Path]]) -> list[ModuleModel]:
+    """Extract models for every ``.py`` file under the targets.
+
+    Unparseable files are skipped here and reported by the checker,
+    which owns diagnostics.
+    """
+    from repro.analysis.astlint import iter_python_files
+
+    modules: list[ModuleModel] = []
+    for target in targets:
+        for file_path in iter_python_files(target):
+            try:
+                source = file_path.read_text(encoding="utf-8")
+                modules.append(extract_module(source, str(file_path)))
+            except SyntaxError:
+                continue
+    return modules
+
+
+__all__ = [
+    "Access",
+    "CallSite",
+    "ClassModel",
+    "GUARDED_BY_PATTERN",
+    "LOCK_CONSTRUCTORS",
+    "LockAcquire",
+    "MethodModel",
+    "ModuleModel",
+    "MUTATOR_METHODS",
+    "THREAD_SAFE_CONSTRUCTORS",
+    "extract_class",
+    "extract_module",
+    "scan_paths",
+]

@@ -1,0 +1,418 @@
+"""Runtime lock sanitizer and the static/dynamic cross-check.
+
+Mirrors PR 2's "static verdict matches runtime behaviour" pattern for
+concurrency: the static lockset pass claims which guarded-attribute
+accesses can happen without their lock; this module *observes* the
+program and checks the claim.
+
+Three cooperating pieces:
+
+* :class:`SanitizedLock` -- a wrapper the lock factory
+  (:mod:`repro.core.locks`) hands out while the sanitizer is active.
+  It records every acquire/release with the per-thread stack of locks
+  already held, so the trace doubles as a dynamic lock-order witness.
+* **class instrumentation** -- :meth:`LockSanitizer.watch` patches a
+  class's ``__getattribute__``/``__setattr__`` to record reads and
+  writes of its ``guarded-by``-annotated attributes, together with the
+  locks the accessing thread holds at that instant and whether the
+  access happened inside the object's ``__init__`` (thread-confined,
+  exempt -- the same exemption the static pass applies).
+* :func:`crosscheck` -- replays the trace against a
+  :class:`~repro.analysis.concurrency.checker.ConcurrencyAnalysis`:
+  every *dynamic* unguarded access must correspond to a *static*
+  unguarded verdict for the same ``(class, attribute)``.  A dynamic
+  violation with no static counterpart is a false negative of the
+  analyzer on a traced path -- the integration test asserts there are
+  none.
+
+Activation is opt-in and scoped: ``repro serve --sanitize`` and the
+``lock_sanitizer`` pytest fixture wrap the workload in
+:meth:`LockSanitizer.activate`, which installs the lock-factory hook,
+patches the watched classes, and restores everything on exit.  With
+the sanitizer inactive the factory returns raw ``threading`` locks and
+no class is patched -- zero overhead on the hot path.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Any, Callable, Iterator, Optional
+
+from repro.core.errors import ReproError
+from repro.core.locks import set_lock_factory_hook
+
+from .checker import ConcurrencyAnalysis, analyze_concurrency, \
+    annotated_targets
+
+
+class SanitizerError(ReproError, RuntimeError):
+    """Raised on sanitizer misuse (double activation, unknown class)."""
+
+
+@dataclass(frozen=True)
+class LockEvent:
+    """One acquire/release of a sanitized lock."""
+
+    kind: str                 # "acquire" | "release"
+    lock: str
+    thread: int
+    held_before: tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One read/write of a watched (annotated) attribute."""
+
+    cls: str
+    attr: str
+    kind: str                 # "read" | "write"
+    thread: int
+    locks_held: tuple[str, ...]
+    function: str
+    in_init: bool
+    required: str             # full lock name the annotation demands
+
+
+@dataclass
+class SanitizerTrace:
+    """Thread-safe event log of one sanitized run."""
+
+    lock_events: list[LockEvent] = field(default_factory=list)
+    access_events: list[AccessEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # The trace's own mutex; a raw lock on purpose (wrapping it
+        # through the factory would recurse into the sanitizer).
+        self._mutex = threading.Lock()
+
+    def add_lock_event(self, event: LockEvent) -> None:
+        with self._mutex:
+            self.lock_events.append(event)
+
+    def add_access_event(self, event: AccessEvent) -> None:
+        with self._mutex:
+            self.access_events.append(event)
+
+    def acquisitions(self) -> list[LockEvent]:
+        with self._mutex:
+            return [e for e in self.lock_events if e.kind == "acquire"]
+
+    def accesses(self) -> list[AccessEvent]:
+        with self._mutex:
+            return list(self.access_events)
+
+    def threads(self) -> set[int]:
+        with self._mutex:
+            return ({e.thread for e in self.lock_events}
+                    | {e.thread for e in self.access_events})
+
+
+class SanitizedLock:
+    """Recording wrapper around a ``threading`` lock primitive."""
+
+    def __init__(self, inner: Any, name: str,
+                 sanitizer: "LockSanitizer") -> None:
+        self._inner = inner
+        self.name = name
+        self._sanitizer = sanitizer
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool:
+        acquired = bool(self._inner.acquire(blocking, timeout))
+        if acquired:
+            self._sanitizer.note_acquire(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._sanitizer.note_release(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: Optional[type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.release()
+
+
+@dataclass
+class _WatchedClass:
+    """Originals needed to restore a patched class."""
+
+    cls: type
+    attrs: dict[str, str]     # attr -> required full lock name
+    orig_getattribute: Callable[..., Any]
+    orig_setattr: Callable[..., Any]
+
+
+class LockSanitizer:
+    """Process-global recorder; one instance, module-level singleton."""
+
+    def __init__(self) -> None:
+        self.trace = SanitizerTrace()
+        self._tls = threading.local()
+        self._active = False
+        self._watched: list[_WatchedClass] = []
+
+    # -- per-thread lock stack -----------------------------------------
+
+    def _held(self) -> list[str]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    def locks_held(self) -> tuple[str, ...]:
+        """Locks the calling thread currently holds (sanitized only)."""
+        return tuple(self._held())
+
+    def note_acquire(self, name: str) -> None:
+        held = self._held()
+        frame = sys._getframe(2)
+        self.trace.add_lock_event(LockEvent(
+            kind="acquire", lock=name,
+            thread=threading.get_ident(),
+            held_before=tuple(held), line=frame.f_lineno))
+        held.append(name)
+
+    def note_release(self, name: str) -> None:
+        held = self._held()
+        if name in held:
+            # Remove the innermost occurrence (RLocks nest).
+            for i in range(len(held) - 1, -1, -1):
+                if held[i] == name:
+                    del held[i]
+                    break
+        self.trace.add_lock_event(LockEvent(
+            kind="release", lock=name,
+            thread=threading.get_ident(),
+            held_before=tuple(held), line=0))
+
+    # -- activation ----------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def _factory_hook(self, kind: str, name: str) -> SanitizedLock:
+        inner = (threading.RLock() if kind == "rlock"
+                 else threading.Lock())
+        return SanitizedLock(inner, name, self)
+
+    def watch(self, cls: type, attrs: dict[str, str]) -> None:
+        """Patch ``cls`` to record accesses of ``attrs``.
+
+        ``attrs`` maps attribute name to the *full* lock name its
+        annotation requires (``"PackingCache._lock"``).  Restored by
+        :meth:`deactivate`.
+        """
+        if any(w.cls is cls for w in self._watched):
+            return
+        watched = _WatchedClass(
+            cls=cls, attrs=dict(attrs),
+            orig_getattribute=cls.__getattribute__,
+            orig_setattr=cls.__setattr__)
+        sanitizer = self
+
+        def recording_getattribute(obj: Any, name: str) -> Any:
+            value = watched.orig_getattribute(obj, name)
+            if name in watched.attrs and sanitizer._active:
+                sanitizer._record_access(obj, cls.__name__, name,
+                                         "read", watched.attrs[name])
+            return value
+
+        def recording_setattr(obj: Any, name: str,
+                              value: Any) -> None:
+            if name in watched.attrs and sanitizer._active:
+                sanitizer._record_access(obj, cls.__name__, name,
+                                         "write", watched.attrs[name])
+            watched.orig_setattr(obj, name, value)
+
+        cls.__getattribute__ = recording_getattribute  # type: ignore[method-assign,assignment]
+        cls.__setattr__ = recording_setattr  # type: ignore[method-assign,assignment]
+        self._watched.append(watched)
+
+    def _record_access(self, obj: Any, cls_name: str, attr: str,
+                       kind: str, required: str) -> None:
+        frame = sys._getframe(2)
+        function = frame.f_code.co_name
+        in_init = False
+        probe = frame
+        for _ in range(32):
+            if probe is None:
+                break
+            if probe.f_code.co_name == "__init__" \
+                    and probe.f_locals.get("self") is obj:
+                in_init = True
+                break
+            probe = probe.f_back
+        self.trace.add_access_event(AccessEvent(
+            cls=cls_name, attr=attr, kind=kind,
+            thread=threading.get_ident(),
+            locks_held=self.locks_held(),
+            function=function, in_init=in_init, required=required))
+
+    def activate(self) -> None:
+        """Install the factory hook; new locks are recorded wrappers."""
+        if self._active:
+            raise SanitizerError("sanitizer is already active")
+        self.trace = SanitizerTrace()
+        self._active = True
+        set_lock_factory_hook(self._factory_hook)
+
+    def deactivate(self) -> None:
+        """Remove the hook and restore every patched class."""
+        set_lock_factory_hook(None)
+        for watched in reversed(self._watched):
+            watched.cls.__getattribute__ = (  # type: ignore[method-assign,assignment]
+                watched.orig_getattribute)
+            watched.cls.__setattr__ = (  # type: ignore[method-assign,assignment]
+                watched.orig_setattr)
+        self._watched.clear()
+        self._active = False
+
+
+#: The singleton every entry point (CLI flag, pytest fixture) shares.
+sanitizer = LockSanitizer()
+
+
+def watch_from_analysis(analysis: ConcurrencyAnalysis,
+                        classes: dict[str, type],
+                        active: Optional[LockSanitizer] = None) -> None:
+    """Watch each class's annotated attributes, as the analysis saw
+    them -- the static annotation drives the dynamic instrumentation,
+    so the two sides check the *same* contract by construction."""
+    active = active or sanitizer
+    for name, cls in classes.items():
+        attrs = {attr: f"{cls_name}.{lock}"
+                 for (cls_name, attr), lock in analysis.guarded.items()
+                 if cls_name == name}
+        if attrs:
+            active.watch(cls, attrs)
+
+
+def default_watch_classes() -> dict[str, type]:
+    """The annotated serving-stack classes, imported lazily."""
+    from repro.core.packcache import PackingCache
+    from repro.core.parallel import ParallelMixGemm
+    from repro.runtime.serving import BatchedServer
+
+    return {"PackingCache": PackingCache,
+            "ParallelMixGemm": ParallelMixGemm,
+            "BatchedServer": BatchedServer}
+
+
+@contextmanager
+def sanitized_session(
+        watch_defaults: bool = True,
+        analysis: Optional[ConcurrencyAnalysis] = None,
+) -> Iterator[LockSanitizer]:
+    """Activate the singleton for one scoped workload.
+
+    With ``watch_defaults`` the annotated serving-stack classes are
+    instrumented using the static analysis of their own source files
+    (``analysis`` overrides, for tests that target fixture modules).
+    """
+    sanitizer.activate()
+    try:
+        if watch_defaults:
+            current = analysis or analyze_concurrency(
+                annotated_targets())
+            watch_from_analysis(current, default_watch_classes())
+        yield sanitizer
+    finally:
+        sanitizer.deactivate()
+
+
+# -- the cross-check ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DynamicViolation:
+    """One dynamically observed unguarded access."""
+
+    cls: str
+    attr: str
+    kind: str
+    function: str
+    thread: int
+    required: str
+    matched: bool             # a static CONC-UNGUARDED verdict exists
+
+
+@dataclass
+class CrosscheckResult:
+    """Dynamic violations, split by whether statics predicted them."""
+
+    violations: list[DynamicViolation] = field(default_factory=list)
+    #: Dynamic violations with *no* static counterpart: analyzer false
+    #: negatives on the traced paths.  Must be empty.
+    unmatched: list[DynamicViolation] = field(default_factory=list)
+    events_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.unmatched
+
+    def render(self) -> str:
+        lines = [f"sanitizer cross-check: {self.events_checked} "
+                 f"access events, {len(self.violations)} dynamic "
+                 f"unguarded, {len(self.unmatched)} unmatched"]
+        for violation in self.unmatched:
+            lines.append(
+                f"  FALSE NEGATIVE: {violation.cls}.{violation.attr} "
+                f"{violation.kind} in {violation.function}() without "
+                f"{violation.required} (no static diagnostic)")
+        return "\n".join(lines)
+
+
+def crosscheck(trace: SanitizerTrace,
+               analysis: ConcurrencyAnalysis) -> CrosscheckResult:
+    """Replay dynamic accesses against the static lockset verdicts.
+
+    For every traced access of an annotated attribute outside its
+    lock (and outside ``__init__``), demand a static CONC-UNGUARDED
+    verdict at the same ``(class, attribute)``.  The static index is
+    pre-noqa: a suppressed diagnostic still counts as "the analyzer
+    saw it".
+    """
+    result = CrosscheckResult()
+    for event in trace.accesses():
+        if event.in_init:
+            continue
+        result.events_checked += 1
+        if event.required in event.locks_held:
+            continue
+        matched = (event.cls, event.attr) in analysis.unguarded_sites
+        violation = DynamicViolation(
+            cls=event.cls, attr=event.attr, kind=event.kind,
+            function=event.function, thread=event.thread,
+            required=event.required, matched=matched)
+        result.violations.append(violation)
+        if not matched:
+            result.unmatched.append(violation)
+    return result
+
+
+__all__ = [
+    "AccessEvent",
+    "CrosscheckResult",
+    "DynamicViolation",
+    "LockEvent",
+    "LockSanitizer",
+    "SanitizedLock",
+    "SanitizerError",
+    "SanitizerTrace",
+    "crosscheck",
+    "default_watch_classes",
+    "sanitized_session",
+    "sanitizer",
+    "watch_from_analysis",
+]

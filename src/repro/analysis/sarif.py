@@ -34,10 +34,12 @@ LEVEL_FOR_SEVERITY = {
 def _all_rules() -> dict[str, str]:
     """Every rule id the tool can emit, with its one-line description."""
     from repro.analysis.astlint import LINT_RULES
+    from repro.analysis.concurrency.checker import CONC_RULES
     from repro.analysis.contracts import CONTRACT_RULES
 
     merged = dict(CONTRACT_RULES)
     merged.update(LINT_RULES)
+    merged.update(CONC_RULES)
     return merged
 
 

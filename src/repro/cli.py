@@ -129,13 +129,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     inputs = [demo_input(batch=1, size=args.size,
                          seed=int(rng.integers(1 << 31)))[0]
               for _ in range(args.requests)]
-    with BatchedServer(graph, workers=args.workers,
-                       max_batch=args.max_batch,
-                       max_wait_ms=args.max_wait_ms,
-                       compiled=not args.uncompiled,
-                       backend="mixgemm",
-                       gemm_backend=args.backend) as server:
-        report = server.run_requests(inputs)
+
+    def serve_once():
+        with BatchedServer(graph, workers=args.workers,
+                           max_batch=args.max_batch,
+                           max_wait_ms=args.max_wait_ms,
+                           compiled=not args.uncompiled,
+                           backend="mixgemm",
+                           gemm_backend=args.backend) as server:
+            return server.run_requests(inputs)
+
+    check = None
+    if args.sanitize:
+        from repro.analysis.concurrency import (
+            analyze_concurrency,
+            annotated_targets,
+            crosscheck,
+            sanitized_session,
+        )
+        analysis = analyze_concurrency(annotated_targets())
+        with sanitized_session(analysis=analysis) as active:
+            report = serve_once()
+            trace = active.trace
+        check = crosscheck(trace, analysis)
+    else:
+        report = serve_once()
     s = report.stats
     mode = "compiled plans" if report.compiled else "uncompiled engines"
     print(f"served {s.requests} requests in {s.seconds:.3f}s on "
@@ -150,6 +168,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           + ", ".join(f"{k}x{v}" for k, v
                       in sorted(s.batch_histogram.items())))
     print(f"max queue depth: {s.max_queue_depth}")
+    if check is not None:
+        print(check.render())
+        if not check.ok:
+            return 1
     return 0
 
 
@@ -281,14 +303,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis import (
         AnalysisError,
         DiagnosticReport,
+        check_concurrency,
         check_graph_file,
         lint_paths,
         to_sarif_json,
     )
 
-    if not args.graph and not args.lint:
-        print("nothing to check: pass --graph MODEL.json and/or "
-              "--lint PATH", file=sys.stderr)
+    if not args.graph and not args.lint and args.concurrency is None:
+        print("nothing to check: pass --graph MODEL.json, --lint PATH "
+              "and/or --concurrency [PATH ...]", file=sys.stderr)
         return 2
     accmem_bits = args.accmem_bits
     if accmem_bits is None:
@@ -303,6 +326,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
         except AnalysisError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    if args.concurrency is not None:
+        from repro.analysis.concurrency import default_targets
+        targets = args.concurrency or default_targets()
+        report.extend(check_concurrency(targets))
 
     if args.format == "json":
         rendered = report.to_json()
@@ -394,6 +421,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--uncompiled", action="store_true",
                    help="serve from uncompiled engines (baseline for "
                         "what compilation buys)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="run under the lock sanitizer and cross-check "
+                        "the trace against the static lockset verdicts")
     p.set_defaults(func=_cmd_serve)
 
     sub.add_parser("figure6", help="square-GEMM speed-up grid"
@@ -446,6 +476,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="PATH",
                    help="lint .py files under PATH against the REP "
                         "rules (repeatable)")
+    p.add_argument("--concurrency", nargs="*", default=None,
+                   metavar="PATH",
+                   help="run the lockset / lock-order / escape "
+                        "analyzer over PATHs (no PATH: the installed "
+                        "repro package)")
     p.add_argument("--format", default="text",
                    choices=("text", "json", "sarif"),
                    help="diagnostic output format")

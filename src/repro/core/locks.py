@@ -1,0 +1,93 @@
+"""Sanitizer-aware lock factory.
+
+Every production lock in this repository is constructed through
+:func:`make_lock` / :func:`make_rlock` instead of calling
+``threading.Lock()`` / ``threading.RLock()`` directly (lint rule
+REP008).  The indirection exists for exactly one reason: the
+concurrency sanitizer (:mod:`repro.analysis.concurrency.sanitizer`)
+installs a factory hook that returns instrumented wrappers recording
+per-thread acquisition stacks, so ``repro serve --sanitize`` and the
+``lock_sanitizer`` pytest fixture can observe every lock the serving
+stack takes without touching the hot path when disabled: with no hook
+installed the factory returns the raw ``threading`` primitive, zero
+indirection added.
+
+Locks are *named* at the construction site (``"PackingCache._lock"``)
+because the static lockset analysis identifies locks by
+``ClassName.attribute`` and the runtime cross-check must join dynamic
+events against those static identities.
+"""
+
+from __future__ import annotations
+
+import threading
+from types import TracebackType
+from typing import Callable, Optional, Protocol
+
+
+class LockLike(Protocol):
+    """Structural type of both raw and sanitizer-wrapped locks."""
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(self, exc_type: Optional[type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None: ...
+
+
+#: Hook signature: ``(kind, name) -> lock`` where ``kind`` is ``"lock"``
+#: or ``"rlock"`` and ``name`` is the dotted construction-site name.
+LockFactoryHook = Callable[[str, str], LockLike]
+
+_hook: Optional[LockFactoryHook] = None
+
+
+def set_lock_factory_hook(hook: Optional[LockFactoryHook]) -> None:
+    """Install (or, with ``None``, remove) the global factory hook.
+
+    Installed by the sanitizer's ``activate()``; locks constructed
+    while the hook is live are wrapped, locks constructed before or
+    after are raw.  The hook is process-global because lock creation
+    sites (class ``__init__``) have no sanitizer handle to thread
+    through.
+    """
+    global _hook
+    _hook = hook
+
+
+def lock_factory_hook() -> Optional[LockFactoryHook]:
+    """The currently installed hook (``None`` when locks are raw)."""
+    return _hook
+
+
+def make_lock(name: str) -> LockLike:
+    """A non-reentrant mutex, wrapped when the sanitizer is active.
+
+    ``name`` identifies the lock in traces and diagnostics; use the
+    ``ClassName.attribute`` form the static analysis derives.
+    """
+    if _hook is not None:
+        return _hook("lock", name)
+    return threading.Lock()
+
+
+def make_rlock(name: str) -> LockLike:
+    """A reentrant mutex, wrapped when the sanitizer is active."""
+    if _hook is not None:
+        return _hook("rlock", name)
+    return threading.RLock()
+
+
+__all__ = [
+    "LockFactoryHook",
+    "LockLike",
+    "lock_factory_hook",
+    "make_lock",
+    "make_rlock",
+    "set_lock_factory_hook",
+]

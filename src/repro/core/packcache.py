@@ -32,7 +32,6 @@ so sharing one entry across calls and cores is safe.
 from __future__ import annotations
 
 import hashlib
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -40,6 +39,7 @@ import numpy as np
 
 from .config import MixGemmConfig
 from .errors import ReproError
+from .locks import make_rlock
 from .packing import PackedMatrix, pack_matrix_a, pack_matrix_b
 
 #: Default entry bound: a deployment graph's worth of weight matrices
@@ -76,17 +76,19 @@ class PackingCache:
         if capacity < 1:
             raise PackCacheError(f"capacity must be positive, got {capacity}")
         self._capacity = capacity
-        self._entries: OrderedDict[
-            tuple[object, ...], PackedMatrix
-        ] = OrderedDict()
-        self.stats = PackCacheStats()
         # One cache is shared across ParallelMixGemm cores and serving
         # workers; the OrderedDict reorder-on-hit is not atomic under
-        # free-threaded access, so every public mutation takes the lock.
-        self._lock = threading.RLock()
+        # free-threaded access, so every access takes the lock --
+        # enforced by `repro check --concurrency` via the annotation.
+        self._lock = make_rlock("PackingCache._lock")
+        self._entries: OrderedDict[
+            tuple[object, ...], PackedMatrix
+        ] = OrderedDict()               # repro: guarded-by(_lock)
+        self.stats = PackCacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def capacity(self) -> int:

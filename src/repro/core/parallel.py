@@ -12,11 +12,23 @@ the N dimension, with its own u-engine, its own AccMem, and a barrier at
 the end.  Results are bit-exact (each core runs the ordinary
 :class:`~repro.core.gemm.MixGemm` on its slice) and the timing is the
 slowest core plus a synchronization cost.
+
+Since the serving PR the per-core slices also *run* on real threads
+(``threaded=True``, the default for ``cores > 1``): each core's
+executor is driven from a worker thread, which overlaps the numpy
+portions of the slices and -- more importantly -- exercises the shared
+:class:`~repro.core.packcache.PackingCache` under genuine contention,
+which the concurrency stress tests rely on.  Per-core executors are
+stateful (each owns a ``MicroEngine``), so one ``gemm()`` call owns
+all of them for its duration: calls are serialized on
+``_gemm_lock`` -- a discipline annotated for, and enforced by,
+``repro check --concurrency``.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +36,7 @@ import numpy as np
 from .binseg import BinSegError
 from .config import MixGemmConfig
 from .gemm import GemmResult, KernelCosts, MixGemm
+from .locks import make_lock
 from .microengine import PmuCounters
 from .packcache import PackingCache
 
@@ -72,17 +85,23 @@ class ParallelMixGemm:
         barrier_cycles: int = DEFAULT_BARRIER_CYCLES,
         backend: str | None = None,
         pack_cache: PackingCache | None = None,
+        threaded: bool | None = None,
     ) -> None:
         if cores < 1:
             raise ValueError(f"need at least one core, got {cores}")
         self.config = config
         self.cores = cores
         self.barrier_cycles = barrier_cycles
+        self.threaded = cores > 1 if threaded is None else threaded
         # One shared cache across the per-core executors: every core
         # consumes the same packed A, and the N-slices of B are distinct
         # matrices (distinct fingerprints), so sharing is always safe.
         self.pack_cache = pack_cache
-        self._executors = [
+        # Each executor owns a stateful MicroEngine, so a gemm() call
+        # needs the whole bank exclusively; concurrent callers
+        # serialize on this lock instead of corrupting engine state.
+        self._gemm_lock = make_lock("ParallelMixGemm._gemm_lock")
+        self._executors = [                 # repro: guarded-by(_gemm_lock)
             MixGemm(config, emulate_datapath=emulate_datapath, costs=costs,
                     backend=backend, pack_cache=pack_cache)
             for _ in range(cores)
@@ -101,8 +120,26 @@ class ParallelMixGemm:
             start = end
         return slices
 
+    @staticmethod
+    def _run_slice(executor: MixGemm, a: np.ndarray,
+                   b_slice: np.ndarray) -> GemmResult:
+        """One core's share: an ordinary single-core GEMM on its slice.
+
+        A staticmethod on purpose: worker threads receive their executor
+        explicitly instead of reading ``self._executors``, so the only
+        touch of the guarded bank happens under ``_gemm_lock`` in
+        :meth:`gemm`.
+        """
+        return executor.gemm(a, b_slice)
+
     def gemm(self, a: np.ndarray, b: np.ndarray) -> ParallelGemmResult:
-        """Compute ``A @ B`` across the cores; bit-exact, max-core timing."""
+        """Compute ``A @ B`` across the cores; bit-exact, max-core timing.
+
+        With ``threaded`` (default for ``cores > 1``) the per-core
+        slices run on real worker threads -- results stay bit-exact
+        because the slices write disjoint columns and are collected in
+        submission order, independent of thread scheduling.
+        """
         a = np.asarray(a)
         b = np.asarray(b)
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
@@ -111,12 +148,27 @@ class ParallelMixGemm:
         m, k = a.shape
         n = b.shape[1]
         c = np.zeros((m, n), dtype=np.int64)
-        per_core: list[GemmResult] = []
-        for executor, (lo, hi) in zip(self._executors,
-                                      self._partition(n)):
-            result = executor.gemm(a, b[:, lo:hi])
+        slices = self._partition(n)
+        with self._gemm_lock:
+            if self.threaded and len(slices) > 1:
+                with ThreadPoolExecutor(
+                        max_workers=len(slices),
+                        thread_name_prefix="repro-core") as pool:
+                    futures = [
+                        pool.submit(self._run_slice, executor,
+                                    a, b[:, lo:hi])
+                        for executor, (lo, hi)
+                        in zip(self._executors, slices)
+                    ]
+                    per_core = [f.result() for f in futures]
+            else:
+                per_core = [
+                    executor.gemm(a, b[:, lo:hi])
+                    for executor, (lo, hi)
+                    in zip(self._executors, slices)
+                ]
+        for result, (lo, hi) in zip(per_core, slices):
             c[:, lo:hi] = result.c
-            per_core.append(result)
         slowest = max((r.cycles for r in per_core), default=0)
         return ParallelGemmResult(
             c=c,

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.core.config import DEFAULT_ACCMEM_BITS
 from repro.core.errors import ReproError
+from repro.core.locks import make_lock
 from repro.core.packcache import PackingCache
 
 from .engine import InferenceEngine
@@ -164,10 +165,16 @@ class BatchedServer:
             self._runners.put(runner)
         self._queue: queue.Queue = queue.Queue()
         self._pool = ThreadPoolExecutor(max_workers=workers)
-        self._batch_sizes: Counter = Counter()
-        self._queue_depths: list[int] = []
-        self._stats_lock = threading.Lock()
-        self._closed = False
+        # Stats are written by the batcher thread and drained by the
+        # client thread; lifecycle state orders submit() against
+        # close() so no request can land behind the _STOP sentinel
+        # (its future would never resolve).  Both disciplines are
+        # annotated and enforced by `repro check --concurrency`.
+        self._stats_lock = make_lock("BatchedServer._stats_lock")
+        self._batch_sizes: Counter = Counter()  # repro: guarded-by(_stats_lock)
+        self._queue_depths: list[int] = []      # repro: guarded-by(_stats_lock)
+        self._state_lock = make_lock("BatchedServer._state_lock")
+        self._closed = False                    # repro: guarded-by(_state_lock)
         self._batcher = threading.Thread(target=self._batch_loop,
                                          name="repro-batcher", daemon=True)
         self._batcher.start()
@@ -176,12 +183,16 @@ class BatchedServer:
 
     def submit(self, x: np.ndarray) -> Future:
         """Enqueue one sample (no batch axis); resolves to its output."""
-        if self._closed:
-            raise ServingError("submit() on a closed server")
         request = _Request(x=np.asarray(x, dtype=np.float64),
                            future=Future(), submitted=time.perf_counter())
         request.future._repro_request = request
-        self._queue.put(request)
+        # Checking _closed and enqueueing under one lock orders this
+        # submit against close(): a request can never land behind the
+        # _STOP sentinel, where its future would wait forever.
+        with self._state_lock:
+            if self._closed:
+                raise ServingError("submit() on a closed server")
+            self._queue.put(request)
         return request.future
 
     def run_requests(self, inputs: Sequence[np.ndarray],
@@ -219,10 +230,11 @@ class BatchedServer:
 
     def close(self) -> None:
         """Stop accepting work, drain in-flight batches, shut down."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(_STOP)
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_STOP)
         self._batcher.join()
         self._pool.shutdown(wait=True)
 

@@ -1,0 +1,12 @@
+"""Seeded bug: the parent keeps mutating a request it already handed
+to a worker thread -- the worker may observe either state."""
+
+
+def dispatch(pool, request):
+    future = pool.submit(process, request)
+    request.deadline = 5.0
+    return future
+
+
+def process(request):
+    return request.deadline

@@ -1,0 +1,24 @@
+"""Seeded bug: transfer() and audit() take the two locks in opposite
+order -- one thread in each and both block forever."""
+
+import threading
+
+
+class InvertedOrder:
+    def __init__(self):
+        self._accounts_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+        self._balance = 0           # repro: guarded-by(_accounts_lock)
+        self._entries = []          # repro: guarded-by(_journal_lock)
+
+    def transfer(self, amount):
+        with self._accounts_lock:
+            self._balance -= amount
+            with self._journal_lock:
+                self._entries.append(amount)
+
+    def audit(self):
+        with self._journal_lock:
+            count = len(self._entries)
+            with self._accounts_lock:
+                return (count, self._balance)

@@ -1,0 +1,19 @@
+"""Seeded smell: a counter mutated from both the worker callable and a
+public method, with no guarded-by contract to check."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class SharedCounter:
+    def __init__(self):
+        self._pool = ThreadPoolExecutor(max_workers=2)
+        self._count = 0
+
+    def kick(self):
+        self._pool.submit(self._work)
+
+    def _work(self):
+        self._count += 1
+
+    def reset(self):
+        self._count = 0

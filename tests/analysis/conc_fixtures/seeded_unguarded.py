@@ -1,0 +1,21 @@
+"""Seeded bug: the ``with self._lock:`` around drain() was removed.
+
+``add()`` shows the correct discipline; ``drain()`` reads the
+annotated list bare -- the analyzer must flag exactly that access.
+"""
+
+import threading
+
+
+class DroppedWith:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []            # repro: guarded-by(_lock)
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def drain(self):
+        items = list(self._items)
+        return items

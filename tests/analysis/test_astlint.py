@@ -245,6 +245,55 @@ class TestRep007:
         assert rules(src) == []
 
 
+class TestRep008:
+    def test_bare_lock_flagged(self):
+        assert rules("lock = threading.Lock()\n") == ["REP008"]
+
+    def test_bare_rlock_flagged(self):
+        assert rules("lock = threading.RLock()\n") == ["REP008"]
+
+    def test_imported_name_flagged(self):
+        src = "from threading import Lock\nlock = Lock()\n"
+        assert rules(src) == ["REP008"]
+
+    def test_aliased_import_flagged(self):
+        src = "from threading import RLock as RL\nlock = RL()\n"
+        assert rules(src) == ["REP008"]
+
+    def test_factory_calls_pass(self):
+        src = ("lock = make_lock('C._lock')\n"
+               "rlock = make_rlock('C._rlock')\n")
+        assert rules(src) == []
+
+    def test_other_threading_primitives_pass(self):
+        # Only the two raw mutex constructors are factory-gated.
+        src = ("event = threading.Event()\n"
+               "cond = threading.Condition()\n")
+        assert rules(src) == []
+
+    @pytest.mark.parametrize("path", [
+        "src/repro/core/locks.py",
+        "src/repro/analysis/concurrency/sanitizer.py",
+        "src/repro/core/packcache.py",
+        "src/repro/runtime/serving.py",
+    ])
+    def test_allowlisted_modules_exempt(self, path):
+        assert rules("lock = threading.Lock()\n", path=path) == []
+
+    def test_tests_exempt(self):
+        assert rules("lock = threading.Lock()\n",
+                     path="tests/core/test_x.py") == []
+
+    def test_hint_names_the_factory(self):
+        diags = lint_source("lock = threading.Lock()\n",
+                            "src/repro/pkg/mod.py")
+        assert "make_lock" in diags[0].hint
+
+    def test_suppressed(self):
+        src = "lock = threading.Lock()  # repro: noqa REP008\n"
+        assert rules(src) == []
+
+
 class TestNoqaEngine:
     def test_blanket_noqa_suppresses_everything(self):
         assert rules("x = np.random.rand(3)  # repro: noqa\n") == []

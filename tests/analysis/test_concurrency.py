@@ -1,0 +1,427 @@
+"""Lockset / lock-order / escape analyzer: units, CLI formats, and the
+before/after regressions for the races this PR fixed."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.concurrency import (
+    analyze_concurrency,
+    check_concurrency,
+    default_targets,
+    extract_module,
+)
+from repro.analysis.concurrency.escape import check_escapes
+from repro.analysis.concurrency.lockorder import (
+    build_lock_order_graph,
+    check_lock_order,
+)
+from repro.analysis.concurrency.lockset import (
+    check_locksets,
+    entry_locksets,
+    init_only_methods,
+)
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "conc_fixtures"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def classes_of(source):
+    return extract_module(textwrap.dedent(source), "mod.py").classes
+
+
+def rules_of(source, tmp_path, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return [d.rule for d in check_concurrency([path])]
+
+
+GUARDED_OK = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._data = []    # repro: guarded-by(_lock)
+
+        def put(self, item):
+            with self._lock:
+                self._data.append(item)
+"""
+
+HELPER_INHERITS = GUARDED_OK + """
+        def extend(self, items):
+            with self._lock:
+                self._append_all(items)
+
+        def _append_all(self, items):
+            for item in items:
+                self._data.append(item)
+"""
+
+
+class TestLockset:
+    def test_guarded_access_clean(self, tmp_path):
+        assert rules_of(GUARDED_OK, tmp_path) == []
+
+    def test_unguarded_access_flagged(self, tmp_path):
+        src = GUARDED_OK + """
+        def peek(self):
+            return list(self._data)
+        """
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(src))
+        report = check_concurrency([path])
+        assert [d.rule for d in report] == ["CONC-UNGUARDED"]
+        diag = list(report)[0]
+        assert diag.severity == "error"
+        assert "Box._data" in diag.message
+        assert "peek" in diag.message
+        assert "_lock" in diag.message
+
+    def test_helper_inherits_lock_from_sole_call_site(self, tmp_path):
+        assert rules_of(HELPER_INHERITS, tmp_path) == []
+
+    def test_helper_meet_over_mixed_call_sites(self, tmp_path):
+        src = HELPER_INHERITS + """
+        def sneak(self, items):
+            self._append_all(items)
+        """
+        assert rules_of(src, tmp_path) == ["CONC-UNGUARDED"]
+
+    def test_init_accesses_exempt(self, tmp_path):
+        # __init__ populates the guarded list bare: thread-confined.
+        src = GUARDED_OK.replace(
+            "self._data = []    # repro: guarded-by(_lock)",
+            "self._data = []    # repro: guarded-by(_lock)\n"
+            "            self._data.append(0)")
+        assert rules_of(src, tmp_path) == []
+
+    def test_init_only_helper_exempt(self, tmp_path):
+        src = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = []    # repro: guarded-by(_lock)
+                self._seed()
+
+            def _seed(self):
+                self._data.append(0)
+
+            def put(self, item):
+                with self._lock:
+                    self._data.append(item)
+        """
+        assert rules_of(src, tmp_path) == []
+
+    def test_noqa_suppresses_but_site_is_still_indexed(self, tmp_path):
+        src = GUARDED_OK + """
+        def peek(self):
+            return list(self._data)  # repro: noqa CONC-UNGUARDED
+        """
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(src))
+        analysis = analyze_concurrency([path])
+        assert list(analysis.report) == []
+        # Pre-noqa index: the cross-check must still see the verdict.
+        assert ("Box", "_data") in analysis.unguarded_sites
+
+    def test_entry_locksets_fixpoint(self):
+        cls = classes_of(HELPER_INHERITS)[0]
+        entry = entry_locksets(cls)
+        assert entry["put"] == frozenset()
+        assert entry["_append_all"] == frozenset({"_lock"})
+
+    def test_init_only_methods(self):
+        cls = classes_of("""
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._seed()
+
+                def _seed(self):
+                    pass
+
+                def api(self):
+                    self._seed()
+        """)[0]
+        # _seed is also called from a public method: not init-only.
+        assert init_only_methods(cls) == {"__init__"}
+
+
+class TestLockOrder:
+    def test_fixture_cycle_reports_both_paths(self):
+        report = check_concurrency(
+            [FIXTURES / "seeded_lockorder.py"])
+        diags = list(report)
+        assert [d.rule for d in diags] == ["CONC-LOCK-ORDER"]
+        message = diags[0].message
+        assert ("InvertedOrder._accounts_lock -> "
+                "InvertedOrder._journal_lock") in message
+        assert ("InvertedOrder._journal_lock -> "
+                "InvertedOrder._accounts_lock") in message
+        assert "transfer" in message and "audit" in message
+
+    def test_consistent_order_clean(self, tmp_path):
+        src = """
+        import threading
+
+        class Ordered:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def one(self):
+                with self._a:
+                    with self._b:
+                        return 1
+
+            def two(self):
+                with self._a:
+                    with self._b:
+                        return 2
+        """
+        assert rules_of(src, tmp_path) == []
+
+    def test_interprocedural_cycle(self, tmp_path):
+        src = """
+        import threading
+
+        class Chained:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def outer(self):
+                with self._a:
+                    self._inner()
+
+            def _inner(self):
+                with self._b:
+                    return 0
+
+            def flipped(self):
+                with self._b:
+                    with self._a:
+                        return 1
+        """
+        assert "CONC-LOCK-ORDER" in rules_of(src, tmp_path)
+
+    def test_graph_edges_and_witnesses(self):
+        classes = []
+        module = extract_module(
+            (FIXTURES / "seeded_lockorder.py").read_text(),
+            str(FIXTURES / "seeded_lockorder.py"))
+        classes.extend(module.classes)
+        graph = build_lock_order_graph(classes)
+        assert graph.successors("InvertedOrder._accounts_lock") == [
+            "InvertedOrder._journal_lock"]
+        assert len(graph.cycles()) == 1
+        assert check_lock_order(classes)[0].line > 0
+
+
+class TestEscape:
+    def test_fixture_mutation_after_handoff(self):
+        report = check_concurrency([FIXTURES / "seeded_escape.py"])
+        diags = list(report)
+        assert [d.rule for d in diags] == ["CONC-ESCAPED-MUTATION"]
+        assert "request.deadline" in diags[0].message
+        assert "submit" in diags[0].message
+
+    def test_build_then_publish_clean(self, tmp_path):
+        src = """
+        def dispatch(pool, request):
+            request.deadline = 5.0
+            return pool.submit(process, request)
+        """
+        assert rules_of(src, tmp_path) == []
+
+    def test_rebinding_unescapes(self, tmp_path):
+        src = """
+        def dispatch(pool, request):
+            pool.submit(process, request)
+            request = fresh()
+            request.deadline = 5.0
+            return request
+        """
+        assert rules_of(src, tmp_path) == []
+
+    def test_thread_args_escape(self, tmp_path):
+        src = """
+        import threading
+
+        def spawn(task):
+            thread = threading.Thread(target=run, args=(task,))
+            thread.start()
+            task.state = "running"
+        """
+        assert rules_of(src, tmp_path) == ["CONC-ESCAPED-MUTATION"]
+
+
+class TestSharedUnannotated:
+    def test_fixture_warns(self):
+        report = check_concurrency([FIXTURES / "seeded_shared.py"])
+        diags = list(report)
+        assert [d.rule for d in diags] == ["CONC-SHARED-UNANNOTATED"]
+        assert diags[0].severity == "warning"
+        assert "SharedCounter._count" in diags[0].message
+
+
+class TestAnnotatedRepoClean:
+    """The tentpole acceptance bar: the annotated repo is diagnostic-free."""
+
+    def test_default_targets_clean(self):
+        report = check_concurrency(default_targets())
+        assert list(report) == []
+
+    def test_guarded_contract_covers_the_serving_stack(self):
+        analysis = analyze_concurrency(default_targets())
+        assert analysis.guarded[("PackingCache", "_entries")] == "_lock"
+        assert analysis.guarded[
+            ("BatchedServer", "_closed")] == "_state_lock"
+        assert analysis.guarded[
+            ("ParallelMixGemm", "_executors")] == "_gemm_lock"
+
+
+class TestBugFixRegressions:
+    """Each satellite race fix, shown as before (flagged) / after (clean)."""
+
+    LEN_BEFORE = """
+    import threading
+    from collections import OrderedDict
+
+    class PackingCache:
+        def __init__(self):
+            self._lock = threading.RLock()
+            self._entries = OrderedDict()  # repro: guarded-by(_lock)
+
+        def get_or_pack(self, key, packed):
+            with self._lock:
+                self._entries[key] = packed
+
+        def __len__(self):
+            return len(self._entries)
+    """
+
+    SUBMIT_BEFORE = """
+    import threading
+
+    class BatchedServer:
+        def __init__(self):
+            self._state_lock = threading.Lock()
+            self._closed = False  # repro: guarded-by(_state_lock)
+
+        def submit(self, x):
+            if self._closed:
+                raise RuntimeError("closed")
+
+        def close(self):
+            with self._state_lock:
+                self._closed = True
+    """
+
+    def test_packcache_len_before_was_unguarded(self, tmp_path):
+        assert rules_of(self.LEN_BEFORE, tmp_path) == ["CONC-UNGUARDED"]
+
+    def test_packcache_after_is_clean(self):
+        assert list(check_concurrency(
+            [REPO_SRC / "core" / "packcache.py"])) == []
+
+    def test_serving_submit_before_raced_close(self, tmp_path):
+        assert rules_of(self.SUBMIT_BEFORE, tmp_path) == [
+            "CONC-UNGUARDED"]
+
+    def test_serving_after_is_clean(self):
+        assert list(check_concurrency(
+            [REPO_SRC / "runtime" / "serving.py"])) == []
+
+    def test_parallel_after_is_clean(self):
+        assert list(check_concurrency(
+            [REPO_SRC / "core" / "parallel.py"])) == []
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(["check", "--lint", "src"])
+        assert args.concurrency is None
+        args = build_parser().parse_args(["check", "--concurrency"])
+        assert args.concurrency == []
+
+    def test_default_run_is_clean(self, capsys):
+        assert main(["check", "--concurrency"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_unguarded_fixture_text(self, capsys):
+        code = main(["check", "--concurrency",
+                     str(FIXTURES / "seeded_unguarded.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CONC-UNGUARDED" in out
+        assert "DroppedWith._items" in out
+
+    def test_lockorder_fixture_json(self, capsys):
+        code = main(["check", "--concurrency",
+                     str(FIXTURES / "seeded_lockorder.py"),
+                     "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 1
+        assert payload["diagnostics"][0]["rule"] == "CONC-LOCK-ORDER"
+
+    def test_escape_fixture_sarif(self, tmp_path, capsys):
+        out_file = tmp_path / "conc.sarif"
+        code = main(["check", "--concurrency",
+                     str(FIXTURES / "seeded_escape.py"),
+                     "--format", "sarif", "--output", str(out_file)])
+        assert code == 1
+        log = json.loads(out_file.read_text())
+        results = log["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == [
+            "CONC-ESCAPED-MUTATION"]
+        assert results[0]["level"] == "error"
+        rule_ids = {r["id"] for r
+                    in log["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"CONC-UNGUARDED", "CONC-LOCK-ORDER",
+                "CONC-ESCAPED-MUTATION"} <= rule_ids
+
+    @pytest.mark.parametrize("fmt", ["text", "json", "sarif"])
+    def test_every_fixture_in_every_format(self, fmt, capsys):
+        # Each seeded bug survives every output format round-trip.
+        expected = {
+            "seeded_unguarded.py": "CONC-UNGUARDED",
+            "seeded_lockorder.py": "CONC-LOCK-ORDER",
+            "seeded_escape.py": "CONC-ESCAPED-MUTATION",
+        }
+        for name, rule in expected.items():
+            main(["check", "--concurrency", str(FIXTURES / name),
+                  "--format", fmt])
+            assert rule in capsys.readouterr().out
+
+    def test_warning_fixture_gates_on_fail_on(self, capsys):
+        target = str(FIXTURES / "seeded_shared.py")
+        assert main(["check", "--concurrency", target]) == 0
+        assert main(["check", "--concurrency", target,
+                     "--fail-on", "warning"]) == 1
+
+    def test_combines_with_lint(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = np.random.rand(2)\n")
+        code = main(["check", "--lint", str(bad), "--concurrency",
+                     str(FIXTURES / "seeded_unguarded.py")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP002" in out and "CONC-UNGUARDED" in out
+
+    def test_parse_failure_reported(self, tmp_path, capsys):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        assert main(["check", "--concurrency", str(bad)]) == 1
+        assert "CONC-PARSE" in capsys.readouterr().out

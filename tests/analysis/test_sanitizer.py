@@ -1,0 +1,237 @@
+"""Runtime lock sanitizer and the static/dynamic cross-check.
+
+The integration contract under test: every *dynamically* observed
+unguarded access of an annotated attribute corresponds to a *static*
+CONC-UNGUARDED verdict -- the analyzer has no false negatives on any
+traced path.
+"""
+
+import textwrap
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.concurrency import (
+    analyze_concurrency,
+    crosscheck,
+    sanitized_session,
+    sanitizer,
+)
+from repro.analysis.concurrency.checker import ConcurrencyAnalysis
+from repro.analysis.concurrency.sanitizer import (
+    SanitizedLock,
+    SanitizerError,
+    watch_from_analysis,
+)
+from repro.core.locks import make_lock, make_rlock
+
+
+class TestSanitizedLock:
+    def test_factory_returns_raw_lock_when_inactive(self):
+        assert not isinstance(make_lock("T.raw"), SanitizedLock)
+
+    def test_factory_returns_wrapper_when_active(self):
+        with sanitized_session(watch_defaults=False):
+            lock = make_lock("T.wrapped")
+            assert isinstance(lock, SanitizedLock)
+        assert not isinstance(make_lock("T.raw"), SanitizedLock)
+
+    def test_double_activation_raises(self):
+        with sanitized_session(watch_defaults=False):
+            with pytest.raises(SanitizerError):
+                sanitizer.activate()
+
+    def test_acquisitions_record_held_stack(self):
+        with sanitized_session(watch_defaults=False) as active:
+            a = make_lock("T.a")
+            b = make_lock("T.b")
+            with a:
+                with b:
+                    assert active.locks_held() == ("T.a", "T.b")
+            assert active.locks_held() == ()
+        acquires = active.trace.acquisitions()
+        assert [e.lock for e in acquires] == ["T.a", "T.b"]
+        assert acquires[0].held_before == ()
+        assert acquires[1].held_before == ("T.a",)
+
+    def test_rlock_reentry_and_release_order(self):
+        with sanitized_session(watch_defaults=False) as active:
+            lock = make_rlock("T.r")
+            with lock:
+                with lock:
+                    assert active.locks_held() == ("T.r", "T.r")
+                assert active.locks_held() == ("T.r",)
+            assert active.locks_held() == ()
+
+    def test_held_stack_is_per_thread(self):
+        observed = {}
+        with sanitized_session(watch_defaults=False) as active:
+            lock = make_lock("T.main")
+
+            def probe():
+                observed["worker"] = active.locks_held()
+
+            with lock:
+                worker = threading.Thread(target=probe)
+                worker.start()
+                worker.join()
+                observed["main"] = active.locks_held()
+        assert observed["main"] == ("T.main",)
+        assert observed["worker"] == ()
+
+
+class TestWatch:
+    class Victim:
+        def __init__(self):
+            self.data = 0
+
+    def test_watched_accesses_recorded_and_restored(self):
+        with sanitized_session(watch_defaults=False) as active:
+            active.watch(self.Victim, {"data": "Victim._lock"})
+            victim = self.Victim()       # in_init write
+            victim.data = 5
+            _ = victim.data
+            events = active.trace.accesses()
+        kinds = [(e.kind, e.in_init) for e in events
+                 if e.attr == "data"]
+        assert ("write", True) in kinds
+        assert ("write", False) in kinds
+        assert ("read", False) in kinds
+        # Deactivation restored the class: no further recording.
+        baseline = len(sanitizer.trace.accesses())
+        victim = self.Victim()
+        victim.data = 7
+        assert len(sanitizer.trace.accesses()) == baseline
+
+
+RACY_MODULE = textwrap.dedent("""
+    from repro.core.locks import make_lock
+
+
+    class Racy:
+        def __init__(self):
+            self._lock = make_lock("Racy._lock")
+            self._items = []            # repro: guarded-by(_lock)
+
+        def add(self, item):
+            with self._lock:
+                self._items.append(item)
+
+        def drain(self):
+            return list(self._items)
+""")
+
+
+def _load_racy(tmp_path):
+    import importlib.util
+
+    path = tmp_path / "racy_mod.py"
+    path.write_text(RACY_MODULE)
+    spec = importlib.util.spec_from_file_location("racy_mod", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module, path
+
+
+class TestCrosscheck:
+    def test_dynamic_violation_matches_static_verdict(self, tmp_path):
+        module, path = _load_racy(tmp_path)
+        analysis = analyze_concurrency([path])
+        assert ("Racy", "_items") in analysis.unguarded_sites
+        with sanitized_session(watch_defaults=False) as active:
+            watch_from_analysis(analysis, {"Racy": module.Racy})
+            racy = module.Racy()
+            racy.add(1)                  # guarded: not a violation
+            racy.drain()                 # the seeded dynamic race
+        result = crosscheck(active.trace, analysis)
+        assert result.events_checked >= 2
+        assert len(result.violations) == 1
+        assert result.violations[0].attr == "_items"
+        assert result.violations[0].matched
+        assert result.ok                 # predicted by statics: no FN
+
+    def test_unpredicted_violation_is_a_false_negative(self, tmp_path):
+        module, _path = _load_racy(tmp_path)
+        with sanitized_session(watch_defaults=False) as active:
+            active.watch(module.Racy, {"_items": "Racy._lock"})
+            racy = module.Racy()
+            racy.drain()
+        # Cross-check against an *empty* analysis: the dynamic
+        # violation has no static counterpart and must be surfaced.
+        result = crosscheck(active.trace, ConcurrencyAnalysis())
+        assert not result.ok
+        assert len(result.unmatched) == 1
+        assert "FALSE NEGATIVE" in result.render()
+
+    def test_init_accesses_are_exempt(self, tmp_path):
+        module, path = _load_racy(tmp_path)
+        analysis = analyze_concurrency([path])
+        with sanitized_session(watch_defaults=False) as active:
+            watch_from_analysis(analysis, {"Racy": module.Racy})
+            module.Racy()                # only the in_init write
+        result = crosscheck(active.trace, analysis)
+        assert result.events_checked == 0
+        assert result.ok
+
+
+class TestServingIntegration:
+    """The tentpole integration bar: real workloads, zero unmatched."""
+
+    def _workload(self):
+        from repro.robustness.faults import demo_graph, demo_input
+        from repro.runtime.serving import BatchedServer
+
+        graph = demo_graph()
+        inputs = [demo_input(batch=1, size=6, seed=seed)[0]
+                  for seed in range(12)]
+        with BatchedServer(graph, workers=2, max_batch=4,
+                           max_wait_ms=1.0, backend="mixgemm") as server:
+            report = server.run_requests(inputs)
+        return report
+
+    def test_served_traffic_has_no_unmatched_violations(
+            self, lock_sanitizer):
+        report = self._workload()
+        assert len(report.outputs) == 12
+        from repro.analysis.concurrency.checker import annotated_targets
+        analysis = analyze_concurrency(annotated_targets())
+        result = crosscheck(lock_sanitizer.trace, analysis)
+        # The trace is non-trivial: annotated attrs were exercised
+        # from more than one thread, and statics predicted every
+        # dynamic unguarded access (there are none on this path).
+        assert result.events_checked > 0
+        assert len(lock_sanitizer.trace.threads()) > 1
+        assert result.violations == []
+        assert result.ok
+
+    def test_parallel_gemm_with_shared_cache(self, lock_sanitizer):
+        from repro.core.config import BlockingParams, MixGemmConfig
+        from repro.core.packcache import PackingCache
+        from repro.core.parallel import ParallelMixGemm
+
+        cfg = MixGemmConfig(
+            bw_a=8, bw_b=8, blocking=BlockingParams(mc=8, nc=8, kc=64))
+        cache = PackingCache()
+        rng = np.random.default_rng(3)
+        a = rng.integers(-8, 8, size=(8, 96))
+        b = rng.integers(-8, 8, size=(96, 32))
+        result = ParallelMixGemm(cfg, cores=2, backend="event",
+                                 pack_cache=cache).gemm(a, b)
+        assert np.array_equal(result.c, a.astype(np.int64) @ b)
+        from repro.analysis.concurrency.checker import annotated_targets
+        check = crosscheck(lock_sanitizer.trace,
+                           analyze_concurrency(annotated_targets()))
+        cache_events = [e for e in lock_sanitizer.trace.accesses()
+                        if e.cls == "PackingCache"]
+        assert cache_events
+        assert check.ok and not check.violations
+
+    def test_serve_cli_sanitize_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--sanitize", "--requests", "8",
+                     "--workers", "2", "--max-batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer cross-check" in out
+        assert "0 unmatched" in out

@@ -1,0 +1,19 @@
+"""Repo-wide fixtures."""
+
+import pytest
+
+from repro.analysis.concurrency import sanitized_session
+
+
+@pytest.fixture()
+def lock_sanitizer():
+    """Run the test body under the runtime lock sanitizer.
+
+    Locks handed out by :mod:`repro.core.locks` during the test are
+    recording wrappers, and the annotated serving-stack classes are
+    instrumented; the test receives the active
+    :class:`~repro.analysis.concurrency.LockSanitizer` and can
+    cross-check its trace against the static verdicts.
+    """
+    with sanitized_session() as active:
+        yield active

@@ -1,0 +1,77 @@
+"""Contention stress: ParallelMixGemm + one shared PackingCache.
+
+Eight client threads, each driving its own two-core ``ParallelMixGemm``
+(so sixteen worker threads touch the cache), released together by a
+barrier.  The invariants under load:
+
+* every result is bit-exact against the integer reference;
+* each distinct operand is packed exactly once -- the double-checked
+  insert in :meth:`PackingCache.get_or_pack` counts a raced duplicate
+  pack as a *hit*, so ``stats.misses`` equals the number of distinct
+  keys no matter how the schedule interleaves;
+* every lookup is accounted for (``hits + misses`` equals the total
+  ``get_or_pack`` calls).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlockingParams, MixGemmConfig
+from repro.core.packcache import PackingCache
+from repro.core.parallel import ParallelMixGemm
+
+pytestmark = pytest.mark.slow
+
+THREADS = 8
+ITERATIONS = 4
+CORES = 2
+SMALL = BlockingParams(mc=8, nc=8, kc=64)
+
+
+def test_shared_cache_hammer_bit_exact_and_exactly_once():
+    cfg = MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL)
+    cache = PackingCache(capacity=256)
+    rng = np.random.default_rng(7)
+    a = rng.integers(-8, 8, size=(8, 96))
+    b = rng.integers(-8, 8, size=(96, 32))
+    expected = a.astype(np.int64) @ b
+
+    barrier = threading.Barrier(THREADS)
+    mismatches: list[int] = []
+    errors: list[BaseException] = []
+
+    def hammer(idx: int) -> None:
+        # Executors are stateful, so each client owns its own bank;
+        # only the PackingCache is shared -- that is the contended
+        # object under test.
+        executor = ParallelMixGemm(cfg, cores=CORES, backend="event",
+                                   pack_cache=cache)
+        try:
+            barrier.wait(timeout=30)
+            for _ in range(ITERATIONS):
+                result = executor.gemm(a, b)
+                if not np.array_equal(result.c, expected):
+                    mismatches.append(idx)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    clients = [threading.Thread(target=hammer, args=(idx,))
+               for idx in range(THREADS)]
+    for client in clients:
+        client.start()
+    for client in clients:
+        client.join(timeout=120)
+    assert not any(client.is_alive() for client in clients)
+    assert errors == []
+    assert mismatches == []
+
+    # Distinct keys: one packed A + one packed B per N-slice.
+    distinct = 1 + CORES
+    assert len(cache) == distinct
+    assert cache.stats.misses == distinct
+    # Each parallel gemm performs one A and one B lookup per core.
+    total_lookups = THREADS * ITERATIONS * CORES * 2
+    assert cache.stats.hits + cache.stats.misses == total_lookups
+    assert cache.stats.evictions == 0
