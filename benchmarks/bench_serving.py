@@ -11,8 +11,15 @@ not the modelled hardware:
    construction out of the hot path; the target is what remains.
 2. **Worker scaling** -- serving throughput of the batched
    multi-worker runtime (:mod:`repro.runtime.serving`) across worker
-   counts, demonstrating that plan replicas behind a shared packing
-   cache turn compilation into serving capacity.
+   counts (p50/p95/p99 latency and shed rate per row), demonstrating
+   that plan replicas behind a shared packing cache turn compilation
+   into serving capacity.
+3. **Overload behavior** -- the server driven at ~10x its sustained
+   capacity under the ``reject`` admission policy with per-request
+   deadlines.  The gate checks *graceful* degradation: queue depth
+   never exceeds the configured bound, the shed counters are non-zero
+   (admission control actually engaged), no future is lost, and the
+   p99 latency of admitted requests stays within 2x the deadline.
 
 Targets (recorded in ``BENCH_serving.json`` at the repo root):
 
@@ -40,7 +47,7 @@ import numpy as np
 from repro.models.builders import build_tiny
 from repro.nn.layers import seed_init
 from repro.runtime import InferenceEngine, compile_graph, export_model
-from repro.runtime.serving import scaling_sweep
+from repro.runtime.serving import BatchedServer, scaling_sweep
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 JSON_PATH = REPO_ROOT / "BENCH_serving.json"
@@ -111,6 +118,44 @@ def worker_scaling_study(graph, *, requests: int = 64, size: int = 12,
                          backend="mixgemm")
 
 
+def overload_study(graph, *, requests: int = 160, size: int = 12,
+                   seed: int = 2, workers: int = 2,
+                   queue_capacity: int = 8,
+                   deadline_ms: float = 500.0) -> dict:
+    """Drive the server far past capacity; record how it degrades.
+
+    ``requests`` is sized ~10x what ``workers * queue_capacity`` can
+    hold, submitted as one burst under the ``reject`` policy, so
+    admission control *must* engage for the run to stay bounded.
+    """
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal((1, size, size))
+              for _ in range(requests)]
+    with BatchedServer(graph, workers=workers, max_batch=4,
+                       max_wait_ms=1.0, queue_capacity=queue_capacity,
+                       admission="reject",
+                       backend="mixgemm") as server:
+        report = server.run_requests(inputs, deadline_ms=deadline_ms,
+                                     tolerate_overload=True)
+    s = report.stats
+    # "Zero lost futures": every submitted slot resolved to exactly one
+    # of a response or a structured overload error.
+    resolved = sum((r is not None) != (e is not None)
+                   for r, e in zip(report.responses, report.errors))
+    return {
+        "requests": requests, "workers": workers,
+        "queue_capacity": queue_capacity, "deadline_ms": deadline_ms,
+        "admission": "reject",
+        "served": s.served, "shed_total": s.shed_total,
+        "shed_rate": s.shed_rate, "rejected": s.rejected,
+        "shed_deadline": s.shed_deadline,
+        "max_queue_depth": s.max_queue_depth,
+        "latency_p99_ms": s.latency_p99_ms,
+        "resolved": resolved,
+        "lost_futures": requests - resolved,
+    }
+
+
 def run_suite(*, repeats: int = 20, requests: int = 64,
               smoke: bool = False) -> dict:
     """Assemble the full payload written to ``BENCH_serving.json``."""
@@ -120,8 +165,11 @@ def run_suite(*, repeats: int = 20, requests: int = 64,
     if smoke:
         scaling = worker_scaling_study(graph, requests=requests // 2,
                                        worker_counts=(1, 2))
+        overload = overload_study(graph, requests=80, workers=1,
+                                  queue_capacity=4)
     else:
         scaling = worker_scaling_study(graph, requests=requests)
+        overload = overload_study(graph)
     headline = compiled[0]
     return {
         "generated_by": "benchmarks/bench_serving.py",
@@ -134,6 +182,7 @@ def run_suite(*, repeats: int = 20, requests: int = 64,
         "targets": TARGETS,
         "compiled": compiled,
         "worker_scaling": scaling,
+        "overload": overload,
         "headline": headline,
         "all_exact": all(r["bit_exact"] and r["cycles_equal"]
                          for r in compiled),
@@ -158,13 +207,24 @@ def render(payload: dict) -> str:
     lines += [
         "",
         f"{'workers':>8} {'req/s':>9} {'p50 ms':>8} {'p95 ms':>8} "
-        f"{'mean batch':>11}",
+        f"{'p99 ms':>8} {'shed':>6} {'mean batch':>11}",
     ]
     for r in payload["worker_scaling"]:
         lines.append(
             f"{r['workers']:>8} {r['throughput_rps']:9.0f} "
             f"{r['latency_p50_ms']:8.2f} {r['latency_p95_ms']:8.2f} "
+            f"{r['latency_p99_ms']:8.2f} {r['shed_rate']:6.1%} "
             f"{r['mean_batch_size']:11.2f}")
+    o = payload["overload"]
+    lines += [
+        "",
+        f"overload @ ~10x capacity ({o['admission']}, queue "
+        f"{o['queue_capacity']}, deadline {o['deadline_ms']:.0f} ms): "
+        f"served {o['served']}/{o['requests']}, shed {o['shed_total']} "
+        f"({o['shed_rate']:.0%}), max depth {o['max_queue_depth']}, "
+        f"admitted p99 {o['latency_p99_ms']:.1f} ms, lost futures "
+        f"{o['lost_futures']}",
+    ]
     if payload["host_cpus"] == 1:
         lines.append(
             "(single-CPU host: worker rows measure batching overhead, "
@@ -194,6 +254,28 @@ def check_gate(payload: dict, min_speedup: float) -> list:
             f"the {min_speedup:.1f}x gate")
     if not payload["worker_scaling"]:
         problems.append("no worker-scaling rows measured")
+    problems.extend(check_overload_gate(payload["overload"]))
+    return problems
+
+
+def check_overload_gate(o: dict) -> list:
+    """Graceful-degradation gate for the ~10x-capacity overload run."""
+    problems = []
+    if o["lost_futures"] != 0:
+        problems.append(
+            f"{o['lost_futures']} futures lost under overload")
+    if o["shed_total"] == 0:
+        problems.append(
+            "overload run shed nothing: admission control never "
+            "engaged at 10x capacity")
+    if o["max_queue_depth"] > o["queue_capacity"]:
+        problems.append(
+            f"queue depth {o['max_queue_depth']} exceeded the "
+            f"configured bound {o['queue_capacity']}")
+    if o["served"] and o["latency_p99_ms"] > 2 * o["deadline_ms"]:
+        problems.append(
+            f"admitted p99 {o['latency_p99_ms']:.1f} ms exceeds 2x "
+            f"the {o['deadline_ms']:.0f} ms deadline")
     return problems
 
 
@@ -204,6 +286,15 @@ def test_serving_smoke(save_result):
     payload = run_suite(smoke=True, repeats=10, requests=32)
     save_result("serving", render(payload))
     assert check_gate(payload, TARGETS["smoke_gate"]) == []
+
+
+def test_overload_smoke(save_result):
+    """CI overload-smoke gate: ~10x capacity must degrade gracefully
+    (bounded queue depth, non-zero shed counters, zero lost futures)."""
+    graph = _resnet_graph()
+    o = overload_study(graph, requests=120, workers=2, queue_capacity=6)
+    save_result("overload", json.dumps(o, indent=2))
+    assert check_overload_gate(o) == []
 
 
 # -- standalone entry point ---------------------------------------------------

@@ -32,7 +32,12 @@ hoisted out of the per-call hot path):
   grandfathered lock owners (``core/packcache.py``,
   ``runtime/serving.py``): production locks come from
   ``repro.core.locks.make_lock``/``make_rlock`` so the concurrency
-  sanitizer (``repro serve --sanitize``) can wrap and trace them.
+  sanitizer (``repro serve --sanitize``) can wrap and trace them;
+* **REP009** -- every ``queue.Queue()`` under ``runtime/`` must pass an
+  explicit positive ``maxsize``, and ``queue.SimpleQueue()`` (always
+  unbounded) is banned there outright: the serving stack promises
+  bounded memory under overload (``docs/robustness.md``), and an
+  unbounded queue silently voids admission control.
 
 Suppress a finding with a trailing ``# repro: noqa`` (everything on the
 line) or ``# repro: noqa REP003`` / ``REP003,REP005`` (those rules).
@@ -60,6 +65,7 @@ LINT_RULES: dict[str, str] = {
     "REP006": "direct MicroEngine.push_pair call outside core/",
     "REP007": "weight quantize() inside an engine per-call op handler",
     "REP008": "bare threading.Lock()/RLock() outside the lock factory",
+    "REP009": "unbounded queue construction in the serving runtime",
     "REP000": "lint target is not parseable Python",
 }
 
@@ -185,8 +191,13 @@ class RepoInvariantVisitor(ast.NodeVisitor):
         self._test_file = is_test_path(path) if path else False
         self._core_file = "core" in Path(path).parts if path else False
         self._lock_factory = posix.endswith(LOCK_FACTORY_SUFFIXES)
+        self._runtime_file = ("runtime" in Path(path).parts
+                              if path else False)
         #: Local names bound to threading.Lock/RLock by imports.
         self._lock_aliases: set[str] = set()
+        #: Local names bound to queue.Queue/SimpleQueue by imports
+        #: (REP009), mapped back to the canonical class name.
+        self._queue_aliases: dict[str, str] = {}
         #: Stack of ``returns -> float`` flags for enclosing functions.
         self._float_ok: list[bool] = []
         #: Stack of enclosing class names (REP007 scoping).
@@ -239,6 +250,12 @@ class RepoInvariantVisitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in ("Lock", "RLock"):
                     self._lock_aliases.add(alias.asname or alias.name)
+        if node.module == "queue":
+            for alias in node.names:
+                if alias.name in ("Queue", "SimpleQueue", "LifoQueue",
+                                  "PriorityQueue"):
+                    self._queue_aliases[alias.asname or alias.name] = \
+                        alias.name
         self.generic_visit(node)
 
     def _check_lock_construction(self, node: ast.Call) -> None:
@@ -255,6 +272,49 @@ class RepoInvariantVisitor(ast.NodeVisitor):
                      "'repro serve --sanitize' can wrap the lock",
             )
 
+    # -- REP009 ------------------------------------------------------
+
+    def _check_queue_construction(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        cls = ""
+        if name.startswith("queue.") and name.count(".") == 1:
+            cls = name.split(".", 1)[1]
+        elif isinstance(node.func, ast.Name):
+            cls = self._queue_aliases.get(node.func.id, "")
+        if cls == "SimpleQueue":
+            self._emit(
+                "REP009", node,
+                "SimpleQueue cannot be bounded; the serving runtime "
+                "requires bounded queues",
+                hint="use queue.Queue(maxsize=...) so overload hits "
+                     "admission control instead of growing memory",
+            )
+            return
+        if cls not in ("Queue", "LifoQueue", "PriorityQueue"):
+            return
+        maxsize: ast.AST | None = node.args[0] if node.args else None
+        if maxsize is None:
+            for kw in node.keywords:
+                if kw.arg == "maxsize":
+                    maxsize = kw.value
+        if maxsize is None:
+            self._emit(
+                "REP009", node,
+                f"{cls}() without an explicit maxsize is unbounded",
+                hint="pass maxsize=<bound> (queue growth under overload "
+                     "must hit admission control, not memory)",
+            )
+            return
+        if isinstance(maxsize, ast.Constant) \
+                and isinstance(maxsize.value, int) \
+                and maxsize.value <= 0:
+            self._emit(
+                "REP009", node,
+                f"{cls}(maxsize={maxsize.value}) disables the bound "
+                f"(stdlib treats <= 0 as infinite)",
+                hint="pass a positive maxsize",
+            )
+
     # -- REP002 ------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -262,6 +322,8 @@ class RepoInvariantVisitor(ast.NodeVisitor):
             self._check_rng_call(node)
         if not self._test_file and not self._lock_factory:
             self._check_lock_construction(node)
+        if self._runtime_file and not self._test_file:
+            self._check_queue_construction(node)
         if (not self._test_file and not self._core_file
                 and isinstance(node.func, ast.Attribute)
                 and node.func.attr == "push_pair"):

@@ -157,7 +157,8 @@ def annotated_targets() -> list[str]:
     root = Path(repro.__file__).parent
     return [str(root / "core" / "packcache.py"),
             str(root / "core" / "parallel.py"),
-            str(root / "runtime" / "serving.py")]
+            str(root / "runtime" / "serving.py"),
+            str(root / "runtime" / "overload.py")]
 
 
 __all__ = [

@@ -302,11 +302,13 @@ def default_watch_classes() -> dict[str, type]:
     """The annotated serving-stack classes, imported lazily."""
     from repro.core.packcache import PackingCache
     from repro.core.parallel import ParallelMixGemm
+    from repro.runtime.overload import CircuitBreaker
     from repro.runtime.serving import BatchedServer
 
     return {"PackingCache": PackingCache,
             "ParallelMixGemm": ParallelMixGemm,
-            "BatchedServer": BatchedServer}
+            "BatchedServer": BatchedServer,
+            "CircuitBreaker": CircuitBreaker}
 
 
 @contextmanager

@@ -134,10 +134,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         with BatchedServer(graph, workers=args.workers,
                            max_batch=args.max_batch,
                            max_wait_ms=args.max_wait_ms,
+                           queue_capacity=args.queue_capacity,
+                           admission=args.admission,
+                           admission_timeout_ms=args.admission_timeout_ms,
                            compiled=not args.uncompiled,
                            backend="mixgemm",
                            gemm_backend=args.backend) as server:
-            return server.run_requests(inputs)
+            deadline = args.deadline_ms if args.deadline_ms > 0 else None
+            return server.run_requests(inputs, deadline_ms=deadline,
+                                       tolerate_overload=True)
 
     check = None
     if args.sanitize:
@@ -156,8 +161,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         report = serve_once()
     s = report.stats
     mode = "compiled plans" if report.compiled else "uncompiled engines"
-    print(f"served {s.requests} requests in {s.seconds:.3f}s on "
-          f"{report.workers} workers ({mode}, max batch "
+    print(f"served {s.served}/{s.requests} requests in {s.seconds:.3f}s "
+          f"on {report.workers} workers ({mode}, max batch "
           f"{report.max_batch})")
     print(f"throughput: {s.throughput_rps:.1f} req/s, "
           f"{s.batches} batches, mean batch {s.mean_batch_size:.2f}")
@@ -167,7 +172,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"batch histogram: "
           + ", ".join(f"{k}x{v}" for k, v
                       in sorted(s.batch_histogram.items())))
-    print(f"max queue depth: {s.max_queue_depth}")
+    print(f"admission: {s.admission} (queue capacity "
+          f"{s.queue_capacity}), max queue depth: {s.max_queue_depth}")
+    print(f"overload: shed_rate={s.shed_rate:.1%} "
+          f"(deadline={s.shed_deadline} capacity={s.shed_capacity} "
+          f"rejected={s.rejected} timeouts={s.admit_timeouts} "
+          f"cancelled={s.cancelled} closed={s.shed_closed})")
+    print(f"breaker: {s.breaker_state} (trips={s.breaker_trips}, "
+          f"degraded responses={s.degraded_responses})")
     if check is not None:
         print(check.render())
         if not check.ok:
@@ -414,6 +426,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-wait-ms", type=float, default=2.0,
                    dest="max_wait_ms",
                    help="micro-batcher deadline window")
+    p.add_argument("--queue-capacity", type=int, default=64,
+                   dest="queue_capacity",
+                   help="bound on the admission queue")
+    p.add_argument("--admission", default="block",
+                   choices=("block", "reject", "shed-oldest"),
+                   help="what a full queue does to new submissions")
+    p.add_argument("--admission-timeout-ms", type=float, default=1000.0,
+                   dest="admission_timeout_ms",
+                   help="how long a blocked submit waits for a slot")
+    p.add_argument("--deadline-ms", type=float, default=0.0,
+                   dest="deadline_ms",
+                   help="per-request deadline (0 = none); expired "
+                        "requests are shed before execution")
     p.add_argument("--size", type=int, default=6)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--backend", default="auto",

@@ -17,8 +17,10 @@ This package makes the reproduction's reliability *testable*:
 """
 
 from .errors import (
+    OVERLOAD_REASONS,
     FaultPlanError,
     GuardError,
+    OverloadError,
     ReliabilityWarning,
     ReproError,
 )
@@ -46,6 +48,7 @@ from .guards import (
     packed_checksum,
 )
 from .recovery import (
+    BreakerPolicy,
     FaultEvent,
     RecoveryPolicy,
     ReliabilityStats,
@@ -55,6 +58,8 @@ from .recovery import (
 __all__ = [
     "FaultPlanError",
     "GuardError",
+    "OVERLOAD_REASONS",
+    "OverloadError",
     "ReliabilityWarning",
     "ReproError",
     "FAULT_SITES",
@@ -76,6 +81,7 @@ __all__ = [
     "guard_rank",
     "measure_guard_overhead",
     "packed_checksum",
+    "BreakerPolicy",
     "FaultEvent",
     "RecoveryPolicy",
     "ReliabilityStats",

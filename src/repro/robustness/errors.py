@@ -32,9 +32,48 @@ class ReliabilityWarning(UserWarning):
     reference backend after retries were exhausted."""
 
 
+#: Reasons an :class:`OverloadError` can carry, and what each means for
+#: the caller.  ``queue-full`` / ``admission-timeout`` are raised
+#: synchronously from ``submit()``; the rest resolve a request's future
+#: after admission.
+OVERLOAD_REASONS = (
+    "queue-full",          # reject policy: bounded queue is full
+    "admission-timeout",   # block policy: queue stayed full past timeout
+    "deadline",            # per-request deadline expired before execution
+    "shed",                # shed-oldest policy evicted this request
+    "cancelled",           # client cancelled the request before execution
+    "closed",              # request raced a server shutdown
+)
+
+
+class OverloadError(ReproError, RuntimeError):
+    """A request was refused or shed by serving overload protection.
+
+    Structured so clients can react per ``reason`` (retry with backoff
+    on ``queue-full``, give up on ``deadline``, ...).  ``queue_depth``
+    is the bounded queue's occupancy when the decision was taken;
+    ``deadline_ms`` echoes the request's deadline when the reason is
+    deadline expiry.
+    """
+
+    def __init__(self, message: str, *, reason: str,
+                 queue_depth: int | None = None,
+                 deadline_ms: float | None = None) -> None:
+        if reason not in OVERLOAD_REASONS:
+            raise ValueError(
+                f"unknown overload reason {reason!r}; choose from "
+                f"{OVERLOAD_REASONS}")
+        super().__init__(message)
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.deadline_ms = deadline_ms
+
+
 __all__ = [
     "ReproError",
     "GuardError",
     "FaultPlanError",
+    "OverloadError",
+    "OVERLOAD_REASONS",
     "ReliabilityWarning",
 ]

@@ -64,6 +64,39 @@ class RecoveryPolicy:
             raise ValueError("max_retries cannot be negative")
 
 
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When the serving circuit breaker trips and how it recovers.
+
+    The breaker watches per-batch :class:`FaultEvent` records coming out
+    of guarded inference runs: ``failure_threshold`` *consecutive*
+    faulty batches open the circuit, after which the worker pool serves
+    from the clean numpy reference backend (responses carry degraded
+    metadata) instead of hammering a datapath that keeps tripping its
+    guards.  After ``cooldown_s`` the breaker goes half-open and lets a
+    single probe batch through the primary backend: a clean probe closes
+    the circuit, a faulty one re-opens it with the cooldown multiplied
+    by ``backoff`` (capped at ``max_cooldown_s``) -- classic exponential
+    backoff so a persistently faulty deployment converges to rare,
+    cheap probes.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 0.25
+    backoff: float = 2.0
+    max_cooldown_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        if self.max_cooldown_s < self.cooldown_s:
+            raise ValueError("max_cooldown_s must be >= cooldown_s")
+
+
 class ShadowVerifier:
     """Cross-checks a simulated layer output against the reference.
 

@@ -10,10 +10,26 @@ from .graph import (
     NodeSpec,
     export_sequential,
 )
+from .async_client import AsyncInferenceClient
+from .overload import (
+    ADMISSION_POLICIES,
+    AdmissionQueue,
+    CircuitBreaker,
+)
 from .plan import GraphPlan, PlanInfo, compile_graph
-from .serving import BatchedServer, ServingReport, ServingStats
+from .serving import (
+    BatchedServer,
+    ServedResponse,
+    ServingError,
+    ServingReport,
+    ServingStats,
+)
 
 __all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionQueue",
+    "AsyncInferenceClient",
+    "CircuitBreaker",
     "InferenceEngine",
     "InferenceResult",
     "LayerStats",
@@ -29,6 +45,8 @@ __all__ = [
     "PlanInfo",
     "compile_graph",
     "BatchedServer",
+    "ServedResponse",
+    "ServingError",
     "ServingReport",
     "ServingStats",
 ]

@@ -1,0 +1,265 @@
+"""Overload protection for the serving runtime: admission + breaker.
+
+The ROADMAP's million-user story needs *graceful degradation*, not just
+concurrency: an unbounded request queue turns sustained overload into
+unbounded memory growth and unbounded latency, and a faulty datapath
+turns every batch into a retry storm.  This module supplies the two
+mechanisms :class:`~repro.runtime.serving.BatchedServer` composes:
+
+* :class:`AdmissionQueue` -- a **bounded** request queue with a
+  configurable full-queue policy:
+
+  - ``"block"``: the submitting thread waits up to a timeout for a
+    slot, then receives a structured
+    :class:`~repro.robustness.errors.OverloadError` (reason
+    ``admission-timeout``);
+  - ``"reject"``: a full queue refuses immediately (``queue-full``) --
+    the right policy for latency-sensitive clients that would rather
+    retry elsewhere than wait;
+  - ``"shed-oldest"``: the oldest queued request is evicted (its future
+    resolves with reason ``shed``) and the new one admitted -- the
+    right policy when fresh requests are worth more than stale ones
+    (their deadlines are further away).
+
+* :class:`CircuitBreaker` -- a closed / open / half-open state machine
+  over per-batch fault observations.  Repeated guarded-run failures
+  (shadow-verification mismatches, guard trips) open the circuit; while
+  open, the server degrades batches to the clean numpy reference
+  backend instead of burning retries in the simulated datapath.  After
+  an exponentially backed-off cooldown a single half-open *probe* batch
+  tests the primary backend again; a clean probe closes the circuit.
+
+Both classes are annotated for ``repro check --concurrency`` and traced
+by the runtime lock sanitizer: the breaker's mutable state is guarded
+by a factory lock, and the admission queue delegates its synchronization
+to ``queue.Queue`` (whose bound the REP009 lint rule enforces for every
+queue constructed under ``runtime/``).
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Any, Callable, Optional
+
+from repro.core.locks import make_lock
+from repro.robustness.errors import OverloadError
+from repro.robustness.recovery import BreakerPolicy
+
+#: Full-queue policies :class:`AdmissionQueue` understands.
+ADMISSION_POLICIES = ("block", "reject", "shed-oldest")
+
+#: Routing decisions :meth:`CircuitBreaker.route` can return.
+BREAKER_ROUTES = ("primary", "reference", "probe")
+
+
+class AdmissionQueue:
+    """Bounded FIFO with an explicit full-queue admission policy.
+
+    Thin, policy-bearing wrapper around ``queue.Queue(maxsize=...)`` --
+    the underlying queue supplies the locking, this class supplies the
+    decision of *what happens when the bound is hit*.  ``on_shed`` is
+    invoked (from the submitting thread) with every item the
+    ``shed-oldest`` policy evicts; the caller owns resolving that
+    item's future.  ``sentinel`` identifies the shutdown marker so an
+    eviction can never swallow it.
+    """
+
+    def __init__(self, capacity: int, *, policy: str = "block",
+                 timeout_s: float = 1.0,
+                 on_shed: Optional[Callable[[Any], None]] = None,
+                 sentinel: Any = None) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {policy!r}; choose from "
+                f"{ADMISSION_POLICIES}")
+        if timeout_s < 0:
+            raise ValueError(f"timeout_s must be >= 0, got {timeout_s}")
+        self.capacity = capacity
+        self.policy = policy
+        self.timeout_s = timeout_s
+        self._on_shed = on_shed
+        self._sentinel = sentinel
+        self._q: queue.Queue = queue.Queue(maxsize=capacity)
+
+    def put(self, item: Any) -> None:
+        """Admit ``item`` or raise :class:`OverloadError` per policy."""
+        if self.policy == "reject":
+            try:
+                self._q.put_nowait(item)
+            except queue.Full:
+                raise OverloadError(
+                    f"request rejected: admission queue is full "
+                    f"({self.capacity} queued)",
+                    reason="queue-full",
+                    queue_depth=self.capacity) from None
+            return
+        if self.policy == "block":
+            try:
+                self._q.put(item, timeout=self.timeout_s)
+            except queue.Full:
+                raise OverloadError(
+                    f"request timed out after {self.timeout_s * 1000:.0f}"
+                    f" ms waiting for a queue slot "
+                    f"({self.capacity} queued)",
+                    reason="admission-timeout",
+                    queue_depth=self.capacity) from None
+            return
+        # shed-oldest: evict from the head until the new item fits.
+        while True:
+            try:
+                self._q.put_nowait(item)
+                return
+            except queue.Full:
+                pass
+            try:
+                oldest = self._q.get_nowait()
+            except queue.Empty:
+                continue  # raced another producer; retry the put
+            if oldest is self._sentinel and self._sentinel is not None:
+                # Never evict the shutdown marker: put it back (we just
+                # freed its slot) and refuse the late submission.
+                self._q.put_nowait(oldest)
+                raise OverloadError(
+                    "request raced server shutdown", reason="closed",
+                    queue_depth=self.qsize())
+            if self._on_shed is not None:
+                self._on_shed(oldest)
+
+    def put_sentinel(self, item: Any) -> None:
+        """Enqueue the shutdown marker, waiting for a slot if needed.
+
+        The consumer is guaranteed to be draining (it only exits after
+        seeing the sentinel), so an unbounded wait here always ends.
+        """
+        self._q.put(item)
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        """Pop the next item; raises ``queue.Empty`` on timeout."""
+        if timeout is None:
+            return self._q.get()
+        return self._q.get(timeout=timeout)
+
+    def get_nowait(self) -> Any:
+        return self._q.get_nowait()
+
+    def qsize(self) -> int:
+        return self._q.qsize()
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over batch fault observations.
+
+    ``route()`` is consulted once per batch and returns where to run it
+    (``primary`` backend, degraded ``reference`` backend, or a
+    half-open ``probe`` of the primary); ``record()`` feeds back whether
+    the batch's inference run reported fault events.  All state
+    transitions happen under one factory lock so worker threads can
+    consult the breaker concurrently; ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(self, policy: Optional[BreakerPolicy] = None, *,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy if policy is not None else BreakerPolicy()
+        self._clock = clock
+        self._lock = make_lock("CircuitBreaker._lock")
+        self._state = "closed"      # repro: guarded-by(_lock)
+        self._failures = 0          # repro: guarded-by(_lock)
+        self._trips = 0             # repro: guarded-by(_lock)
+        self._cooldown_s = self.policy.cooldown_s  # repro: guarded-by(_lock)
+        self._opened_at = 0.0       # repro: guarded-by(_lock)
+        self._probing = False       # repro: guarded-by(_lock)
+
+    # -- routing --------------------------------------------------------------
+
+    def route(self) -> str:
+        """Decide where the next batch runs (one of BREAKER_ROUTES)."""
+        with self._lock:
+            if self._state == "closed":
+                return "primary"
+            if (self._state == "open"
+                    and self._clock() - self._opened_at
+                    >= self._cooldown_s):
+                self._state = "half-open"
+            if self._state == "half-open" and not self._probing:
+                self._probing = True
+                return "probe"
+            return "reference"
+
+    def record(self, faulty: bool, *, probe: bool = False) -> None:
+        """Feed back one batch outcome (``probe`` for probe batches)."""
+        with self._lock:
+            if probe:
+                self._probing = False
+                if faulty:
+                    self._trip()
+                else:
+                    self._state = "closed"
+                    self._failures = 0
+                    self._cooldown_s = self.policy.cooldown_s
+                return
+            if not faulty:
+                self._failures = 0
+                return
+            self._failures += 1
+            if (self._state == "closed"
+                    and self._failures >= self.policy.failure_threshold):
+                self._trip()
+
+    def cancel_probe(self) -> None:
+        """Release the half-open probe slot without an observation
+        (the probe batch was shed before it could execute)."""
+        with self._lock:
+            self._probing = False
+
+    def _trip(self) -> None:
+        """Open the circuit; repeated trips back the cooldown off
+        exponentially.  Callers hold ``_lock``."""
+        if self._trips > 0:
+            self._cooldown_s = min(
+                self._cooldown_s * self.policy.backoff,
+                self.policy.max_cooldown_s)
+        self._trips += 1
+        self._failures = 0
+        self._state = "open"
+        self._opened_at = self._clock()
+
+    # -- observability --------------------------------------------------------
+
+    def state(self) -> str:
+        """Current state, advancing ``open -> half-open`` on cooldown
+        expiry so observers see what ``route()`` would act on."""
+        with self._lock:
+            if (self._state == "open"
+                    and self._clock() - self._opened_at
+                    >= self._cooldown_s):
+                self._state = "half-open"
+            return self._state
+
+    @property
+    def trips(self) -> int:
+        with self._lock:
+            return self._trips
+
+    def snapshot(self) -> dict:
+        """Structured view for stats/CLI reporting."""
+        with self._lock:
+            return {
+                "state": self._state,
+                "trips": self._trips,
+                "consecutive_failures": self._failures,
+                "cooldown_s": self._cooldown_s,
+            }
+
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionQueue",
+    "BREAKER_ROUTES",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "OverloadError",
+]

@@ -1,4 +1,4 @@
-"""REP001-REP007 linter: every rule fires, every rule suppresses."""
+"""REP001-REP009 linter: every rule fires, every rule suppresses."""
 
 import textwrap
 from pathlib import Path
@@ -292,6 +292,59 @@ class TestRep008:
     def test_suppressed(self):
         src = "lock = threading.Lock()  # repro: noqa REP008\n"
         assert rules(src) == []
+
+
+RUNTIME_PATH = "src/repro/runtime/mod.py"
+
+
+class TestRep009:
+    def test_unbounded_queue_flagged(self):
+        assert rules("q = queue.Queue()\n",
+                     path=RUNTIME_PATH) == ["REP009"]
+
+    def test_simple_queue_flagged(self):
+        assert rules("q = queue.SimpleQueue()\n",
+                     path=RUNTIME_PATH) == ["REP009"]
+
+    def test_imported_names_flagged(self):
+        src = ("from queue import Queue, SimpleQueue\n"
+               "a = Queue()\n"
+               "b = SimpleQueue()\n")
+        assert rules(src, path=RUNTIME_PATH) == ["REP009", "REP009"]
+
+    def test_aliased_import_flagged(self):
+        src = "from queue import Queue as Q\nq = Q()\n"
+        assert rules(src, path=RUNTIME_PATH) == ["REP009"]
+
+    def test_zero_maxsize_flagged(self):
+        # The stdlib treats maxsize <= 0 as "infinite", which silently
+        # voids the bound the rule exists to guarantee.
+        assert rules("q = queue.Queue(maxsize=0)\n",
+                     path=RUNTIME_PATH) == ["REP009"]
+        assert rules("q = queue.Queue(0)\n",
+                     path=RUNTIME_PATH) == ["REP009"]
+
+    def test_explicit_maxsize_passes(self):
+        src = ("a = queue.Queue(maxsize=8)\n"
+               "b = queue.Queue(capacity)\n"
+               "c = queue.LifoQueue(maxsize=4)\n")
+        assert rules(src, path=RUNTIME_PATH) == []
+
+    def test_rule_scoped_to_runtime(self):
+        assert rules("q = queue.Queue()\n",
+                     path="src/repro/core/mod.py") == []
+
+    def test_tests_exempt(self):
+        assert rules("q = queue.Queue()\n",
+                     path="tests/runtime/test_x.py") == []
+
+    def test_hint_steers_to_admission_control(self):
+        diags = lint_source("q = queue.Queue()\n", RUNTIME_PATH)
+        assert "admission control" in diags[0].hint
+
+    def test_suppressed(self):
+        src = "q = queue.Queue()  # repro: noqa REP009\n"
+        assert rules(src, path=RUNTIME_PATH) == []
 
 
 class TestNoqaEngine:

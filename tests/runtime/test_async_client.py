@@ -1,0 +1,131 @@
+"""AsyncInferenceClient: event-loop bridging, backpressure, cancellation."""
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.robustness.errors import OverloadError
+from repro.robustness.faults import demo_graph
+from repro.runtime.async_client import AsyncInferenceClient
+from repro.runtime.serving import BatchedServer, ServedResponse
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return demo_graph()
+
+
+def _inputs(n, size=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((1, size, size)) for _ in range(n)]
+
+
+class TestSubmit:
+    def test_single_submit_resolves_response(self, graph):
+        async def main():
+            with BatchedServer(graph, workers=1) as server:
+                client = AsyncInferenceClient(server)
+                return await client.submit(_inputs(1)[0])
+
+        response = asyncio.run(main())
+        assert isinstance(response, ServedResponse)
+        assert response.output.shape == (3,)
+        assert response.latency_ms > 0
+
+    def test_results_match_sync_path(self, graph):
+        inputs = _inputs(6, seed=1)
+
+        async def main(server):
+            client = AsyncInferenceClient(server)
+            return await client.map(inputs)
+
+        with BatchedServer(graph, workers=2, max_batch=4) as server:
+            async_results = asyncio.run(main(server))
+            sync_report = server.run_requests(inputs)
+        for got, expected in zip(async_results, sync_report.outputs):
+            assert np.array_equal(got.output, expected)
+
+    def test_invalid_max_in_flight(self, graph):
+        with BatchedServer(graph, workers=1) as server:
+            with pytest.raises(ValueError):
+                AsyncInferenceClient(server, max_in_flight=0)
+
+
+class TestBackpressure:
+    def test_semaphore_bounds_in_flight(self, graph):
+        """With max_in_flight=2 every request still completes; the
+        semaphore serializes admission so a queue larger than the
+        client window is never needed."""
+        inputs = _inputs(12, seed=2)
+
+        async def main():
+            with BatchedServer(graph, workers=1, max_batch=2,
+                               queue_capacity=2,
+                               admission="reject") as server:
+                client = AsyncInferenceClient(server, max_in_flight=2)
+                return await client.map(inputs)
+
+        results = asyncio.run(main())
+        assert len(results) == 12
+        assert all(isinstance(r, ServedResponse) for r in results)
+
+    def test_overload_error_propagates(self, graph):
+        async def main(tolerate):
+            with BatchedServer(graph, workers=1, max_batch=1,
+                               max_wait_ms=0.0, queue_capacity=1,
+                               admission="reject") as server:
+                client = AsyncInferenceClient(server, max_in_flight=64)
+                return await client.map(_inputs(30, seed=3),
+                                        tolerate_overload=tolerate)
+
+        results = asyncio.run(main(True))
+        errors = [r for r in results if isinstance(r, OverloadError)]
+        served = [r for r in results if isinstance(r, ServedResponse)]
+        assert errors and served
+        assert all(e.reason == "queue-full" for e in errors)
+        with pytest.raises(OverloadError):
+            asyncio.run(main(False))
+
+
+class TestCancellation:
+    def test_cancelled_task_sheds_server_side(self, graph):
+        """Cancelling the awaiting coroutine cancels the underlying
+        server future, and the worker skips it without executing."""
+        release = threading.Event()
+
+        async def main(server):
+            client = AsyncInferenceClient(server)
+            blocker = asyncio.ensure_future(
+                client.submit(_inputs(1)[0]))
+            await asyncio.sleep(0.05)  # blocker reaches the worker
+            victim = asyncio.ensure_future(
+                client.submit(_inputs(1, seed=4)[0]))
+            await asyncio.sleep(0.05)  # victim queued behind blocker
+            victim.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await victim
+            release.set()
+            return await blocker
+
+        server = BatchedServer(graph, workers=1, max_batch=1,
+                               max_wait_ms=0.0)
+        hook_batches = []
+
+        def hook(route, live):
+            hook_batches.append(len(live))
+            release.wait(10)
+
+        server._batch_hook = hook
+        try:
+            response = asyncio.run(main(server))
+        finally:
+            release.set()
+            server.close()
+        assert response.output.shape == (3,)
+        snap = server.overload_snapshot()
+        assert snap["counters"].get("cancelled", 0) >= 1
+        # Only the blocker's batch ever reached a worker with live
+        # members: the cancelled request never spent a GEMM slot.
+        assert hook_batches == [1]

@@ -87,8 +87,12 @@ class TestCorrectness:
     def test_submit_future_api(self, graph):
         with BatchedServer(graph, workers=1) as server:
             future = server.submit(_inputs(1)[0])
-            out = future.result(timeout=30)
-        assert out.shape == (3,)
+            response = future.result(timeout=30)
+        assert response.output.shape == (3,)
+        assert response.latency_ms > 0
+        assert not response.degraded
+        assert response.breaker_state == "disabled"
+        assert response.warnings == ()
 
 
 class TestStats:
