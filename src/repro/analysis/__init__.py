@@ -1,6 +1,6 @@
 """Static analysis for the Mix-GEMM reproduction.
 
-Two cooperating layers, surfaced together through ``repro check``:
+Cooperating layers, surfaced together through ``repro check``:
 
 * **Contract checker** (:mod:`repro.analysis.contracts`) -- proves,
   over a deployment :class:`~repro.runtime.graph.GraphModel` plus a
@@ -9,9 +9,16 @@ Two cooperating layers, surfaced together through ``repro check``:
   the im2col-lowered K), deadlock in the Source Buffers, or trip over
   malformed quantization metadata -- without executing a single GEMM.
 * **Repo-invariant linter** (:mod:`repro.analysis.astlint`) -- an
-  ``ast``-level linter enforcing the REP001-REP005 house rules (error
+  ``ast``-level linter enforcing the REP001-REP010 house rules (error
   hierarchy, seeded RNG, integer-exact kernels, honest error handling,
-  unit-annotated cost models).
+  unit-annotated cost models, single-definition accumulator widths).
+* **Range analyzer** (:mod:`repro.analysis.ranges`) -- an abstract
+  interpreter propagating interval/affine domains through the graph
+  with exact runtime semantics (im2col lowering, per-kc-block
+  two's-complement wrap, fused activations), proving per-layer
+  accumulator requirements tighter than the Eq. 5 worst case,
+  verifying compiled plans preserve those ranges, and cross-checking
+  them against observed runtime extrema.
 
 Findings are :class:`~repro.analysis.diagnostics.Diagnostic` records
 collected into a :class:`~repro.analysis.diagnostics.DiagnosticReport`,
@@ -51,11 +58,27 @@ from repro.analysis.diagnostics import (
     WARNING,
     severity_rank,
 )
+from repro.analysis.ranges import (
+    RANGES_RULES,
+    RangeAnalysis,
+    analyze_graph,
+    check_ranges,
+    check_ranges_file,
+    crosscheck_ranges,
+    observing_ranges,
+    verify_graph_plans,
+    verify_plan,
+)
 from repro.analysis.sarif import to_sarif, to_sarif_json
 
-#: Every rule id ``repro check`` can emit.
-ALL_RULES: dict[str, str] = {**CONTRACT_RULES, **LINT_RULES,
-                             **CONC_RULES}
+#: Every rule id ``repro check`` can emit.  Later registries must not
+#: clobber earlier ones -- shared ids (``GRF-PARSE``) keep their first
+#: registration, matching the SARIF driver's dedup.
+ALL_RULES: dict[str, str] = {}
+for _registry in (CONTRACT_RULES, LINT_RULES, CONC_RULES, RANGES_RULES):
+    for _rid, _description in _registry.items():
+        ALL_RULES.setdefault(_rid, _description)
+del _registry, _rid, _description
 
 __all__ = [
     "ALL_RULES",
@@ -68,19 +91,28 @@ __all__ = [
     "ERROR",
     "INFO",
     "LINT_RULES",
+    "RANGES_RULES",
+    "RangeAnalysis",
     "SEVERITIES",
     "WARNING",
     "analyze_concurrency",
+    "analyze_graph",
     "check_concurrency",
     "check_config",
     "check_graph",
     "check_graph_file",
     "check_graph_structure",
     "check_overflow",
+    "check_ranges",
+    "check_ranges_file",
+    "crosscheck_ranges",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "observing_ranges",
     "severity_rank",
+    "verify_graph_plans",
+    "verify_plan",
     "to_sarif",
     "to_sarif_json",
 ]

@@ -37,7 +37,14 @@ hoisted out of the per-call hot path):
   explicit positive ``maxsize``, and ``queue.SimpleQueue()`` (always
   unbounded) is banned there outright: the serving stack promises
   bounded memory under overload (``docs/robustness.md``), and an
-  unbounded queue silently voids admission control.
+  unbounded queue silently voids admission control;
+* **REP010** -- no hard-coded accumulator widths outside
+  ``core/config.py``: integer literals passed as ``accmem_bits=``,
+  assigned to ``accmem_bits``-named variables/defaults, or compared
+  against ``accmem_bits``/``*_bits`` identifiers (the container width
+  64 in particular) bypass ``DEFAULT_ACCMEM_BITS`` /
+  ``ACCMEM_CONTAINER_BITS`` -- the range analyzer and the fast path
+  must agree on wrap semantics through those single definitions.
 
 Suppress a finding with a trailing ``# repro: noqa`` (everything on the
 line) or ``# repro: noqa REP003`` / ``REP003,REP005`` (those rules).
@@ -66,8 +73,14 @@ LINT_RULES: dict[str, str] = {
     "REP007": "weight quantize() inside an engine per-call op handler",
     "REP008": "bare threading.Lock()/RLock() outside the lock factory",
     "REP009": "unbounded queue construction in the serving runtime",
+    "REP010": "hard-coded accumulator width outside core/config.py",
     "REP000": "lint target is not parseable Python",
 }
+
+#: The one module allowed to spell accumulator widths as integer
+#: literals (REP010): it *defines* DEFAULT_ACCMEM_BITS and
+#: ACCMEM_CONTAINER_BITS and validates the legal range.
+ACCMEM_CONFIG_SUFFIXES = ("core/config.py",)
 
 #: Module path suffixes (POSIX form) allowed to construct raw locks
 #: (REP008): the factory itself, the sanitizer whose wrappers *are*
@@ -191,6 +204,7 @@ class RepoInvariantVisitor(ast.NodeVisitor):
         self._test_file = is_test_path(path) if path else False
         self._core_file = "core" in Path(path).parts if path else False
         self._lock_factory = posix.endswith(LOCK_FACTORY_SUFFIXES)
+        self._accmem_home = posix.endswith(ACCMEM_CONFIG_SUFFIXES)
         self._runtime_file = ("runtime" in Path(path).parts
                               if path else False)
         #: Local names bound to threading.Lock/RLock by imports.
@@ -315,11 +329,104 @@ class RepoInvariantVisitor(ast.NodeVisitor):
                 hint="pass a positive maxsize",
             )
 
+    # -- REP010 ------------------------------------------------------
+
+    @staticmethod
+    def _is_int_literal(node: ast.AST) -> bool:
+        return (isinstance(node, ast.Constant)
+                and isinstance(node.value, int)
+                and not isinstance(node.value, bool))
+
+    @property
+    def _rep010_active(self) -> bool:
+        return not self._test_file and not self._accmem_home
+
+    def _emit_accmem(self, node: ast.AST, message: str) -> None:
+        self._emit(
+            "REP010", node, message,
+            hint="import DEFAULT_ACCMEM_BITS / ACCMEM_CONTAINER_BITS "
+                 "from repro.core.config: the analyzer, fast path and "
+                 "plan compiler must agree on wrap widths through one "
+                 "definition",
+        )
+
+    def _check_accmem_keyword(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg == "accmem_bits" and self._is_int_literal(kw.value):
+                self._emit_accmem(
+                    kw.value,
+                    f"accmem_bits={kw.value.value} hard-codes the "
+                    f"accumulator width at a call site",
+                )
+
+    def _check_accmem_assign(self, target: ast.AST,
+                             value: ast.AST | None) -> None:
+        name = _dotted(target).rsplit(".", 1)[-1]
+        if name.lower().endswith("accmem_bits") and value is not None \
+                and self._is_int_literal(value):
+            self._emit_accmem(
+                value,
+                f"{name} = {value.value} hard-codes the accumulator "
+                f"width",
+            )
+
+    def _check_accmem_compare(self, node: ast.Compare) -> None:
+        sides = [node.left, *node.comparators]
+        names = [_dotted(s).rsplit(".", 1)[-1] for s in sides]
+        for side, name in zip(sides, names):
+            if not self._is_int_literal(side):
+                continue
+            for other in names:
+                if not other:
+                    continue
+                if other.lower().endswith("accmem_bits"):
+                    self._emit_accmem(
+                        node,
+                        f"comparing {other} against the literal "
+                        f"{side.value}",
+                    )
+                    return
+                if side.value == 64 and (
+                        other == "bits" or other.endswith("_bits")):
+                    self._emit_accmem(
+                        node,
+                        f"comparing {other} against the literal 64 "
+                        f"assumes the int64 container width",
+                    )
+                    return
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._rep010_active:
+            for target in node.targets:
+                self._check_accmem_assign(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._rep010_active:
+            self._check_accmem_assign(node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._rep010_active:
+            self._check_accmem_compare(node)
+        self.generic_visit(node)
+
+    def _check_accmem_defaults(self, node) -> None:
+        args = node.args
+        pos = args.posonlyargs + args.args
+        for arg, default in zip(pos[len(pos) - len(args.defaults):],
+                                args.defaults):
+            self._check_accmem_assign(ast.Name(id=arg.arg), default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            self._check_accmem_assign(ast.Name(id=arg.arg), default)
+
     # -- REP002 ------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         if not self._test_file:
             self._check_rng_call(node)
+        if self._rep010_active:
+            self._check_accmem_keyword(node)
         if not self._test_file and not self._lock_factory:
             self._check_lock_construction(node)
         if self._runtime_file and not self._test_file:
@@ -393,6 +500,8 @@ class RepoInvariantVisitor(ast.NodeVisitor):
         self._float_ok.append(self._returns_float(node))
         if self._cost_model:
             self._check_cost_model_docstring(node)
+        if self._rep010_active:
+            self._check_accmem_defaults(node)
         if (self._class_stack
                 and self._class_stack[-1] == "InferenceEngine"
                 and node.name.startswith("_op_")):

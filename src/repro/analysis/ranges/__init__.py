@@ -1,0 +1,75 @@
+"""Abstract-interpretation range analysis for quantized graphs.
+
+Propagates interval (and per-channel affine) domains through a model
+graph with the exact semantics of the mixgemm runtime -- im2col-aware
+quantized GEMM bounds, per-kc-block two's-complement wrap at
+``accmem_bits``, fused-activation transfer functions -- and builds
+three consumers on top:
+
+* :func:`analyze_graph` / :class:`RangeAnalysis` -- the per-layer
+  bounds table (derived ``accumulator_bits_required``, headroom vs the
+  Eq. 5 worst case, wrap reachability) for diagnostics and DSE;
+* :func:`check_ranges` / :func:`check_ranges_file` -- ``RANGE-*``
+  diagnostics for ``repro check --ranges``;
+* :func:`verify_plan` / :func:`verify_graph_plans` -- static
+  plan-equivalence proof that compiled plans preserve ranges;
+* :class:`RangeTrace` / :func:`crosscheck_ranges` -- the runtime
+  sanitizer tying observed extrema back to the proofs.
+"""
+
+from .analyzer import (
+    BlockBound,
+    GemmRangeRecord,
+    RangeAnalysis,
+    analyze_graph,
+)
+from .domain import (
+    AffineChannelMap,
+    TensorRange,
+    bits_required_interval,
+    signed_contributions,
+    silu_range,
+    wrap_interval,
+)
+from .passes import (
+    RANGES_RULES,
+    check_ranges,
+    check_ranges_file,
+    node_noqa_rules,
+    table_json,
+)
+from .plancheck import verify_graph_plans, verify_plan
+from .sanitizer import (
+    ObservedRange,
+    RangeCrosscheck,
+    RangeTrace,
+    RangeViolation,
+    crosscheck_ranges,
+    observing_ranges,
+)
+
+__all__ = [
+    "AffineChannelMap",
+    "BlockBound",
+    "GemmRangeRecord",
+    "ObservedRange",
+    "RANGES_RULES",
+    "RangeAnalysis",
+    "RangeCrosscheck",
+    "RangeTrace",
+    "RangeViolation",
+    "TensorRange",
+    "analyze_graph",
+    "bits_required_interval",
+    "check_ranges",
+    "check_ranges_file",
+    "crosscheck_ranges",
+    "node_noqa_rules",
+    "observing_ranges",
+    "signed_contributions",
+    "silu_range",
+    "table_json",
+    "verify_graph_plans",
+    "verify_plan",
+    "wrap_interval",
+]

@@ -1,0 +1,280 @@
+"""Abstract domains for the range analyzer: intervals and affine maps.
+
+Two domains, matched to what quantized inference actually computes:
+
+* :class:`TensorRange` -- a per-tensor interval ``[lo, hi]``, either one
+  scalar pair (shape ``()``) or one pair per channel (shape ``(C,)``).
+  Channel resolution is what makes conv bounds tight: per-channel weight
+  scales mean per-channel output magnitudes, and collapsing them to one
+  scalar forfeits most of the precision the analyzer exists to prove.
+* :class:`AffineChannelMap` -- a per-channel affine transform
+  ``y = scale * x + shift``.  Dequantization, bias addition and
+  batch-norm are all affine per channel, so conv -> BN -> scale chains
+  compose into a single exact map; the plan-equivalence verifier
+  compares the source graph's composed map against what a compiled
+  plan's epilogue actually bakes.
+
+Soundness convention: every transfer helper here evaluates the *same
+numpy expression the runtime evaluates*, on the interval endpoints, and
+takes the elementwise min/max.  For per-element monotone (or per-element
+affine) functions this is the exact interval image -- and because
+rounding is monotone (``x <= y`` implies ``fl(x) <= fl(y)`` for every
+IEEE-754 rounding step the runtime performs), the bounds hold for the
+floating-point values the engine computes, not just the reals.  The one
+non-monotone activation in the op set, SiLU, gets a dedicated transfer
+with its global minimum widened outward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.diagnostics import AnalysisError
+
+#: SiLU's unique interior extremum: ``x * sigmoid(x)`` has one global
+#: minimum near ``x* = -1.27846``; the value is widened one ulp outward
+#: so the constant stays a sound lower bound for every float evaluation.
+_SILU_XMIN = -1.2784645427610738
+_SILU_MIN = float(np.nextafter(
+    _SILU_XMIN / (1.0 + np.exp(-_SILU_XMIN)), -np.inf))
+
+
+def _as_bound(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim > 1:
+        raise AnalysisError(
+            f"range bounds must be scalar or 1-D per-channel, got shape "
+            f"{arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class TensorRange:
+    """Interval ``[lo, hi]`` over one tensor, scalar or per-channel.
+
+    ``lo``/``hi`` are float64 arrays of identical shape: ``()`` for a
+    tensor-wide bound, ``(C,)`` for a bound per channel (axis 1 of an
+    NCHW tensor, or the feature axis of a 2-D tensor).  Infinities are
+    legal (the default model-input range is ``(-inf, inf)``); NaN is
+    not a bound.
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        lo = _as_bound(self.lo)
+        hi = _as_bound(self.hi)
+        if lo.shape != hi.shape:
+            raise AnalysisError(
+                f"range lo/hi shapes differ: {lo.shape} vs {hi.shape}")
+        if np.isnan(lo).any() or np.isnan(hi).any():
+            raise AnalysisError("NaN is not a valid range bound")
+        if (lo > hi).any():
+            raise AnalysisError("range has lo > hi")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    # -- constructors ------------------------------------------------
+
+    @staticmethod
+    def scalar(lo: float, hi: float) -> "TensorRange":
+        return TensorRange(np.float64(lo), np.float64(hi))
+
+    @staticmethod
+    def per_channel(lo, hi) -> "TensorRange":
+        return TensorRange(np.atleast_1d(np.asarray(lo, dtype=np.float64)),
+                           np.atleast_1d(np.asarray(hi, dtype=np.float64)))
+
+    # -- structure ---------------------------------------------------
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.lo.ndim == 0
+
+    @property
+    def channels(self) -> int | None:
+        """Channel count for per-channel ranges, ``None`` for scalar."""
+        return None if self.is_scalar else int(self.lo.size)
+
+    def collapse(self) -> "TensorRange":
+        """The scalar hull ``[min lo, max hi]`` (always sound)."""
+        if self.is_scalar:
+            return self
+        return TensorRange(self.lo.min(), self.hi.max())
+
+    def widen_to_include(self, value: float) -> "TensorRange":
+        """Smallest range containing both this one and ``value``."""
+        return TensorRange(np.minimum(self.lo, value),
+                           np.maximum(self.hi, value))
+
+    # -- queries -----------------------------------------------------
+
+    def contains_scalar(self, lo: float, hi: float,
+                        atol: float = 0.0) -> bool:
+        """Whether observed extrema ``[lo, hi]`` lie inside the hull."""
+        hull = self.collapse()
+        return bool(lo >= float(hull.lo) - atol
+                    and hi <= float(hull.hi) + atol)
+
+    def map_monotone(self, fn: Callable[[np.ndarray], np.ndarray]
+                     ) -> "TensorRange":
+        """Image under a per-element monotone (or affine) ``fn``.
+
+        Evaluates ``fn`` on both endpoint arrays and takes elementwise
+        min/max -- exact for monotone increasing, decreasing, and
+        per-element affine maps of either sign.
+        """
+        a = fn(self.lo)
+        b = fn(self.hi)
+        return TensorRange(np.minimum(a, b), np.maximum(a, b))
+
+    def __add__(self, other: "TensorRange") -> "TensorRange":
+        return TensorRange(self.lo + other.lo, self.hi + other.hi)
+
+    def mul(self, other: "TensorRange") -> "TensorRange":
+        """Interval product (four-corner rule, zero-safe)."""
+        with np.errstate(invalid="ignore"):
+            corners = [self.lo * other.lo, self.lo * other.hi,
+                       self.hi * other.lo, self.hi * other.hi]
+        # 0 * inf is NaN under IEEE rules but 0 under interval
+        # semantics (the factor *is* zero); repair those corners.
+        corners = [np.where(np.isnan(c), 0.0, c) for c in corners]
+        lo = np.minimum.reduce(corners)
+        hi = np.maximum.reduce(corners)
+        return TensorRange(lo, hi)
+
+
+def silu_range(r: TensorRange) -> TensorRange:
+    """Sound SiLU image: endpoints, plus the interior global minimum.
+
+    SiLU decreases on ``(-inf, x*)`` and increases after, so the max is
+    always at an endpoint; the min is the interior extremum whenever
+    the interval straddles ``x*``, else an endpoint.
+    """
+    from repro.runtime import ops
+
+    a = ops.silu(r.lo)
+    b = ops.silu(r.hi)
+    lo = np.minimum(a, b)
+    hi = np.maximum(a, b)
+    straddles = (r.lo <= _SILU_XMIN) & (r.hi >= _SILU_XMIN)
+    lo = np.where(straddles, np.minimum(lo, _SILU_MIN), lo)
+    return TensorRange(lo, hi)
+
+
+@dataclass(frozen=True)
+class AffineChannelMap:
+    """Per-channel affine transform ``y = scale * x + shift``.
+
+    ``scale``/``shift`` are scalars or ``(C,)`` vectors.  BN folding,
+    dequantization scales and bias addition are all instances; chains
+    compose exactly (no interval widening) via :meth:`then`.
+    """
+
+    scale: np.ndarray
+    shift: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scale",
+                           np.asarray(self.scale, dtype=np.float64))
+        object.__setattr__(self, "shift",
+                           np.asarray(self.shift, dtype=np.float64))
+
+    @staticmethod
+    def identity() -> "AffineChannelMap":
+        return AffineChannelMap(np.float64(1.0), np.float64(0.0))
+
+    def then(self, other: "AffineChannelMap") -> "AffineChannelMap":
+        """The composition ``other(self(x))``, still one affine map."""
+        return AffineChannelMap(other.scale * self.scale,
+                                other.scale * self.shift + other.shift)
+
+    def apply(self, r: TensorRange) -> TensorRange:
+        """Exact interval image (sign-aware per channel)."""
+        return r.map_monotone(lambda x: x * self.scale + self.shift)
+
+    def matches(self, other: "AffineChannelMap") -> bool:
+        """Bitwise equality -- the verifier's notion of 'same math'."""
+        return (np.array_equal(np.broadcast_arrays(self.scale,
+                                                   other.scale)[0],
+                               np.broadcast_arrays(self.scale,
+                                                   other.scale)[1])
+                and np.array_equal(*np.broadcast_arrays(self.shift,
+                                                        other.shift)))
+
+
+def signed_contributions(weights: np.ndarray, act_lo: np.ndarray,
+                         act_hi: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-(k, feature) bounds of ``w[k, f] * a_k``, ``a_k`` interval-free.
+
+    ``weights`` is the ``(K, F)`` GEMM B-panel; ``act_lo``/``act_hi``
+    bound each of the K A-operand entries (shape ``(K,)``).  The sign
+    split keeps ``0 * inf`` out of the arithmetic: a zero weight
+    contributes exactly zero whatever the activation does.
+    """
+    w = weights
+    lo_k = act_lo[:, None]
+    hi_k = act_hi[:, None]
+    with np.errstate(invalid="ignore"):
+        p_lo = w * lo_k
+        p_hi = w * hi_k
+    zero = np.zeros_like(p_lo)
+    lo = np.where(w > 0, p_lo, np.where(w < 0, p_hi, zero))
+    hi = np.where(w > 0, p_hi, np.where(w < 0, p_lo, zero))
+    return lo, hi
+
+
+def wrap_interval(lo: np.ndarray, hi: np.ndarray, bits: int
+                  ) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Two's-complement wrap of an integer-valued interval.
+
+    Modular arithmetic makes per-addition wrapping equal one final wrap
+    of the true sum, so: if the whole true-value interval fits the
+    ``bits``-wide signed range, the register holds the true value and
+    the interval passes through exactly; otherwise the wrapped value
+    can be anything representable and the sound image is the full
+    ``[-2^(b-1), 2^(b-1)-1]`` range.  Returns ``(lo', hi', wrapped)``
+    with ``wrapped`` true when any channel could wrap.
+    """
+    from repro.core.config import ACCMEM_CONTAINER_BITS
+
+    if bits >= ACCMEM_CONTAINER_BITS:
+        # The int64 container the analysis (and the engine) computes in
+        # is itself the wrapped representation at >= 64 bits.
+        return lo, hi, False
+    amin = np.int64(-(1 << (bits - 1)))
+    amax = np.int64((1 << (bits - 1)) - 1)
+    escapes = (lo < amin) | (hi > amax)
+    if not escapes.any():
+        return lo, hi, False
+    return (np.where(escapes, amin, lo), np.where(escapes, amax, hi),
+            True)
+
+
+def _bits_for_value(value: int) -> int:
+    """Two's-complement bits holding ``value`` (0 -> 1 bit)."""
+    if value >= 0:
+        return value.bit_length() + 1
+    return (-value - 1).bit_length() + 1
+
+
+def bits_required_interval(lo: np.ndarray, hi: np.ndarray) -> int:
+    """Smallest signed width holding every integer in ``[lo, hi]``."""
+    lo_min = int(np.min(lo))
+    hi_max = int(np.max(hi))
+    return max(_bits_for_value(lo_min), _bits_for_value(hi_max))
+
+
+__all__ = [
+    "AffineChannelMap",
+    "TensorRange",
+    "bits_required_interval",
+    "signed_contributions",
+    "silu_range",
+    "wrap_interval",
+]

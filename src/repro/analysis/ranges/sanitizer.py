@@ -1,0 +1,213 @@
+"""Runtime range sanitizer: observed extrema vs static intervals.
+
+The dynamic half of the range analyzer, mirroring the lock-sanitizer
+pattern: a :class:`RangeTrace` installs itself as the
+:mod:`repro.runtime.observe` hook, records the running min/max of every
+quantized-GEMM operand stream (``act`` codes, post-wrap ``acc``
+integers, layer ``out`` floats), and :func:`crosscheck_ranges` then
+replays the static analysis against what actually flowed through the
+engine or a compiled plan.
+
+The contract is *no false negatives*: every observed value must lie
+inside the statically proven interval for its (layer, kind) stream.
+An escape means the abstract interpreter's soundness argument is
+broken for this build -- the differential test in
+``tests/analysis/test_ranges_sanitizer.py`` sweeps the full 2..8-bit
+space to enforce this.  The converse (static bounds wider than
+observed) is expected: intervals quantify over *all* reachable inputs,
+not the ones a particular batch happened to contain.
+
+Observation is cheap (one attribute read when no trace is installed;
+an ``amin``/``amax`` pair when one is) and is only emitted on the
+mixgemm backend with no fault injector -- the numpy backend does not
+wrap accumulators and injected faults legitimately escape any sound
+interval.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, ERROR
+from repro.core.locks import make_lock
+from repro.runtime.observe import set_range_hook
+
+from .analyzer import RangeAnalysis
+
+#: Observation streams, in report order.
+KINDS = ("act", "acc", "out")
+
+
+@dataclass
+class ObservedRange:
+    """Running extrema of one (layer, kind) stream."""
+
+    lo: float
+    hi: float
+    count: int = 1
+
+    def update(self, lo: float, hi: float) -> None:
+        if lo < self.lo:
+            self.lo = lo
+        if hi > self.hi:
+            self.hi = hi
+        self.count += 1
+
+
+class RangeTrace:
+    """Thread-safe recorder of per-layer observed value extrema.
+
+    The per-array reduction happens outside the lock (it is pure and
+    dominates the cost); only the tiny dictionary merge is serialized,
+    so tracing a multi-worker serving run stays cheap and the recorded
+    extrema are exact regardless of interleaving.
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("range-trace")
+        self._seen: dict[tuple[str, str], ObservedRange] = {}
+
+    def __call__(self, label: str, kind: str, values: np.ndarray) -> None:
+        if values.size == 0:
+            return
+        lo = float(np.amin(values))
+        hi = float(np.amax(values))
+        key = (label, kind)
+        with self._lock:
+            cur = self._seen.get(key)
+            if cur is None:
+                self._seen[key] = ObservedRange(lo, hi)
+            else:
+                cur.update(lo, hi)
+
+    @property
+    def observations(self) -> dict[tuple[str, str], ObservedRange]:
+        with self._lock:
+            return dict(self._seen)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._seen.clear()
+
+
+@contextmanager
+def observing_ranges(trace: Optional[RangeTrace] = None
+                     ) -> Iterator[RangeTrace]:
+    """Install ``trace`` as the process-wide range hook for the block.
+
+    The previous hook is restored on exit, so nesting and test
+    isolation behave; yields the trace for convenience::
+
+        with observing_ranges() as trace:
+            plan.run(x)
+        report = crosscheck_ranges(trace, analysis)
+    """
+    if trace is None:
+        trace = RangeTrace()
+    previous = set_range_hook(trace)
+    try:
+        yield trace
+    finally:
+        set_range_hook(previous)
+
+
+@dataclass
+class RangeViolation:
+    """One observed value outside its statically proven interval."""
+
+    label: str
+    kind: str
+    observed_lo: float
+    observed_hi: float
+    static_lo: float
+    static_hi: float
+
+    def describe(self) -> str:
+        return (f"{self.label}/{self.kind}: observed "
+                f"[{self.observed_lo}, {self.observed_hi}] escapes the "
+                f"proven [{self.static_lo}, {self.static_hi}]")
+
+
+@dataclass
+class RangeCrosscheck:
+    """Outcome of replaying a static analysis against a trace."""
+
+    checked: int = 0
+    violations: list[RangeViolation] = field(default_factory=list)
+    #: (label, kind) streams observed but absent from the analysis
+    #: (e.g. a layer the interpreter bailed on) -- not failures, but
+    #: listed so coverage gaps are visible.
+    unmatched: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def diagnostics(self, path: str = "") -> list[Diagnostic]:
+        return [Diagnostic(rule="RANGE-OBSERVED", severity=ERROR,
+                           message=v.describe(),
+                           hint="the static range analysis is unsound "
+                                "for this build; do not trust its "
+                                "overflow verdicts",
+                           node=v.label, path=path)
+                for v in self.violations]
+
+    def render(self) -> str:
+        lines = [f"range crosscheck: {self.checked} stream(s) checked, "
+                 f"{len(self.violations)} escape(s), "
+                 f"{len(self.unmatched)} unmatched"]
+        lines.extend("  ESCAPE " + v.describe() for v in self.violations)
+        lines.extend(f"  unmatched {label}/{kind}"
+                     for label, kind in self.unmatched)
+        return "\n".join(lines)
+
+
+def _static_bounds(analysis: RangeAnalysis, label: str,
+                   kind: str) -> Optional[tuple[float, float]]:
+    """Scalar hull of the proven interval for one stream, or ``None``."""
+    if kind == "out":
+        r = analysis.node_ranges.get(label)
+        if r is None:
+            return None
+        c = r.collapse()
+        return float(c.lo), float(c.hi)
+    rec = analysis.records.get(label)
+    if rec is None:
+        return None
+    if kind == "act":
+        c = rec.act.collapse()
+        return float(c.lo), float(c.hi)
+    return float(np.amin(rec.acc_lo)), float(np.amax(rec.acc_hi))
+
+
+def crosscheck_ranges(trace: RangeTrace,
+                      analysis: RangeAnalysis) -> RangeCrosscheck:
+    """Check every observed stream against its proven interval.
+
+    ``act`` and ``acc`` streams key off the GEMM records (quantized
+    activation codes and post-wrap accumulators), ``out`` streams off
+    the per-node output intervals.  Containment uses the scalar hull
+    of per-channel bounds -- observations are whole-array extrema, so
+    the hull is the tightest sound comparator.
+    """
+    result = RangeCrosscheck()
+    for (label, kind), obs in sorted(trace.observations.items()):
+        bounds = _static_bounds(analysis, label, kind)
+        if bounds is None:
+            result.unmatched.append((label, kind))
+            continue
+        result.checked += 1
+        lo, hi = bounds
+        if obs.lo < lo or obs.hi > hi:
+            result.violations.append(RangeViolation(
+                label=label, kind=kind, observed_lo=obs.lo,
+                observed_hi=obs.hi, static_lo=lo, static_hi=hi))
+    return result
+
+
+__all__ = ["KINDS", "ObservedRange", "RangeCrosscheck", "RangeTrace",
+           "RangeViolation", "crosscheck_ranges", "observing_ranges"]

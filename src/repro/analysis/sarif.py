@@ -32,14 +32,24 @@ LEVEL_FOR_SEVERITY = {
 
 
 def _all_rules() -> dict[str, str]:
-    """Every rule id the tool can emit, with its one-line description."""
+    """Every rule id the tool can emit, with its one-line description.
+
+    A rule id may be registered by more than one pass (``GRF-PARSE`` is
+    shared by the graph contracts and the range analyzer: both read the
+    same model file).  The *first* registration wins -- a single SARIF
+    driver must list each rule exactly once, and clobbering would make
+    the metadata depend on pass ordering.
+    """
     from repro.analysis.astlint import LINT_RULES
     from repro.analysis.concurrency.checker import CONC_RULES
     from repro.analysis.contracts import CONTRACT_RULES
+    from repro.analysis.ranges import RANGES_RULES
 
-    merged = dict(CONTRACT_RULES)
-    merged.update(LINT_RULES)
-    merged.update(CONC_RULES)
+    merged: dict[str, str] = {}
+    for registry in (CONTRACT_RULES, LINT_RULES, CONC_RULES,
+                     RANGES_RULES):
+        for rid, description in registry.items():
+            merged.setdefault(rid, description)
     return merged
 
 
@@ -63,6 +73,11 @@ def _location(diag) -> dict:
 def to_sarif(report: DiagnosticReport, *, tool_version: str = "") -> dict:
     """Render a report as a SARIF 2.1.0 log object (a plain dict)."""
     rules = _all_rules()
+    # A result whose rule id no registry declared (e.g. from an external
+    # pass) still must resolve: synthesize a driver entry so every
+    # result carries a valid ruleIndex instead of a dangling ruleId.
+    for diag in report.diagnostics:
+        rules.setdefault(diag.rule, "(no registered description)")
     rule_ids = sorted(rules)
     rule_index = {rid: i for i, rid in enumerate(rule_ids)}
 
@@ -76,9 +91,8 @@ def to_sarif(report: DiagnosticReport, *, tool_version: str = "") -> dict:
             "level": LEVEL_FOR_SEVERITY[diag.severity],
             "message": {"text": message},
             "locations": [_location(diag)],
+            "ruleIndex": rule_index[diag.rule],
         }
-        if diag.rule in rule_index:
-            result["ruleIndex"] = rule_index[diag.rule]
         results.append(result)
 
     driver: dict = {

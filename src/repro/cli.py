@@ -24,6 +24,7 @@ Commands mirror the evaluation:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -317,31 +318,57 @@ def _cmd_check(args: argparse.Namespace) -> int:
         DiagnosticReport,
         check_concurrency,
         check_graph_file,
+        check_ranges_file,
         lint_paths,
         to_sarif_json,
     )
 
-    if not args.graph and not args.lint and args.concurrency is None:
-        print("nothing to check: pass --graph MODEL.json, --lint PATH "
-              "and/or --concurrency [PATH ...]", file=sys.stderr)
+    if not args.graph and not args.lint and args.concurrency is None \
+            and not args.ranges:
+        print("nothing to check: pass --graph MODEL.json, --lint PATH, "
+              "--concurrency [PATH ...] and/or --ranges MODEL.json",
+              file=sys.stderr)
         return 2
     accmem_bits = args.accmem_bits
     if accmem_bits is None:
         from repro.core.config import DEFAULT_ACCMEM_BITS
         accmem_bits = DEFAULT_ACCMEM_BITS
+    input_range = tuple(args.input_range) if args.input_range else None
+
+    # Every selected pass runs and feeds one merged report; usage-level
+    # failures (unreadable targets) are collected, not short-circuited,
+    # so combined invocations render every finding before exiting 2 and
+    # '--fail-on' means the same thing whatever passes are selected.
     report = DiagnosticReport()
+    usage_errors: list[str] = []
     for model in args.graph:
         report.extend(check_graph_file(model, accmem_bits=accmem_bits))
     if args.lint:
         try:
             report.extend(lint_paths(args.lint))
         except AnalysisError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
+            usage_errors.append(str(exc))
     if args.concurrency is not None:
         from repro.analysis.concurrency import default_targets
         targets = args.concurrency or default_targets()
-        report.extend(check_concurrency(targets))
+        try:
+            report.extend(check_concurrency(targets))
+        except AnalysisError as exc:
+            usage_errors.append(str(exc))
+    range_tables: dict[str, dict] = {}
+    for model in args.ranges:
+        try:
+            diags, analysis = check_ranges_file(
+                model, accmem_bits=accmem_bits,
+                input_range=input_range,
+                verify_plan=args.verify_plan)
+        except AnalysisError as exc:
+            usage_errors.append(str(exc))
+            continue
+        report.extend(diags)
+        if analysis is not None and args.ranges_table:
+            from repro.analysis.ranges import table_json
+            range_tables[model] = json.loads(table_json(analysis))
 
     if args.format == "json":
         rendered = report.to_json()
@@ -356,6 +383,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"{report.summary()} -> {args.output}")
     else:
         print(rendered)
+    if args.ranges_table and range_tables:
+        payload = (next(iter(range_tables.values()))
+                   if len(range_tables) == 1 else range_tables)
+        with open(args.ranges_table, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"per-layer bounds table -> {args.ranges_table}")
+    for err in usage_errors:
+        print(err, file=sys.stderr)
+    if usage_errors:
+        return 2
     return report.exit_code(fail_on=args.fail_on)
 
 
@@ -492,7 +530,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "check",
-        help="static contract checker + repo invariant linter")
+        help="static contract checker, repo invariant linter, "
+             "concurrency + range analyzers")
     p.add_argument("--graph", action="append", default=[],
                    metavar="MODEL.json",
                    help="contract-check a serialized GraphModel "
@@ -506,6 +545,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the lockset / lock-order / escape "
                         "analyzer over PATHs (no PATH: the installed "
                         "repro package)")
+    p.add_argument("--ranges", action="append", default=[],
+                   metavar="MODEL.json",
+                   help="abstract-interpretation range analysis of a "
+                        "serialized GraphModel: tight per-layer "
+                        "accumulator bounds, RANGE-OVERFLOW / "
+                        "RANGE-NARROWABLE findings (repeatable)")
+    p.add_argument("--input-range", nargs=2, type=float, default=None,
+                   metavar=("LO", "HI"),
+                   help="known bounds of the network input for "
+                        "--ranges (default: unbounded)")
+    p.add_argument("--verify-plan", action="store_true",
+                   help="with --ranges: also compile the fused and "
+                        "unfused inference plans and statically verify "
+                        "they preserve the proven ranges (RANGE-EQUIV)")
+    p.add_argument("--ranges-table", default="", metavar="PATH",
+                   help="with --ranges: write the per-layer bounds "
+                        "table (derived accumulator bits, headroom, "
+                        "wrap verdicts) as JSON to PATH")
     p.add_argument("--format", default="text",
                    choices=("text", "json", "sarif"),
                    help="diagnostic output format")

@@ -35,6 +35,13 @@ MAX_KU = 4
 #: area for the overflow headroom the static contract checker verifies.
 DEFAULT_ACCMEM_BITS = 64
 
+#: Width of the scalar-core integer container (numpy ``int64``) that
+#: per-block partial sums are folded into *outside* AccMem.  At or above
+#: this width, two's-complement wrapping is the identity on the int64
+#: representation, so runtime wrap guards compare against it instead of
+#: hard-coding the literal (enforced by lint rule REP010).
+ACCMEM_CONTAINER_BITS = 64
+
 #: Execution backends a :class:`MixGemmConfig` may request (see
 #: :mod:`repro.core.backend` for the dispatch rules).
 EXECUTION_BACKENDS = ("event", "fast", "auto")

@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from .binseg import BinSegError, ceil_div, value_range
-from .config import MixGemmConfig
+from .config import ACCMEM_CONTAINER_BITS, MixGemmConfig
 from .microengine import PmuCounters
 from .packing import (
     _check_matrix,
@@ -85,7 +85,7 @@ def wrap_signed_array(values: np.ndarray, bits: int) -> np.ndarray:
     inside uint64 arithmetic, avoiding the signed-overflow hazards a
     naive ``np.where`` formulation would hit at ``1 << 63``.
     """
-    if bits >= 64:
+    if bits >= ACCMEM_CONTAINER_BITS:
         return values
     half = 1 << (bits - 1)
     shifted = (values.astype(np.uint64) + np.uint64(half)) \
@@ -212,7 +212,7 @@ def fastpath_applicable(config: MixGemmConfig, k: int) -> str | None:
     bmax = max(abs(lo_b), abs(hi_b))
     bits = config.accmem_bits
     block_bound = min(kc_eff, max(k, 1)) * amax * bmax
-    if bits > 64 and block_bound >= _INT64_HALF:
+    if bits > ACCMEM_CONTAINER_BITS and block_bound >= _INT64_HALF:
         return (f"accmem_bits={bits} with block bound {block_bound} "
                 f">= 2**63 exceeds int64 accumulation")
     return None
@@ -324,7 +324,7 @@ def run_fastpath(config: MixGemmConfig, costs: "KernelCosts", a: np.ndarray,
                        @ b_blk.astype(np.float64)).astype(np.int64)
         else:
             partial = a_blk @ b_blk
-        if bits < 64:
+        if bits < ACCMEM_CONTAINER_BITS:
             partial = wrap_signed_array(partial, bits)
         c += partial
 

@@ -59,6 +59,7 @@ from repro.robustness.recovery import (
 
 from . import ops
 from .graph import GraphError, GraphModel, NodeSpec
+from .observe import observe_range
 
 #: Blocking used by the simulator backend for runtime layers: small tiles
 #: keep the event-driven engine fast on laptop-scale models.  Public so
@@ -293,6 +294,12 @@ class InferenceEngine:
                     f"node {node.op} references unknown tensor {exc}"
                 ) from None
             out = self._dispatch(node, arrays, result)
+            # Range-sanitizer tap: only the mixgemm backend realizes the
+            # finite-AccMem wrap semantics the static intervals model
+            # (the numpy reference accumulates unwrapped), and injected
+            # faults legitimately escape any clean-run interval.
+            if self.backend == "mixgemm" and self.injector is None:
+                observe_range(label, "out", out)
             if self._guard_rank >= 1:
                 check_finite(label, out)
             prev = label
@@ -463,6 +470,9 @@ class InferenceEngine:
                 if retrying:
                     continue
                 return self._degrade(x_q, w_q, result, label, op, reference)
+            if self.injector is None and not detected:
+                observe_range(label, "act", x_q)
+                observe_range(label, "acc", gemm.c)
             result.layer_stats.append(LayerStats(
                 op=op, config=config.name, macs=gemm.macs,
                 cycles=gemm.cycles, layer=label,

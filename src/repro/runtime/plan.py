@@ -54,6 +54,7 @@ import numpy as np
 from repro.core.backend import resolve_backend
 from repro.core.binseg import value_range
 from repro.core.config import (
+    ACCMEM_CONTAINER_BITS,
     DEFAULT_ACCMEM_BITS,
     EXECUTION_BACKENDS,
     MixGemmConfig,
@@ -74,6 +75,7 @@ from repro.quant.affine import QuantParams, quantize
 from . import ops
 from .engine import SIM_BLOCKING, InferenceResult, LayerStats
 from .graph import GraphError, GraphModel, NodeSpec
+from .observe import observe_range
 
 
 # -- bound GEMM executors -----------------------------------------------------
@@ -138,7 +140,8 @@ class _BoundGemm:
             lo_b, hi_b = value_range(config.bw_b, config.signed_b)
             amax = max(abs(lo_a), abs(hi_a))
             bmax = max(abs(lo_b), abs(hi_b))
-            self._bits = config.accmem_bits
+            self.accmem_bits = config.accmem_bits
+            self.kc_eff = kc_eff
             self._blocks: list[tuple[slice, np.ndarray, bool]] = []
             for pc in range(0, self.k, kc_eff):
                 kc_blk = min(kc_eff, self.k - pc)
@@ -184,8 +187,8 @@ class _BoundGemm:
                 c = (a.astype(np.float64) @ b_blk).astype(np.int64)
             else:
                 c = a @ b_blk
-            if self._bits < 64:
-                c = wrap_signed_array(c, self._bits)
+            if self.accmem_bits < ACCMEM_CONTAINER_BITS:
+                c = wrap_signed_array(c, self.accmem_bits)
             return c, cycles
         c = np.zeros((m, self.n), dtype=np.int64)
         for sl, b_blk, exact in self._blocks:
@@ -195,8 +198,8 @@ class _BoundGemm:
                            @ b_blk).astype(np.int64)
             else:
                 partial = a_blk @ b_blk
-            if self._bits < 64:
-                partial = wrap_signed_array(partial, self._bits)
+            if self.accmem_bits < ACCMEM_CONTAINER_BITS:
+                partial = wrap_signed_array(partial, self.accmem_bits)
             c += partial
         return c, cycles
 
@@ -212,6 +215,10 @@ class _Step:
 
     def __init__(self, label: str, input_ids: list[str]) -> None:
         self.label = label
+        #: The base node's label, stable across fusion (``label`` moves
+        #: to the absorbed follower's id) -- the plan-equivalence
+        #: verifier keys the pre-epilogue range off this.
+        self.source_label = label
         self.input_ids = list(input_ids)
         self.epilogue: list[Callable[[np.ndarray], np.ndarray]] = []
         self.fused: list[str] = []
@@ -429,7 +436,9 @@ class _ConvStep(_Step):
             rows = low.rows(src[:, g * self.cpg:(g + 1) * self.cpg])
             if self.quant and self.backend == "mixgemm":
                 gemm = self.gemms[g]
+                observe_range(self.stats_label, "act", rows)
                 c, cycles = gemm(rows)
+                observe_range(self.stats_label, "acc", c)
                 result.layer_stats.append(LayerStats(
                     op=self.op, config=gemm.config.name,
                     macs=rows.shape[0] * gemm.n * gemm.k, cycles=cycles,
@@ -487,7 +496,9 @@ class _QuantLinearStep(_Step):
                  result: InferenceResult) -> np.ndarray:
         x_q = self._quant_act(arrays[0])
         if self.backend == "mixgemm":
+            observe_range(self.stats_label, "act", x_q)
             acc, cycles = self.gemm(x_q)
+            observe_range(self.stats_label, "acc", acc)
             result.layer_stats.append(LayerStats(
                 op=self.op, config=self.gemm.config.name,
                 macs=x_q.shape[0] * self.gemm.n * self.gemm.k,
@@ -516,6 +527,7 @@ class PlanInfo:
     prepacked_panels: int
     backend: str
     gemm_backend: str
+    accmem_bits: int = DEFAULT_ACCMEM_BITS
     fusions: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict:
@@ -526,6 +538,7 @@ class PlanInfo:
             "bound_executors": self.bound_executors,
             "prepacked_panels": self.prepacked_panels,
             "backend": self.backend, "gemm_backend": self.gemm_backend,
+            "accmem_bits": self.accmem_bits,
             "fusions": list(self.fusions),
         }
 
@@ -559,7 +572,10 @@ class GraphPlan:
                     f"step {step.label} references unknown tensor {exc}"
                 ) from None
             label = step.label
-            values[label] = step(arrays, result)
+            out = step(arrays, result)
+            if self.info.backend == "mixgemm":
+                observe_range(label, "out", out)
+            values[label] = out
         result.output = values[label]
         return result
 
@@ -667,6 +683,7 @@ def compile_graph(graph: GraphModel, *, backend: str = "numpy",
         nodes=len(graph), steps=len(steps), folded_batchnorms=folded_bn,
         fused_activations=fused_act, bound_executors=bound,
         prepacked_panels=prepacked, backend=backend,
-        gemm_backend=gemm_backend, fusions=fusions,
+        gemm_backend=gemm_backend, accmem_bits=accmem_bits,
+        fusions=fusions,
     )
     return GraphPlan(graph, steps, info, pack_cache)

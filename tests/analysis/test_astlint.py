@@ -387,3 +387,51 @@ class TestInfrastructure:
         src = Path(__file__).resolve().parents[2] / "src"
         report = lint_paths([src])
         assert report.errors == []
+
+
+class TestRep010AccmemLiterals:
+    def test_keyword_literal_flagged(self):
+        assert rules("run(accmem_bits=32)\n") == ["REP010"]
+
+    def test_assignment_literal_flagged(self):
+        assert rules("accmem_bits = 16\n") == ["REP010"]
+        assert rules("self.accmem_bits = 24\n") == ["REP010"]
+
+    def test_default_arg_literal_flagged(self):
+        assert rules("def f(accmem_bits=48):\n    pass\n") == ["REP010"]
+        assert rules("def f(*, accmem_bits=48):\n    pass\n") \
+            == ["REP010"]
+
+    def test_comparison_against_literal_flagged(self):
+        assert rules("ok = accmem_bits >= 24\n") == ["REP010"]
+        assert rules("ok = cfg.accmem_bits == 64\n") == ["REP010"]
+
+    def test_bits_vs_container_width_flagged(self):
+        assert rules("if bits >= 64:\n    pass\n") == ["REP010"]
+        assert rules("if 64 > acc_bits:\n    pass\n") == ["REP010"]
+
+    def test_named_constants_pass(self):
+        src = textwrap.dedent("""
+            run(accmem_bits=DEFAULT_ACCMEM_BITS)
+            accmem_bits = config.accmem_bits
+            if bits >= ACCMEM_CONTAINER_BITS:
+                pass
+        """)
+        assert rules(src) == []
+
+    def test_other_bit_comparisons_pass(self):
+        # operand widths against non-container literals are fine
+        assert rules("if weight_bits == 8:\n    pass\n") == []
+        assert rules("if act_bits <= 8:\n    pass\n") == []
+
+    def test_config_module_exempt(self):
+        src = "DEFAULT_ACCMEM_BITS = 64\nself.accmem_bits = 64\n"
+        assert rules(src, path="src/repro/core/config.py") == []
+
+    def test_test_files_exempt(self):
+        assert rules("run(accmem_bits=12)\n",
+                     path="tests/core/test_gemm.py") == []
+
+    def test_noqa_suppresses(self):
+        assert rules("run(accmem_bits=12)  # repro: noqa REP010\n") \
+            == []

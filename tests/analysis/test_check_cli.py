@@ -134,3 +134,49 @@ class TestCheckCommand:
         path.write_text("]")
         assert main(["check", "--graph", str(path)]) == 1
         assert "GRF-PARSE" in capsys.readouterr().out
+
+
+class TestExitCodeConsistency:
+    """--fail-on and usage errors behave the same across every pass."""
+
+    def test_missing_lint_target_is_usage_error(self, capsys):
+        assert main(["check", "--lint", "/nonexistent/path.py"]) == 2
+        err = capsys.readouterr().err
+        assert "nonexistent" in err and "Traceback" not in err
+
+    def test_missing_concurrency_target_is_usage_error(self, capsys):
+        assert main(["check",
+                     "--concurrency", "/nonexistent/path.py"]) == 2
+        err = capsys.readouterr().err
+        assert "nonexistent" in err and "Traceback" not in err
+
+    def test_usage_error_still_renders_other_findings(
+            self, clean_model, capsys):
+        """A broken target in one pass must not swallow findings
+        from the passes that did run."""
+        code = main(["check", "--lint", "/nonexistent/path.py",
+                     "--ranges", clean_model,
+                     "--accmem-bits", "10"])
+        captured = capsys.readouterr()
+        assert code == 2  # usage error outranks the findings gate
+        assert "RANGE-OVERFLOW" in captured.out
+
+    def test_fail_on_uniform_across_combined_passes(
+            self, clean_model, tmp_path):
+        quiet = tmp_path / "quiet.py"
+        quiet.write_text("x = 1\n")
+        argv = ["check", "--graph", clean_model,
+                "--lint", str(quiet),
+                "--ranges", clean_model]
+        # RANGE-NARROWABLE info findings exist in the merged report:
+        # gated out at the default threshold, fatal under --fail-on info
+        assert main(argv) == 0
+        assert main(argv + ["--fail-on", "info"]) == 1
+
+    def test_fail_on_error_ignores_range_infos(self, clean_model):
+        assert main(["check", "--ranges", clean_model,
+                     "--fail-on", "error"]) == 0
+
+    def test_nothing_to_check_mentions_ranges(self, capsys):
+        main(["check"])
+        assert "--ranges" in capsys.readouterr().err

@@ -195,3 +195,61 @@ class TestSarifSchemaValidation:
     def test_validates(self):
         jsonschema = pytest.importorskip("jsonschema")
         jsonschema.validate(to_sarif(_sample_report()), self.SCHEMA)
+
+
+class TestRuleDedup:
+    """Shared rule ids appear exactly once in the SARIF driver."""
+
+    def test_driver_rule_ids_unique(self):
+        sarif = to_sarif(_sample_report())
+        ids = [r["id"] for r in
+               sarif["runs"][0]["tool"]["driver"]["rules"]]
+        assert len(ids) == len(set(ids))
+
+    def test_registry_union_has_no_duplicate_ids(self):
+        from repro.analysis.astlint import LINT_RULES
+        from repro.analysis.concurrency import CONC_RULES
+        from repro.analysis.contracts import CONTRACT_RULES
+        from repro.analysis.ranges import RANGES_RULES
+        merged = {}
+        for registry in (CONTRACT_RULES, LINT_RULES, CONC_RULES,
+                         RANGES_RULES):
+            for rid, description in registry.items():
+                merged.setdefault(rid, description)
+        assert set(merged) == set(ALL_RULES)
+
+    def test_shared_grf_parse_registered_once(self):
+        from repro.analysis.contracts import CONTRACT_RULES
+        from repro.analysis.ranges import RANGES_RULES
+        assert "GRF-PARSE" in CONTRACT_RULES
+        assert "GRF-PARSE" in RANGES_RULES
+        report = DiagnosticReport()
+        report.add(Diagnostic(rule="GRF-PARSE", severity="error",
+                              message="m", path="a.json"))
+        report.add(Diagnostic(rule="GRF-PARSE", severity="error",
+                              message="m", path="b.json"))
+        rules = to_sarif(report)["runs"][0]["tool"]["driver"]["rules"]
+        matches = [r for r in rules if r["id"] == "GRF-PARSE"]
+        assert len(matches) == 1
+        # first registration (contracts) supplies the description
+        assert matches[0]["shortDescription"]["text"] \
+            == CONTRACT_RULES["GRF-PARSE"]
+
+    def test_ranges_rules_present_in_driver(self):
+        sarif = to_sarif(_sample_report())
+        ids = {r["id"] for r in
+               sarif["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"RANGE-OVERFLOW", "RANGE-NARROWABLE", "RANGE-EQUIV",
+                "RANGE-OBSERVED"} <= ids
+
+    def test_unregistered_rule_gets_synthesized_entry(self):
+        report = DiagnosticReport()
+        report.add(Diagnostic(rule="X-UNKNOWN", severity="warning",
+                              message="mystery"))
+        sarif = to_sarif(report)
+        rules = sarif["runs"][0]["tool"]["driver"]["rules"]
+        [entry] = [r for r in rules if r["id"] == "X-UNKNOWN"]
+        assert entry["shortDescription"]["text"] \
+            == "(no registered description)"
+        [result] = sarif["runs"][0]["results"]
+        assert rules[result["ruleIndex"]]["id"] == "X-UNKNOWN"

@@ -1,0 +1,211 @@
+"""Abstract interpreter over graphs: tightness, soundness, im2col, wrap."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import AnalysisError
+from repro.analysis.ranges import analyze_graph
+from repro.models.builders import build_tiny
+from repro.nn.layers import seed_init
+from repro.robustness.faults import demo_graph, demo_input
+from repro.runtime.engine import InferenceEngine
+from repro.runtime.export_modules import export_model
+from repro.runtime.graph import GraphModel, NodeSpec
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return demo_graph()
+
+
+@pytest.fixture(scope="module")
+def resnet_graph():
+    seed_init(13)
+    model = build_tiny("resnet18", act_bits=8, weight_bits=8)
+    model.eval()
+    return export_model(model, name="resnet18")
+
+
+def _quant_linear_node(weight, act_bits=8, weight_bits=8,
+                       act_scale=0.05, bias=None, node_id=""):
+    tensors = {"weight": weight}
+    if bias is not None:
+        tensors["bias"] = bias
+    return NodeSpec(op="quant_linear", id=node_id,
+                    attrs={"act_scale": act_scale, "act_bits": act_bits,
+                           "act_signed": True,
+                           "weight_bits": weight_bits},
+                    tensors=tensors)
+
+
+class TestBasics:
+    def test_every_node_gets_a_range(self, demo):
+        analysis = analyze_graph(demo)
+        labels = demo.effective_ids()
+        for label in labels:
+            assert label in analysis.node_ranges
+
+    def test_records_cover_quant_layers_only(self, demo):
+        analysis = analyze_graph(demo)
+        ops_by_label = dict(zip(demo.effective_ids(),
+                                (n.op for n in demo)))
+        for label, rec in analysis.records.items():
+            assert ops_by_label[label] in ("quant_conv2d",
+                                           "quant_linear")
+        n_quant = sum(op.startswith("quant")
+                      for op in ops_by_label.values())
+        assert len(analysis.records) == n_quant
+
+    def test_invalid_input_range_rejected(self, demo):
+        with pytest.raises(AnalysisError):
+            analyze_graph(demo, input_range=(2.0, -2.0))
+        with pytest.raises(AnalysisError):
+            analyze_graph(demo, input_range=(math.nan, 1.0))
+
+    def test_unknown_input_still_finite_after_quantizer(self, demo):
+        analysis = analyze_graph(demo)  # (-inf, inf) input
+        for rec in analysis.records.values():
+            assert np.isfinite(rec.act.lo).all()
+            assert np.isfinite(rec.act.hi).all()
+
+    def test_table_and_render(self, demo):
+        analysis = analyze_graph(demo)
+        rows = analysis.table()
+        assert len(rows) == len(analysis.records)
+        for row in rows:
+            assert row["derived_bits"] <= row["worst_case_bits"]
+        text = analysis.render_table()
+        assert "derived" in text and "worst" in text
+
+
+class TestTightness:
+    def test_resnet18_every_layer_tighter_than_eq5(self, resnet_graph):
+        """The acceptance bar: derived bits strictly below Eq. 5."""
+        analysis = analyze_graph(resnet_graph, input_range=(-4.0, 4.0))
+        assert analysis.records, "no quantized layers analyzed"
+        tighter = [r for r in analysis.records.values()
+                   if r.derived_bits < r.worst_bits]
+        assert tighter, "no layer proved tighter than the worst case"
+        # on this seed, *every* layer tightens
+        assert len(tighter) == len(analysis.records)
+
+    def test_narrow_input_range_tightens_first_layer(self, demo):
+        wide = analyze_graph(demo)
+        narrow = analyze_graph(demo, input_range=(-0.1, 0.1))
+        first = next(iter(wide.records))
+        assert (narrow.records[first].derived_bits
+                <= wide.records[first].derived_bits)
+        w_rec, n_rec = wide.records[first], narrow.records[first]
+        assert n_rec.acc_hi.max() <= w_rec.acc_hi.max()
+
+
+class TestSoundnessDifferential:
+    """Static intervals must contain everything the engine computes."""
+
+    @pytest.mark.parametrize("accmem_bits", [64, 16, 12])
+    def test_demo_engine_values_inside_intervals(self, demo,
+                                                 accmem_bits):
+        x = demo_input()
+        analysis = analyze_graph(
+            demo, accmem_bits=accmem_bits,
+            input_range=(float(x.min()), float(x.max())))
+        engine = InferenceEngine(demo, backend="mixgemm",
+                                 accmem_bits=accmem_bits)
+        result = engine.run(x)
+        out = result.output if hasattr(result, "output") else result
+        final = demo.effective_ids()[-1]
+        r = analysis.node_ranges[final].collapse()
+        arr = np.asarray(out)
+        assert arr.min() >= float(r.lo) - 1e-9
+        assert arr.max() <= float(r.hi) + 1e-9
+
+    def test_padding_widens_act_codes_to_zero(self):
+        # input range excludes 0 -> codes would too, but the conv pads
+        w = np.full((1, 1, 3, 3), 0.5)
+        graph = GraphModel(nodes=[NodeSpec(
+            op="quant_conv2d",
+            attrs={"act_scale": 0.1, "act_bits": 8, "act_signed": True,
+                   "weight_bits": 8, "stride": 1, "padding": 1,
+                   "groups": 1},
+            tensors={"weight": w},
+        )])
+        analysis = analyze_graph(graph, input_range=(1.0, 2.0))
+        rec = next(iter(analysis.records.values()))
+        assert float(rec.act.lo) == 0.0  # padded halo contributes 0
+        no_pad = GraphModel(nodes=[NodeSpec(
+            op="quant_conv2d",
+            attrs={"act_scale": 0.1, "act_bits": 8, "act_signed": True,
+                   "weight_bits": 8, "stride": 1, "padding": 0,
+                   "groups": 1},
+            tensors={"weight": w},
+        )])
+        rec2 = next(iter(analyze_graph(
+            no_pad, input_range=(1.0, 2.0)).records.values()))
+        assert float(rec2.act.lo) == 10.0  # round(1.0 / 0.1)
+
+
+class TestWrapSemantics:
+    def test_narrow_accmem_flags_wrap_and_widens(self, demo):
+        analysis = analyze_graph(demo, accmem_bits=8)
+        wrapping = [r for r in analysis.records.values() if r.may_wrap]
+        assert wrapping
+        for rec in wrapping:
+            # post-wrap accumulator sums of full-range blocks
+            n_blocks = len(rec.blocks[0])
+            assert rec.acc_lo.min() >= -n_blocks * 128
+            assert rec.acc_hi.max() <= n_blocks * 127
+
+    def test_derived_bits_reported_pre_wrap(self, demo):
+        """The first layer's derived bits ignore the configured width.
+
+        (Only the first: once a layer wraps, its *output* interval is
+        the wrapped one, so downstream layers legitimately see
+        different -- often narrower -- input ranges.)
+        """
+        wide = analyze_graph(demo, accmem_bits=64)
+        narrow = analyze_graph(demo, accmem_bits=8)
+        first = next(iter(wide.records))
+        assert (narrow.records[first].derived_bits
+                == wide.records[first].derived_bits)
+
+    def test_exactly_enough_bits_does_not_wrap(self):
+        w = np.full((2, 8), 1.0)
+        graph = GraphModel(nodes=[_quant_linear_node(w)])
+        probe = analyze_graph(graph)
+        need = next(iter(probe.records.values())).derived_bits
+        at = analyze_graph(graph, accmem_bits=need)
+        below = analyze_graph(graph, accmem_bits=need - 1)
+        assert not next(iter(at.records.values())).may_wrap
+        assert next(iter(below.records.values())).may_wrap
+
+
+class TestStructuralRobustness:
+    def test_broken_weight_layer_is_skipped_not_fatal(self):
+        graph = GraphModel(nodes=[
+            NodeSpec(op="quant_linear",
+                     attrs={"act_scale": -1.0, "act_bits": 8,
+                            "act_signed": True, "weight_bits": 8},
+                     tensors={"weight": np.ones((2, 4))}),
+        ])
+        analysis = analyze_graph(graph)
+        assert not analysis.records  # bad act_scale -> contract's job
+
+    def test_unknown_op_propagates_unknown(self):
+        graph = GraphModel(nodes=[
+            NodeSpec(op="mystery_op", attrs={}, tensors={}),
+        ])
+        analysis = analyze_graph(graph, input_range=(-1.0, 1.0))
+        label = graph.effective_ids()[0]
+        assert math.isinf(float(analysis.node_ranges[label].lo))
+
+    def test_bias_shifts_output_interval(self):
+        w = np.full((2, 4), 1.0)
+        bias = np.array([10.0, -10.0])
+        g_bias = GraphModel(nodes=[_quant_linear_node(w, bias=bias)])
+        g_plain = GraphModel(nodes=[_quant_linear_node(w)])
+        rb = next(iter(analyze_graph(g_bias).records.values()))
+        rp = next(iter(analyze_graph(g_plain).records.values()))
+        assert np.array_equal(rb.out.lo, rp.out.lo + bias)
+        assert np.array_equal(rb.out.hi, rp.out.hi + bias)

@@ -1,0 +1,182 @@
+"""Interval/affine domain primitives: exactness, soundness, wrap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import AnalysisError
+from repro.analysis.ranges import (
+    AffineChannelMap,
+    TensorRange,
+    bits_required_interval,
+    signed_contributions,
+    silu_range,
+    wrap_interval,
+)
+from repro.core.config import ACCMEM_CONTAINER_BITS
+from repro.core.fastpath import wrap_signed_array
+from repro.runtime import ops
+
+
+class TestTensorRange:
+    def test_scalar_and_per_channel_shapes(self):
+        s = TensorRange.scalar(-1.0, 2.0)
+        assert s.is_scalar and s.channels is None
+        c = TensorRange.per_channel([-1.0, 0.0], [1.0, 3.0])
+        assert not c.is_scalar and c.channels == 2
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            TensorRange.scalar(1.0, -1.0)
+        with pytest.raises(AnalysisError):
+            TensorRange.scalar(float("nan"), 1.0)
+        with pytest.raises(AnalysisError):
+            TensorRange(np.zeros(2), np.zeros(3))
+        with pytest.raises(AnalysisError):
+            TensorRange(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_collapse_is_hull(self):
+        c = TensorRange.per_channel([-5.0, 1.0], [0.0, 7.0])
+        hull = c.collapse()
+        assert float(hull.lo) == -5.0 and float(hull.hi) == 7.0
+
+    def test_widen_to_include_zero(self):
+        r = TensorRange.scalar(3.0, 9.0).widen_to_include(0.0)
+        assert float(r.lo) == 0.0 and float(r.hi) == 9.0
+
+    def test_contains_scalar(self):
+        r = TensorRange.per_channel([-2.0, -1.0], [1.0, 4.0])
+        assert r.contains_scalar(-2.0, 4.0)
+        assert not r.contains_scalar(-2.1, 4.0)
+        assert not r.contains_scalar(-2.0, 4.1)
+
+    def test_map_monotone_decreasing_is_exact(self):
+        r = TensorRange.scalar(-3.0, 2.0)
+        neg = r.map_monotone(lambda x: -2.0 * x)
+        assert float(neg.lo) == -4.0 and float(neg.hi) == 6.0
+
+    def test_add_and_mul_four_corner(self):
+        a = TensorRange.scalar(-1.0, 2.0)
+        b = TensorRange.scalar(-3.0, 1.0)
+        s = a + b
+        assert (float(s.lo), float(s.hi)) == (-4.0, 3.0)
+        p = a.mul(b)
+        # corners: 3, -1, -6, 2 -> [-6, 3]
+        assert (float(p.lo), float(p.hi)) == (-6.0, 3.0)
+
+    def test_mul_zero_times_inf_is_zero(self):
+        zero = TensorRange.scalar(0.0, 0.0)
+        inf = TensorRange.scalar(-np.inf, np.inf)
+        p = zero.mul(inf)
+        assert (float(p.lo), float(p.hi)) == (0.0, 0.0)
+
+
+class TestSiluRange:
+    def test_straddling_interval_includes_global_min(self):
+        r = silu_range(TensorRange.scalar(-6.0, 6.0))
+        xs = np.linspace(-6.0, 6.0, 20001)
+        ys = ops.silu(xs)
+        assert float(r.lo) <= ys.min()
+        assert float(r.hi) >= ys.max()
+        # and the bound is tight: the interior minimum, not a guess
+        assert float(r.lo) == pytest.approx(ys.min(), abs=1e-6)
+
+    @pytest.mark.parametrize("lo,hi", [(-8.0, -4.0), (0.5, 3.0),
+                                       (-1.0, -0.5)])
+    def test_monotone_pieces_use_endpoints(self, lo, hi):
+        r = silu_range(TensorRange.scalar(lo, hi))
+        xs = np.linspace(lo, hi, 10001)
+        ys = ops.silu(xs)
+        assert float(r.lo) <= ys.min() and float(r.hi) >= ys.max()
+
+
+class TestAffineChannelMap:
+    def test_compose_equals_sequential_apply(self):
+        f = AffineChannelMap(np.array([2.0, -1.0]), np.array([1.0, 0.0]))
+        g = AffineChannelMap(np.array([-3.0, 0.5]), np.array([0.0, 2.0]))
+        r = TensorRange.per_channel([-1.0, 0.0], [1.0, 4.0])
+        chained = f.then(g).apply(r)
+        stepwise = g.apply(f.apply(r))
+        assert np.array_equal(chained.lo, stepwise.lo)
+        assert np.array_equal(chained.hi, stepwise.hi)
+
+    def test_negative_scale_flips_endpoints(self):
+        m = AffineChannelMap(np.float64(-2.0), np.float64(1.0))
+        r = m.apply(TensorRange.scalar(0.0, 3.0))
+        assert (float(r.lo), float(r.hi)) == (-5.0, 1.0)
+
+    def test_matches_is_bitwise(self):
+        a = AffineChannelMap(np.array([1.0, 2.0]), np.float64(0.0))
+        b = AffineChannelMap(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+        c = AffineChannelMap(np.array([1.0, 2.0 + 1e-12]), np.float64(0.0))
+        assert a.matches(b)
+        assert not a.matches(c)
+
+
+class TestSignedContributions:
+    def test_brute_force_per_entry(self):
+        rng = np.random.default_rng(5)
+        w = rng.integers(-7, 8, size=(6, 4)).astype(np.int64)
+        a_lo = rng.integers(-9, 0, size=6).astype(np.int64)
+        a_hi = a_lo + rng.integers(0, 9, size=6).astype(np.int64)
+        lo, hi = signed_contributions(w, a_lo, a_hi)
+        for k in range(6):
+            for f in range(4):
+                vals = [w[k, f] * a for a in (a_lo[k], a_hi[k])]
+                assert lo[k, f] == min(vals)
+                assert hi[k, f] == max(vals)
+
+    def test_zero_weight_kills_infinite_activation(self):
+        w = np.zeros((2, 1))
+        lo, hi = signed_contributions(w, np.array([-np.inf, -np.inf]),
+                                      np.array([np.inf, np.inf]))
+        assert (lo == 0).all() and (hi == 0).all()
+
+
+class TestWrapInterval:
+    def test_fitting_interval_passes_through(self):
+        lo = np.array([-100], dtype=np.int64)
+        hi = np.array([100], dtype=np.int64)
+        wlo, whi, wrapped = wrap_interval(lo, hi, 12)
+        assert not wrapped
+        assert wlo[0] == -100 and whi[0] == 100
+
+    def test_escaping_interval_widens_to_full_range(self):
+        lo = np.array([0], dtype=np.int64)
+        hi = np.array([5000], dtype=np.int64)
+        wlo, whi, wrapped = wrap_interval(lo, hi, 8)
+        assert wrapped
+        assert wlo[0] == -128 and whi[0] == 127
+
+    def test_container_width_is_identity(self):
+        lo = np.array([np.iinfo(np.int64).min], dtype=np.int64)
+        hi = np.array([np.iinfo(np.int64).max], dtype=np.int64)
+        wlo, whi, wrapped = wrap_interval(lo, hi,
+                                          ACCMEM_CONTAINER_BITS)
+        assert not wrapped
+        assert wlo[0] == lo[0] and whi[0] == hi[0]
+
+    @pytest.mark.parametrize("bits", [4, 8, 11, 16])
+    def test_contains_runtime_wrap_of_every_member(self, bits):
+        # soundness against the engine's own wrap kernel
+        lo, hi = np.array([-3000], dtype=np.int64), \
+            np.array([2500], dtype=np.int64)
+        wlo, whi, _ = wrap_interval(lo, hi, bits)
+        members = np.arange(-3000, 2501, dtype=np.int64)
+        wrapped = wrap_signed_array(members, bits)
+        assert wrapped.min() >= wlo[0]
+        assert wrapped.max() <= whi[0]
+
+
+class TestBitsRequired:
+    @pytest.mark.parametrize("lo,hi,bits", [
+        (0, 0, 1),
+        (-1, 0, 1),
+        (-2, 1, 2),
+        (0, 127, 8),
+        (-128, 0, 8),
+        (-129, 0, 9),
+        (0, 128, 9),
+    ])
+    def test_boundaries(self, lo, hi, bits):
+        assert bits_required_interval(np.array([lo]),
+                                      np.array([hi])) == bits

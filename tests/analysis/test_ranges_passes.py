@@ -1,0 +1,178 @@
+"""RANGE-* diagnostics, node noqa, bounds table, and the --ranges CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.ranges import (
+    analyze_graph,
+    check_ranges,
+    check_ranges_file,
+    node_noqa_rules,
+    table_json,
+)
+from repro.cli import main
+from repro.robustness.faults import demo_graph
+from repro.runtime.graph import GraphModel, NodeSpec
+
+
+def _quant_linear(k=64, accmem_noqa=None):
+    attrs = {"act_scale": 1.0, "act_bits": 8, "act_signed": True,
+             "weight_bits": 8}
+    if accmem_noqa is not None:
+        attrs["noqa"] = accmem_noqa
+    return NodeSpec(op="quant_linear", attrs=attrs,
+                    tensors={"weight": np.ones((4, k))})
+
+
+@pytest.fixture()
+def clean_model(tmp_path):
+    path = tmp_path / "model.json"
+    demo_graph().save(str(path))
+    return str(path)
+
+
+class TestCheckRanges:
+    def test_clean_width_reports_narrowable_info(self):
+        graph = GraphModel(nodes=[_quant_linear()])
+        diags = check_ranges(graph, accmem_bits=64)
+        assert [d.rule for d in diags] == ["RANGE-NARROWABLE"]
+        assert diags[0].severity == "info"
+        assert "Eq. 5" in diags[0].message
+
+    def test_narrow_width_reports_overflow_error(self):
+        graph = GraphModel(nodes=[_quant_linear()])
+        diags = check_ranges(graph, accmem_bits=8)
+        assert [d.rule for d in diags] == ["RANGE-OVERFLOW"]
+        assert diags[0].severity == "error"
+        assert "reachable inputs wrap" in diags[0].message
+
+    def test_hint_quotes_derived_and_worst_case(self):
+        graph = GraphModel(nodes=[_quant_linear()])
+        analysis = analyze_graph(graph, accmem_bits=8)
+        rec = next(iter(analysis.records.values()))
+        [diag] = check_ranges(graph, accmem_bits=8, analysis=analysis)
+        assert f"accmem_bits >= {rec.derived_bits}" in diag.hint
+        assert str(rec.worst_bits) in diag.hint
+
+    def test_shared_analysis_not_recomputed(self):
+        graph = GraphModel(nodes=[_quant_linear()])
+        analysis = analyze_graph(graph, accmem_bits=8)
+        diags = check_ranges(graph, accmem_bits=64, analysis=analysis)
+        # the provided analysis wins over the keyword
+        assert [d.rule for d in diags] == ["RANGE-OVERFLOW"]
+
+
+class TestNodeNoqa:
+    def test_no_attr_means_no_suppression(self):
+        assert node_noqa_rules(_quant_linear()) is None
+
+    def test_true_suppresses_all(self):
+        node = _quant_linear(accmem_noqa=True)
+        assert node_noqa_rules(node) == frozenset()
+        graph = GraphModel(nodes=[node])
+        assert check_ranges(graph, accmem_bits=8) == []
+
+    def test_named_rule_suppresses_only_that_rule(self):
+        node = _quant_linear(accmem_noqa=["RANGE-NARROWABLE"])
+        graph = GraphModel(nodes=[node])
+        assert check_ranges(graph, accmem_bits=64) == []
+        # the error rule is NOT suppressed by the info rule's noqa
+        assert [d.rule for d in check_ranges(graph, accmem_bits=8)] \
+            == ["RANGE-OVERFLOW"]
+
+    def test_string_form_accepted(self):
+        node = _quant_linear(accmem_noqa="RANGE-OVERFLOW")
+        graph = GraphModel(nodes=[node])
+        assert check_ranges(graph, accmem_bits=8) == []
+
+    def test_noqa_survives_serialization(self, tmp_path):
+        node = _quant_linear(accmem_noqa=True)
+        path = tmp_path / "m.json"
+        GraphModel(nodes=[node]).save(str(path))
+        diags, analysis = check_ranges_file(str(path), accmem_bits=8)
+        assert diags == [] and analysis is not None
+
+
+class TestCheckRangesFile:
+    def test_missing_file_is_grf_parse(self, tmp_path):
+        diags, analysis = check_ranges_file(str(tmp_path / "no.json"))
+        assert analysis is None
+        assert [d.rule for d in diags] == ["GRF-PARSE"]
+
+    def test_corrupt_file_is_grf_parse(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        diags, analysis = check_ranges_file(str(path))
+        assert analysis is None and diags[0].rule == "GRF-PARSE"
+
+    def test_verify_plan_flag_runs_equivalence(self, clean_model):
+        diags, analysis = check_ranges_file(clean_model,
+                                            verify_plan=True)
+        assert analysis is not None
+        assert not [d for d in diags if d.rule == "RANGE-EQUIV"]
+
+
+class TestTableJson:
+    def test_strict_json_with_unbounded_input(self):
+        graph = GraphModel(nodes=[_quant_linear()])
+        analysis = analyze_graph(graph)
+        payload = json.loads(table_json(analysis))  # must be strict
+        assert payload["input_range"] == [None, None]
+        [row] = payload["layers"]
+        assert row["derived_bits"] <= row["worst_case_bits"]
+        assert row["accmem_bits"] == analysis.accmem_bits
+
+    def test_bounded_input_round_trips(self):
+        graph = GraphModel(nodes=[_quant_linear()])
+        analysis = analyze_graph(graph, input_range=(-2.0, 2.0))
+        payload = json.loads(table_json(analysis))
+        assert payload["input_range"] == [-2.0, 2.0]
+
+
+class TestRangesCli:
+    def test_clean_model_exits_zero(self, clean_model, capsys):
+        assert main(["check", "--ranges", clean_model]) == 0
+        assert "RANGE-NARROWABLE" in capsys.readouterr().out
+
+    def test_narrow_accmem_fails(self, clean_model, capsys):
+        code = main(["check", "--ranges", clean_model,
+                     "--accmem-bits", "10"])
+        assert code == 1
+        assert "RANGE-OVERFLOW" in capsys.readouterr().out
+
+    def test_fail_on_info_gates_narrowable(self, clean_model):
+        assert main(["check", "--ranges", clean_model,
+                     "--fail-on", "info"]) == 1
+
+    def test_input_range_and_table(self, clean_model, tmp_path,
+                                   capsys):
+        table = tmp_path / "table.json"
+        code = main(["check", "--ranges", clean_model,
+                     "--input-range", "-3", "3",
+                     "--ranges-table", str(table)])
+        assert code == 0
+        payload = json.loads(table.read_text())
+        assert payload["input_range"] == [-3.0, 3.0]
+        assert payload["layers"]
+
+    def test_verify_plan_flag(self, clean_model):
+        assert main(["check", "--ranges", clean_model,
+                     "--verify-plan"]) == 0
+
+    def test_sarif_format(self, clean_model, capsys):
+        assert main(["check", "--ranges", clean_model,
+                     "--format", "sarif"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        ids = [r["id"] for r in
+               log["runs"][0]["tool"]["driver"]["rules"]]
+        assert "RANGE-NARROWABLE" in ids
+        assert len(ids) == len(set(ids))
+
+    def test_missing_model_is_parse_error_exit(self, tmp_path,
+                                               capsys):
+        code = main(["check", "--ranges",
+                     str(tmp_path / "missing.json")])
+        assert code == 1  # GRF-PARSE is an error diagnostic
+        assert "GRF-PARSE" in capsys.readouterr().out

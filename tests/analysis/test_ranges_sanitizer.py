@@ -1,0 +1,190 @@
+"""Runtime range sanitizer: observed extrema never escape static bounds."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.analysis.ranges import (
+    RangeTrace,
+    analyze_graph,
+    crosscheck_ranges,
+    observing_ranges,
+)
+from repro.models.builders import build_tiny
+from repro.nn.layers import seed_init
+from repro.robustness.faults import demo_graph, demo_input
+from repro.runtime.engine import InferenceEngine
+from repro.runtime.export_modules import export_model
+from repro.runtime.observe import observe_range, set_range_hook
+from repro.runtime.plan import compile_graph
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return demo_graph()
+
+
+@pytest.fixture(scope="module")
+def demo_x():
+    return demo_input()
+
+
+def _hull(x):
+    return float(np.asarray(x).min()), float(np.asarray(x).max())
+
+
+class TestObserveHook:
+    def test_no_hook_is_noop(self):
+        assert set_range_hook(None) is None
+        observe_range("layer", "act", np.array([1, 2]))  # must not raise
+
+    def test_install_and_restore(self):
+        trace = RangeTrace()
+        with observing_ranges(trace) as got:
+            assert got is trace
+            observe_range("l", "act", np.array([-4, 9]))
+        observe_range("l", "act", np.array([-100, 100]))  # not recorded
+        obs = trace.observations[("l", "act")]
+        assert obs.lo == -4.0 and obs.hi == 9.0 and obs.count == 1
+
+    def test_running_extrema_and_counts(self):
+        trace = RangeTrace()
+        trace("l", "acc", np.array([0, 5]))
+        trace("l", "acc", np.array([-7, 3]))
+        trace("l", "acc", np.array([]))  # empty: ignored
+        obs = trace.observations[("l", "acc")]
+        assert obs.lo == -7.0 and obs.hi == 5.0 and obs.count == 2
+
+    def test_thread_safety_exact_extrema(self):
+        trace = RangeTrace()
+        rng = np.random.default_rng(0)
+        chunks = [rng.integers(-1000, 1000, size=64) for _ in range(64)]
+
+        def feed(part):
+            for c in part:
+                trace("l", "act", c)
+
+        threads = [threading.Thread(target=feed, args=(chunks[i::4],))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        obs = trace.observations[("l", "act")]
+        allv = np.concatenate(chunks)
+        assert obs.lo == allv.min() and obs.hi == allv.max()
+        assert obs.count == 64
+
+
+class TestCrosscheck:
+    def test_plan_run_has_zero_escapes(self, demo, demo_x):
+        analysis = analyze_graph(demo, input_range=_hull(demo_x))
+        plan = compile_graph(demo, backend="mixgemm")
+        with observing_ranges() as trace:
+            plan.run(demo_x)
+        result = crosscheck_ranges(trace, analysis)
+        assert result.ok, result.render()
+        assert result.checked > 0
+        assert not result.unmatched
+
+    def test_engine_run_has_zero_escapes(self, demo, demo_x):
+        analysis = analyze_graph(demo, input_range=_hull(demo_x))
+        engine = InferenceEngine(demo, backend="mixgemm")
+        with observing_ranges() as trace:
+            engine.run(demo_x)
+        result = crosscheck_ranges(trace, analysis)
+        assert result.ok, result.render()
+        assert result.checked > 0
+
+    def test_unbounded_input_analysis_also_contains(self, demo, demo_x):
+        analysis = analyze_graph(demo)  # (-inf, inf)
+        plan = compile_graph(demo, backend="mixgemm")
+        with observing_ranges() as trace:
+            plan.run(demo_x)
+        assert crosscheck_ranges(trace, analysis).ok
+
+    def test_escape_is_reported_with_diagnostic(self, demo, demo_x):
+        analysis = analyze_graph(demo, input_range=_hull(demo_x))
+        trace = RangeTrace()
+        label = next(iter(analysis.records))
+        hi = float(analysis.records[label].acc_hi.max())
+        trace(label, "acc", np.array([hi + 1.0]))
+        result = crosscheck_ranges(trace, analysis)
+        assert not result.ok
+        [diag] = result.diagnostics(path="m.json")
+        assert diag.rule == "RANGE-OBSERVED" and diag.node == label
+        assert "ESCAPE" in result.render()
+
+    def test_unmatched_streams_listed_not_failed(self, demo):
+        analysis = analyze_graph(demo)
+        trace = RangeTrace()
+        trace("no-such-layer", "acc", np.array([1]))
+        result = crosscheck_ranges(trace, analysis)
+        assert result.ok
+        assert result.unmatched == [("no-such-layer", "acc")]
+
+    def test_numpy_backend_is_not_observed(self, demo, demo_x):
+        # numpy backend does not wrap; observing it would false-positive
+        engine = InferenceEngine(demo, backend="numpy")
+        with observing_ranges() as trace:
+            engine.run(demo_x)
+        assert not trace.observations
+
+
+@pytest.mark.slow
+class TestDifferentialSweep:
+    """No false negatives across the full 2..8-bit operand space."""
+
+    def test_demo_full_bitwidth_sweep(self):
+        rng = np.random.default_rng(42)
+        for act_bits in range(2, 9):
+            for weight_bits in range(2, 9):
+                graph = demo_graph(act_bits=act_bits,
+                                   weight_bits=weight_bits)
+                x = demo_input()
+                analysis = analyze_graph(graph, input_range=_hull(x))
+                plan = compile_graph(graph, backend="mixgemm")
+                with observing_ranges() as trace:
+                    plan.run(x)
+                    plan.run(rng.uniform(-2.3, 1.9, size=x.shape))
+                result = crosscheck_ranges(trace, analysis)
+                assert result.ok, (
+                    f"a{act_bits}/w{weight_bits}: {result.render()}")
+                assert result.checked > 0
+
+    @pytest.mark.parametrize("accmem_bits", [8, 10, 12, 16, 24, 64])
+    def test_demo_accmem_sweep_with_wrap(self, accmem_bits):
+        graph = demo_graph()
+        x = demo_input()
+        analysis = analyze_graph(graph, accmem_bits=accmem_bits,
+                                 input_range=_hull(x))
+        plan = compile_graph(graph, backend="mixgemm",
+                             accmem_bits=accmem_bits)
+        engine = InferenceEngine(graph, backend="mixgemm",
+                                 accmem_bits=accmem_bits)
+        with observing_ranges() as trace:
+            plan.run(x)
+            engine.run(x)
+        result = crosscheck_ranges(trace, analysis)
+        assert result.ok, result.render()
+
+    def test_resnet18_differential_crosscheck(self):
+        seed_init(13)
+        model = build_tiny("resnet18", act_bits=8, weight_bits=8)
+        model.eval()
+        graph = export_model(model, name="resnet18")
+        rng = np.random.default_rng(7)
+        xs = [rng.standard_normal((2, 1, 12, 12)) for _ in range(3)]
+        lo = min(float(x.min()) for x in xs)
+        hi = max(float(x.max()) for x in xs)
+        analysis = analyze_graph(graph, input_range=(lo, hi))
+        plan = compile_graph(graph, backend="mixgemm")
+        engine = InferenceEngine(graph, backend="mixgemm")
+        with observing_ranges() as trace:
+            for x in xs:
+                plan.run(x)
+            engine.run(xs[0])
+        result = crosscheck_ranges(trace, analysis)
+        assert result.ok, result.render()
+        assert result.checked >= len(analysis.records) * 2
