@@ -1,6 +1,6 @@
 """Repo-invariant linter: ``ast``-level rules the reproduction lives by.
 
-Seven rules, numbered flake8-style; each encodes an invariant the
+Eleven rules, numbered flake8-style; each encodes an invariant the
 codebase promises elsewhere (error hierarchy in ``core/errors.py``,
 determinism in the test harness, integer-exactness of the kernel
 modules, honest error handling, unit-annotated cost models, GEMM
@@ -44,7 +44,14 @@ hoisted out of the per-call hot path):
   against ``accmem_bits``/``*_bits`` identifiers (the container width
   64 in particular) bypass ``DEFAULT_ACCMEM_BITS`` /
   ``ACCMEM_CONTAINER_BITS`` -- the range analyzer and the fast path
-  must agree on wrap semantics through those single definitions.
+  must agree on wrap semantics through those single definitions;
+* **REP011** -- every ``SharedMemory(...)`` construction under
+  ``runtime/`` must be paired with ``close()``/``unlink()`` cleanup:
+  either opened as a ``with`` context manager or inside a ``try``
+  whose ``finally`` calls ``.close()``/``.unlink()``.  POSIX shared
+  memory outlives the process -- a leaked segment stays in
+  ``/dev/shm`` until reboot, which is exactly the failure mode the
+  zero-copy plan distribution (``runtime/plan.py``) must never have.
 
 Suppress a finding with a trailing ``# repro: noqa`` (everything on the
 line) or ``# repro: noqa REP003`` / ``REP003,REP005`` (those rules).
@@ -74,6 +81,7 @@ LINT_RULES: dict[str, str] = {
     "REP008": "bare threading.Lock()/RLock() outside the lock factory",
     "REP009": "unbounded queue construction in the serving runtime",
     "REP010": "hard-coded accumulator width outside core/config.py",
+    "REP011": "SharedMemory creation without close()/unlink() cleanup",
     "REP000": "lint target is not parseable Python",
 }
 
@@ -193,7 +201,7 @@ def _is_weight_tensor_subscript(expr: ast.AST) -> bool:
 
 
 class RepoInvariantVisitor(ast.NodeVisitor):
-    """Single-pass visitor emitting REP001-REP007 diagnostics."""
+    """Single-pass visitor emitting REP001-REP011 diagnostics."""
 
     def __init__(self, path: str = "") -> None:
         self.path = path
@@ -216,6 +224,12 @@ class RepoInvariantVisitor(ast.NodeVisitor):
         self._float_ok: list[bool] = []
         #: Stack of enclosing class names (REP007 scoping).
         self._class_stack: list[str] = []
+        #: ``id()`` of SharedMemory Call nodes proven cleanup-paired
+        #: (REP011): inside a ``with`` item or a ``try`` whose
+        #: ``finally`` closes/unlinks.  Parents are visited before
+        #: children, so the set is populated before ``visit_Call``
+        #: reaches the construction.
+        self._shm_safe: set[int] = set()
 
     # -- plumbing ----------------------------------------------------
 
@@ -329,6 +343,62 @@ class RepoInvariantVisitor(ast.NodeVisitor):
                 hint="pass a positive maxsize",
             )
 
+    # -- REP011 ------------------------------------------------------
+
+    @staticmethod
+    def _shm_calls(node: ast.AST):
+        """Yield ``SharedMemory(...)`` Call nodes anywhere under ``node``."""
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Call)
+                    and _dotted(sub.func).rsplit(".", 1)[-1]
+                    == "SharedMemory"):
+                yield sub
+
+    def visit_With(self, node: ast.With) -> None:
+        # A SharedMemory opened as a context-manager item is
+        # cleanup-paired by construction (``__exit__`` closes it).
+        for item in node.items:
+            for call in self._shm_calls(item.context_expr):
+                self._shm_safe.add(id(call))
+        self.generic_visit(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        for item in node.items:
+            for call in self._shm_calls(item.context_expr):
+                self._shm_safe.add(id(call))
+        self.generic_visit(node)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        # A try whose finally calls .close()/.unlink() blesses every
+        # SharedMemory construction in its protected regions.
+        cleanup = any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in ("close", "unlink")
+            for stmt in node.finalbody for sub in ast.walk(stmt))
+        if cleanup:
+            for region in (node.body, node.handlers, node.orelse):
+                for stmt in region:
+                    for call in self._shm_calls(stmt):
+                        self._shm_safe.add(id(call))
+        self.generic_visit(node)
+
+    def _check_shm_construction(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name.rsplit(".", 1)[-1] != "SharedMemory":
+            return
+        if id(node) in self._shm_safe:
+            return
+        self._emit(
+            "REP011", node,
+            "SharedMemory segment opened without paired "
+            "close()/unlink() cleanup",
+            hint="open the segment as a context manager or inside a "
+                 "try whose finally calls close() (and unlink() on "
+                 "the owning side): a leaked segment survives the "
+                 "process in /dev/shm",
+        )
+
     # -- REP010 ------------------------------------------------------
 
     @staticmethod
@@ -431,6 +501,7 @@ class RepoInvariantVisitor(ast.NodeVisitor):
             self._check_lock_construction(node)
         if self._runtime_file and not self._test_file:
             self._check_queue_construction(node)
+            self._check_shm_construction(node)
         if (not self._test_file and not self._core_file
                 and isinstance(node.func, ast.Attribute)
                 and node.func.attr == "push_pair"):

@@ -158,7 +158,8 @@ def annotated_targets() -> list[str]:
     return [str(root / "core" / "packcache.py"),
             str(root / "core" / "parallel.py"),
             str(root / "runtime" / "serving.py"),
-            str(root / "runtime" / "overload.py")]
+            str(root / "runtime" / "overload.py"),
+            str(root / "runtime" / "sharding.py")]
 
 
 __all__ = [

@@ -46,11 +46,14 @@ LOCK_CONSTRUCTORS = frozenset({
 #: Constructor names whose instances are internally synchronized, so
 #: unannotated sharing of the *attribute* is safe (the reference is
 #: written once in ``__init__`` and only methods are invoked after).
+#: ``Process``/``Pipe``/``SharedMemory`` cover the process-sharding
+#: runtime: the kernel mediates every cross-process interaction, so
+#: the Python-side handle needs no additional lock for its methods.
 THREAD_SAFE_CONSTRUCTORS = frozenset({
     "Queue", "SimpleQueue", "LifoQueue", "PriorityQueue",
     "ThreadPoolExecutor", "ProcessPoolExecutor", "Thread",
     "Event", "Condition", "Semaphore", "BoundedSemaphore", "Barrier",
-    "local", "Future",
+    "local", "Future", "Process", "Pipe", "SharedMemory",
 }) | LOCK_CONSTRUCTORS
 
 #: Method names on an attribute that mutate the underlying container.
@@ -61,9 +64,12 @@ MUTATOR_METHODS = frozenset({
     "__setitem__", "__delitem__",
 })
 
-#: Callable names (last component) whose invocation spawns a thread.
+#: Callable names (last component) whose invocation spawns a thread
+#: (or a worker process: the dispatcher-side handle state around a
+#: ``multiprocessing.Process`` is shared between dispatcher threads
+#: exactly like thread-pool state, so the same analysis applies).
 THREAD_SPAWNERS = frozenset({
-    "Thread", "ThreadPoolExecutor", "Timer",
+    "Thread", "ThreadPoolExecutor", "Timer", "Process",
 })
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]

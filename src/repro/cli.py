@@ -8,7 +8,8 @@ Commands mirror the evaluation:
   ``--backend {event,fast,auto}`` execution-backend selection and
   ``--compiled`` to serve from an ahead-of-time compiled plan;
 * ``serve``           -- batched multi-worker serving load test over
-  compiled inference plans;
+  compiled inference plans (``--processes`` shards across worker
+  processes on a zero-copy shared-memory plan);
 * ``figure6``         -- the square-GEMM speed-up grid;
 * ``figure7``         -- the accuracy/throughput Pareto points;
 * ``table1|2|3``      -- the three tables;
@@ -117,10 +118,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.robustness.faults import demo_graph, demo_input
     from repro.runtime.graph import GraphModel
-    from repro.runtime.serving import BatchedServer
+    from repro.runtime.serving import serve
 
     if args.requests < 1:
         print("--requests must be at least 1", file=sys.stderr)
+        return 2
+    if args.processes and args.uncompiled:
+        print("--processes requires compiled plans (drop --uncompiled)",
+              file=sys.stderr)
         return 2
     if args.model:
         graph = GraphModel.load(args.model)
@@ -131,19 +136,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          seed=int(rng.integers(1 << 31)))[0]
               for _ in range(args.requests)]
 
+    plan_memory: dict | None = None
+
     def serve_once():
-        with BatchedServer(graph, workers=args.workers,
-                           max_batch=args.max_batch,
-                           max_wait_ms=args.max_wait_ms,
-                           queue_capacity=args.queue_capacity,
-                           admission=args.admission,
-                           admission_timeout_ms=args.admission_timeout_ms,
-                           compiled=not args.uncompiled,
-                           backend="mixgemm",
-                           gemm_backend=args.backend) as server:
+        nonlocal plan_memory
+        with serve(graph, processes=args.processes,
+                   workers=args.workers,
+                   max_batch=args.max_batch,
+                   max_wait_ms=args.max_wait_ms,
+                   queue_capacity=args.queue_capacity,
+                   admission=args.admission,
+                   admission_timeout_ms=args.admission_timeout_ms,
+                   compiled=not args.uncompiled,
+                   backend="mixgemm",
+                   gemm_backend=args.backend) as server:
             deadline = args.deadline_ms if args.deadline_ms > 0 else None
-            return server.run_requests(inputs, deadline_ms=deadline,
-                                       tolerate_overload=True)
+            report = server.run_requests(inputs, deadline_ms=deadline,
+                                         tolerate_overload=True)
+            if hasattr(server, "plan_memory_report"):
+                plan_memory = server.plan_memory_report()
+            return report
 
     check = None
     if args.sanitize:
@@ -181,6 +193,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"cancelled={s.cancelled} closed={s.shed_closed})")
     print(f"breaker: {s.breaker_state} (trips={s.breaker_trips}, "
           f"degraded responses={s.degraded_responses})")
+    if plan_memory is not None:
+        shared = sum(w.get("plan_bytes_shared", 0)
+                     for w in plan_memory["workers"])
+        private = sum(w.get("plan_bytes_private", 0)
+                      for w in plan_memory["workers"])
+        print(f"plan memory: segment={plan_memory['segment_bytes']}B "
+              f"shared across {len(plan_memory['workers'])} workers "
+              f"(shared={shared}B private={private}B)")
     if check is not None:
         print(check.render())
         if not check.ok:
@@ -484,6 +504,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--uncompiled", action="store_true",
                    help="serve from uncompiled engines (baseline for "
                         "what compilation buys)")
+    p.add_argument("--processes", action="store_true",
+                   help="shard across worker processes on a zero-copy "
+                        "shared-memory plan (falls back to threads "
+                        "with a ReliabilityWarning if unavailable)")
     p.add_argument("--sanitize", action="store_true",
                    help="run under the lock sanitizer and cross-check "
                         "the trace against the static lockset verdicts")

@@ -16,14 +16,27 @@ from .overload import (
     AdmissionQueue,
     CircuitBreaker,
 )
-from .plan import GraphPlan, PlanInfo, compile_graph
+from .plan import (
+    AttachedPlan,
+    GraphPlan,
+    PlanInfo,
+    PlanShareError,
+    SharedPlan,
+    SharedPlanHandle,
+    attach_plan,
+    compile_graph,
+    export_plan,
+    plan_share_stats,
+)
 from .serving import (
     BatchedServer,
     ServedResponse,
     ServingError,
     ServingReport,
     ServingStats,
+    serve,
 )
+from .sharding import ShardedServer, ShardingUnavailable
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -41,12 +54,22 @@ __all__ = [
     "GraphModel",
     "NodeSpec",
     "export_sequential",
+    "AttachedPlan",
     "GraphPlan",
     "PlanInfo",
+    "PlanShareError",
+    "SharedPlan",
+    "SharedPlanHandle",
+    "attach_plan",
     "compile_graph",
+    "export_plan",
+    "plan_share_stats",
     "BatchedServer",
     "ServedResponse",
     "ServingError",
     "ServingReport",
     "ServingStats",
+    "serve",
+    "ShardedServer",
+    "ShardingUnavailable",
 ]

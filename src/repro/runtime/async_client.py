@@ -1,9 +1,14 @@
 """Asyncio-native front end for :class:`~repro.runtime.serving.BatchedServer`.
 
 One event loop driving thousands of concurrent requests is the client
-shape the ROADMAP's async-API open item asks for.  The server itself
-stays thread-based (numpy kernels release the GIL; the batcher and
-worker pool are threads), so the client's job is purely to bridge:
+shape the ROADMAP's async-API open item asks for.  The server side may
+be thread-based (:class:`BatchedServer`: numpy kernels release the GIL;
+the batcher and worker pool are threads) or process-sharded
+(:class:`~repro.runtime.sharding.ShardedServer`: worker processes on a
+zero-copy shared-memory plan).  The client works with either unchanged
+because it only touches the public ``submit()`` surface -- the
+dispatcher thread pool, pipes, and shared segments stay server-side --
+so its job is purely to bridge:
 
 * ``submit()`` runs the server's (possibly blocking, under the
   ``block`` admission policy) enqueue on the default executor so the

@@ -41,15 +41,37 @@ Plans hold per-call scratch state (lowering buffers, bound executors)
 and are therefore **not** thread-safe; the batched server in
 :mod:`repro.runtime.serving` gives each worker its own plan and shares
 only the (locked) packing cache.
+
+Zero-copy plan sharing
+----------------------
+Every constant array a plan bakes in (prepacked kc-blocks, folded BN
+``scale``/``shift``, output scales, biases, float panels) is immutable
+after :func:`compile_graph` returns.  :func:`export_plan` serializes
+them once into a single ``multiprocessing.shared_memory`` segment and
+rebinds the plan's arrays to **read-only views** of that segment;
+:func:`attach_plan` rebuilds the plan in another process directly on
+the shared buffers, so N worker processes hold one copy of the
+weights.  The manifest carries a
+:meth:`~repro.core.packcache.PackingCache.fingerprint` per array, and
+attach verifies both the segment payload and the locally recompiled
+arrays against it -- a tampered or stale segment is rejected before a
+single inference runs (post-attach tampering is caught by the plan-
+equivalence verifier, ``repro check --verify-plan``).  Lifecycle: the
+exporting process owns the segment and must ``close()`` **and**
+``unlink()`` it; attached processes only ever ``close()`` their
+mapping (lint rule REP011 enforces the pairing under ``runtime/``).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from multiprocessing import shared_memory
+from typing import Callable, Iterator, Optional
 
 import numpy as np
+
+from repro.core.errors import ReproError
 
 from repro.core.backend import resolve_backend
 from repro.core.binseg import value_range
@@ -207,6 +229,37 @@ class _BoundGemm:
 # -- compiled steps -----------------------------------------------------------
 
 
+class _BnEpilogue:
+    """Folded batchnorm with its constant arrays as plain attributes.
+
+    A callable class instead of a closure so the shared-memory exporter
+    can discover ``scale``/``shift`` and rebind them onto a shared
+    segment (closure cells would hide them); the per-element float
+    sequence is :func:`~repro.runtime.ops.apply_batchnorm` unchanged.
+    """
+
+    def __init__(self, scale: np.ndarray, shift: np.ndarray) -> None:
+        self.scale = scale
+        self.shift = shift
+
+    def __call__(self, y: np.ndarray) -> np.ndarray:
+        return ops.apply_batchnorm(y, self.scale, self.shift)
+
+
+class _LinearFn:
+    """float ``linear`` with rebindable weight/bias arrays (see above)."""
+
+    def __init__(self, weight_t: np.ndarray,
+                 bias: Optional[np.ndarray]) -> None:
+        self.weight_t = weight_t
+        self.bias = bias
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.bias is None:
+            return x @ self.weight_t
+        return x @ self.weight_t + self.bias
+
+
 class _Step:
     """Base compiled step: one output label plus a fused epilogue chain."""
 
@@ -228,8 +281,7 @@ class _Step:
         if node.op == "batchnorm2d":
             scale, shift = ops.batchnorm_params(node.tensors,
                                                 node.attrs["eps"])
-            self.epilogue.append(
-                lambda y: ops.apply_batchnorm(y, scale, shift))
+            self.epilogue.append(_BnEpilogue(scale, shift))
         elif node.op == "relu":
             self.epilogue.append(ops.relu)
             self.can_fold_bn = False  # BN after a non-linearity is no fold
@@ -281,17 +333,14 @@ class _GenericStep(_Step):
         if op == "batchnorm2d":
             scale, shift = ops.batchnorm_params(node.tensors,
                                                 node.attrs["eps"])
-            return lambda x: ops.apply_batchnorm(x, scale, shift)
+            return _BnEpilogue(scale, shift)
         if op in ("max_pool2d", "avg_pool2d"):
             kernel, stride = node.attrs["kernel"], node.attrs["stride"]
             pool = ops.max_pool2d if op == "max_pool2d" else ops.avg_pool2d
             return lambda x: pool(x, kernel, stride)
         if op == "linear":
-            weight_t = node.tensors["weight"].T
-            bias = node.tensors.get("bias")
-            if bias is None:
-                return lambda x: x @ weight_t
-            return lambda x: x @ weight_t + bias
+            return _LinearFn(node.tensors["weight"].T,
+                             node.tensors.get("bias"))
         simple = {
             "relu": ops.relu, "relu6": ops.relu6, "sigmoid": ops.sigmoid,
             "silu": ops.silu, "flatten": ops.flatten,
@@ -529,6 +578,9 @@ class PlanInfo:
     gemm_backend: str
     accmem_bits: int = DEFAULT_ACCMEM_BITS
     fusions: list[str] = field(default_factory=list)
+    #: Whether the fusion pass ran; recorded so a shared-plan attach
+    #: can recompile with the exact same structure.
+    fuse: bool = True
 
     def as_dict(self) -> dict:
         return {
@@ -540,6 +592,7 @@ class PlanInfo:
             "backend": self.backend, "gemm_backend": self.gemm_backend,
             "accmem_bits": self.accmem_bits,
             "fusions": list(self.fusions),
+            "fuse": self.fuse,
         }
 
 
@@ -551,12 +604,23 @@ class GraphPlan:
     thread-safe -- see the module docstring.
     """
 
-    def __init__(self, graph: GraphModel, steps: list[_Step],
+    def __init__(self, graph: Optional[GraphModel], steps: list[_Step],
                  info: PlanInfo, pack_cache: PackingCache) -> None:
         self.graph = graph
         self.steps = steps
         self.info = info
         self.pack_cache = pack_cache
+
+    def release_source(self) -> None:
+        """Drop the reference to the source graph.
+
+        ``run()`` never touches it; worker processes that attached a
+        shared plan call this so the float64 source weights (about as
+        large as the panels themselves) do not stay resident per
+        worker.  A released plan cannot be re-exported or verified
+        against its graph (``repro check --verify-plan``).
+        """
+        self.graph = None
 
     def run(self, x: np.ndarray) -> InferenceResult:
         """Execute the compiled plan; mirrors ``InferenceEngine.run``."""
@@ -684,6 +748,364 @@ def compile_graph(graph: GraphModel, *, backend: str = "numpy",
         fused_activations=fused_act, bound_executors=bound,
         prepacked_panels=prepacked, backend=backend,
         gemm_backend=gemm_backend, accmem_bits=accmem_bits,
-        fusions=fusions,
+        fusions=fusions, fuse=fuse,
     )
     return GraphPlan(graph, steps, info, pack_cache)
+
+
+# -- zero-copy shared-memory export/attach ------------------------------------
+
+
+class PlanShareError(ReproError, RuntimeError):
+    """Raised when a plan cannot be exported to / attached from shared
+    memory (segment unavailable, manifest mismatch, tampered payload)."""
+
+
+#: Alignment of each array payload inside the segment; keeps every
+#: rebound view on a cache-line boundary (numpy does not require it,
+#: BLAS kernels prefer it).
+_SHM_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class _SharedArraySpec:
+    """Manifest entry for one constant array inside the segment."""
+
+    key: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+    order: str
+    digest: str
+
+
+@dataclass(frozen=True)
+class SharedPlanHandle:
+    """Picklable ticket for rebuilding a plan on the shared segment.
+
+    Carries everything :func:`attach_plan` needs in another process:
+    the segment name, the per-array manifest (offset/shape/dtype/
+    storage order/content fingerprint) and the compile parameters that
+    deterministically reproduce the plan structure from the serialized
+    graph.
+    """
+
+    segment: str
+    arrays: tuple[_SharedArraySpec, ...]
+    total_bytes: int
+    graph_json: str
+    backend: str
+    gemm_backend: str
+    accmem_bits: int
+    fuse: bool
+
+
+def _array_order(arr: np.ndarray) -> str:
+    """The storage order to reproduce in the segment.
+
+    Float matmul results can depend on the memory layout BLAS sees
+    (the non-quant conv panels and ``linear`` weights are transposed
+    views, i.e. F-contiguous), so the exporter preserves C-vs-F order
+    instead of flattening everything to C.
+    """
+    if arr.flags.f_contiguous and not arr.flags.c_contiguous:
+        return "F"
+    return "C"
+
+
+def _gemm_array_slots(prefix: str, gemm: _BoundGemm) -> Iterator[
+        tuple[str, np.ndarray, Callable[[np.ndarray], None]]]:
+    """``(key, array, setter)`` for one bound GEMM's baked operands."""
+    if gemm.mode == "fast":
+        for i in range(len(gemm._blocks)):
+            def _set_block(arr: np.ndarray, g: _BoundGemm = gemm,
+                           idx: int = i) -> None:
+                sl, _, exact = g._blocks[idx]
+                g._blocks[idx] = (sl, arr, exact)
+                g._single = (g._blocks[0] if len(g._blocks) == 1
+                             else None)
+            yield f"{prefix}.block{i}", gemm._blocks[i][1], _set_block
+    else:
+        def _set_b(arr: np.ndarray, g: _BoundGemm = gemm) -> None:
+            g._b = arr
+        yield f"{prefix}.b", gemm._b, _set_b
+
+
+def _attr_slots(obj: object, attrs: tuple[str, ...], prefix: str
+                ) -> Iterator[
+        tuple[str, np.ndarray, Callable[[np.ndarray], None]]]:
+    for attr in attrs:
+        value = getattr(obj, attr, None)
+        if isinstance(value, np.ndarray):
+            def _set(arr: np.ndarray, o: object = obj,
+                     a: str = attr) -> None:
+                setattr(o, a, arr)
+            yield f"{prefix}.{attr}", value, _set
+
+
+def iter_plan_arrays(plan: GraphPlan) -> Iterator[
+        tuple[str, np.ndarray, Callable[[np.ndarray], None]]]:
+    """Deterministic ``(key, array, setter)`` walk of a plan's constants.
+
+    Covers every ndarray the plan baked in at compile time: fast-mode
+    kc-blocks, event-mode weight operands, float panels, output scales,
+    biases, folded-BN epilogue constants and generic-step constants.
+    The walk order is a pure function of the plan structure, so two
+    deterministic compiles of the same graph yield the same sequence --
+    which is what lets :func:`attach_plan` line the local compile up
+    against the exporter's manifest entry by entry.
+    """
+    for si, step in enumerate(plan.steps):
+        base = f"step{si}:{step.label}"
+        yield from _attr_slots(step, ("_out_scale", "_bias"), base)
+        fn = getattr(step, "_fn", None)
+        if isinstance(fn, (_BnEpilogue, _LinearFn)):
+            yield from _attr_slots(
+                fn, ("scale", "shift", "weight_t", "bias"), f"{base}.fn")
+        for ei, ep in enumerate(step.epilogue):
+            if isinstance(ep, _BnEpilogue):
+                yield from _attr_slots(ep, ("scale", "shift"),
+                                       f"{base}.ep{ei}")
+        for gi, gemm in enumerate(getattr(step, "gemms", [])):
+            yield from _gemm_array_slots(f"{base}.g{gi}", gemm)
+        gemm = getattr(step, "gemm", None)
+        if gemm is not None:
+            yield from _gemm_array_slots(f"{base}.gemm", gemm)
+        panels = getattr(step, "panels", None)
+        if panels is not None:
+            for pi in range(len(panels)):
+                def _set_panel(arr: np.ndarray, s: _Step = step,
+                               idx: int = pi) -> None:
+                    s.panels[idx] = arr
+                yield f"{base}.panel{pi}", panels[pi], _set_panel
+
+
+def _segment_view(shm: shared_memory.SharedMemory,
+                  spec: _SharedArraySpec) -> np.ndarray:
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                      buffer=shm.buf, offset=spec.offset,
+                      order=spec.order)
+
+
+class SharedPlan:
+    """Owner side of an exported plan: segment + manifest + lifecycle.
+
+    The exporting process is the segment's owner: it must ``close()``
+    its mapping **and** ``unlink()`` the segment when serving stops
+    (the context manager does both).  Attached processes use
+    :class:`AttachedPlan`, which only ever closes.
+    """
+
+    def __init__(self, handle: SharedPlanHandle,
+                 shm: shared_memory.SharedMemory) -> None:
+        self.handle = handle
+        self._shm = shm
+        self._closed = False
+        self._unlinked = False
+
+    @property
+    def segment(self) -> str:
+        return self.handle.segment
+
+    @property
+    def buf(self):
+        return self._shm.buf
+
+    def close(self) -> None:
+        """Release this process's mapping (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (idempotent).
+
+        Call after every attached process has closed; a mapping that is
+        still open keeps its memory alive until it too closes.
+        """
+        if not self._unlinked:
+            self._unlinked = True
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedPlan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+
+class AttachedPlan:
+    """Worker side: a plan rebuilt on the shared segment.
+
+    ``plan`` is a full :class:`GraphPlan` whose constant arrays are
+    read-only views of the exporter's segment.  ``close()`` detaches
+    the mapping; it never unlinks -- the exporter owns the segment.
+    """
+
+    def __init__(self, plan: GraphPlan,
+                 shm: shared_memory.SharedMemory,
+                 handle: SharedPlanHandle) -> None:
+        self.plan = plan
+        self.handle = handle
+        self._shm = shm
+        self._closed = False
+
+    @property
+    def buf(self):
+        return self._shm.buf
+
+    def close(self) -> None:
+        """Detach from the segment (idempotent).  The plan must not be
+        run afterwards: its views point into the unmapped buffer."""
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def __enter__(self) -> "AttachedPlan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def export_plan(plan: GraphPlan) -> SharedPlan:
+    """Serialize ``plan``'s constant arrays into one shared segment.
+
+    Every array from :func:`iter_plan_arrays` is copied into a single
+    ``SharedMemory`` segment (64-byte aligned, storage order preserved)
+    and the plan is **rebound in place** onto read-only views of the
+    segment -- after export the calling process itself serves from the
+    shared copy, so the private originals become garbage.  Returns the
+    owning :class:`SharedPlan`; its picklable ``handle`` travels to
+    worker processes for :func:`attach_plan`.
+    """
+    if plan.graph is None:
+        raise PlanShareError(
+            "cannot export a plan whose source graph was released")
+    slots = list(iter_plan_arrays(plan))
+    offsets: list[int] = []
+    total = 0
+    for _, arr, _ in slots:
+        total = -(-total // _SHM_ALIGN) * _SHM_ALIGN
+        offsets.append(total)
+        total += arr.nbytes
+    shm: Optional[shared_memory.SharedMemory] = None
+    ok = False
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        specs: list[_SharedArraySpec] = []
+        for offset, (key, arr, setter) in zip(offsets, slots):
+            spec = _SharedArraySpec(
+                key=key, offset=offset, shape=tuple(arr.shape),
+                dtype=arr.dtype.str, order=_array_order(arr),
+                digest=PackingCache.fingerprint(arr))
+            view = _segment_view(shm, spec)
+            view[...] = arr
+            view.flags.writeable = False
+            setter(view)
+            specs.append(spec)
+        handle = SharedPlanHandle(
+            segment=shm.name, arrays=tuple(specs), total_bytes=total,
+            graph_json=plan.graph.to_json(),
+            backend=plan.info.backend,
+            gemm_backend=plan.info.gemm_backend,
+            accmem_bits=plan.info.accmem_bits,
+            fuse=plan.info.fuse)
+        ok = True
+        return SharedPlan(handle, shm)
+    except (OSError, ValueError) as exc:
+        raise PlanShareError(
+            f"shared-memory export failed: {exc}") from exc
+    finally:
+        if not ok and shm is not None:
+            shm.close()
+            shm.unlink()
+
+
+def attach_plan(handle: SharedPlanHandle) -> AttachedPlan:
+    """Rebuild the exported plan in this process, zero-copy.
+
+    The graph is recompiled locally (deterministic, so the plan
+    structure matches the exporter's), then every constant array is
+    verified against the manifest fingerprint -- both the segment
+    payload (tamper/staleness detection) and the locally compiled
+    array (graph/version skew detection) -- and rebound to a read-only
+    view of the segment.  The transient local copies are dropped, so
+    the steady-state per-process footprint of the plan's constants is
+    the scratch state only; call
+    :meth:`GraphPlan.release_source` afterwards to also drop the
+    rebuilt float64 graph weights.
+    """
+    graph = GraphModel.from_json(handle.graph_json)
+    plan = compile_graph(graph, backend=handle.backend,
+                         gemm_backend=handle.gemm_backend,
+                         accmem_bits=handle.accmem_bits,
+                         fuse=handle.fuse)
+    slots = list(iter_plan_arrays(plan))
+    if len(slots) != len(handle.arrays):
+        raise PlanShareError(
+            f"manifest lists {len(handle.arrays)} arrays but the local "
+            f"compile produced {len(slots)}: graph or version skew")
+    shm: Optional[shared_memory.SharedMemory] = None
+    ok = False
+    try:
+        shm = shared_memory.SharedMemory(name=handle.segment)
+        for spec, (key, arr, setter) in zip(handle.arrays, slots):
+            if spec.key != key:
+                raise PlanShareError(
+                    f"manifest entry {spec.key!r} does not line up with "
+                    f"local plan array {key!r}: graph or version skew")
+            if PackingCache.fingerprint(arr) != spec.digest:
+                raise PlanShareError(
+                    f"locally compiled array {key!r} does not match the "
+                    f"exported fingerprint: the graph differs from the "
+                    f"one the segment was exported from")
+            view = _segment_view(shm, spec)
+            if PackingCache.fingerprint(view) != spec.digest:
+                raise PlanShareError(
+                    f"segment payload for {key!r} does not match its "
+                    f"manifest fingerprint: tampered or stale segment")
+            view.flags.writeable = False
+            setter(view)
+        ok = True
+        return AttachedPlan(plan, shm, handle)
+    except FileNotFoundError as exc:
+        raise PlanShareError(
+            f"shared segment {handle.segment!r} does not exist "
+            f"(exporter gone or already unlinked)") from exc
+    finally:
+        if not ok and shm is not None:
+            shm.close()
+
+
+def plan_share_stats(plan: GraphPlan, buf=None) -> dict:
+    """How many of the plan's constant bytes alias ``buf``.
+
+    With ``buf`` (a shared segment's buffer) the split proves the
+    zero-copy property deterministically: ``plan_bytes_shared`` counts
+    arrays whose storage lives inside the segment,
+    ``plan_bytes_private`` whatever is process-local.  Without ``buf``
+    everything counts as private.  This is the measure the serving
+    benchmark reports per worker -- unlike RSS deltas it cannot be
+    confounded by allocator or interpreter noise.
+    """
+    base = size = 0
+    if buf is not None:
+        raw = np.frombuffer(buf, dtype=np.uint8)
+        base = int(raw.__array_interface__["data"][0])
+        size = raw.nbytes
+    arrays = total = shared = 0
+    for _, arr, _ in iter_plan_arrays(plan):
+        arrays += 1
+        total += arr.nbytes
+        addr = int(arr.__array_interface__["data"][0])
+        if buf is not None and base <= addr \
+                and addr + arr.nbytes <= base + size:
+            shared += arr.nbytes
+    return {
+        "arrays": arrays,
+        "plan_bytes_total": total,
+        "plan_bytes_shared": shared,
+        "plan_bytes_private": total - shared,
+    }

@@ -39,9 +39,17 @@ state, fallback warnings surfaced from the inference result rather than
 dropped in the worker thread).  :class:`ServingReport` aggregates p50 /
 p95 / p99 / mean latency, throughput, the batch-size histogram,
 observed queue depths and every overload counter, so a load test
-doubles as a capacity measurement.  Process-level sharding remains an
-open item (see ROADMAP.md); the asyncio front end lives in
-:mod:`repro.runtime.async_client`.
+doubles as a capacity measurement.
+
+Process-level sharding is built on top of this class:
+:class:`~repro.runtime.sharding.ShardedServer` overrides only the
+runner-construction hook (:meth:`BatchedServer._setup_runners`) to fan
+batches out to worker processes executing a zero-copy shared plan; the
+:func:`serve` factory picks between the two behind one API (and
+degrades process sharding to this threaded pool with a
+:class:`~repro.robustness.errors.ReliabilityWarning` when the
+environment cannot support it).  The asyncio front end lives in
+:mod:`repro.runtime.async_client` and works against either flavour.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import warnings
 from collections import Counter
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -60,7 +69,7 @@ from repro.core.config import DEFAULT_ACCMEM_BITS
 from repro.core.errors import ReproError
 from repro.core.locks import make_lock
 from repro.core.packcache import PackingCache
-from repro.robustness.errors import OverloadError
+from repro.robustness.errors import OverloadError, ReliabilityWarning
 from repro.robustness.faults import FaultPlan
 from repro.robustness.recovery import BreakerPolicy, RecoveryPolicy
 
@@ -299,26 +308,11 @@ class BatchedServer:
         # bounded at `workers`, and the batcher blocks on get() before
         # dispatching, so at most `workers` batches are ever in flight.
         self._runners: queue.Queue = queue.Queue(maxsize=workers)
-        for _ in range(workers):
-            if guarded:
-                primary: object = InferenceEngine(
-                    graph, backend=backend, gemm_backend=gemm_backend,
-                    accmem_bits=accmem_bits, guard_level=guard_level,
-                    fault_plan=fault_plan, recovery=recovery)
-            elif compiled:
-                primary = compile_graph(
-                    graph, backend=backend, gemm_backend=gemm_backend,
-                    accmem_bits=accmem_bits, pack_cache=self.pack_cache)
-            else:
-                primary = InferenceEngine(
-                    graph, backend=backend, gemm_backend=gemm_backend,
-                    accmem_bits=accmem_bits)
-            reference = None
-            if self._breaker is not None:
-                reference = InferenceEngine(graph, backend="numpy",
-                                            accmem_bits=accmem_bits)
-            self._runners.put(_Runner(primary=primary,
-                                      reference=reference))
+        self._setup_runners(graph, guarded=guarded, backend=backend,
+                            gemm_backend=gemm_backend,
+                            accmem_bits=accmem_bits,
+                            guard_level=guard_level,
+                            fault_plan=fault_plan, recovery=recovery)
         self._pool = ThreadPoolExecutor(max_workers=workers)
         # Stats are written by batcher/worker/submitter threads and
         # drained by the client thread; lifecycle state orders submit()
@@ -341,6 +335,40 @@ class BatchedServer:
         self._batcher = threading.Thread(target=self._batch_loop,
                                          name="repro-batcher", daemon=True)
         self._batcher.start()
+
+    def _setup_runners(self, graph: GraphModel, *, guarded: bool,
+                       backend: str, gemm_backend: str,
+                       accmem_bits: int, guard_level: str,
+                       fault_plan: Optional[FaultPlan],
+                       recovery: Optional[RecoveryPolicy]) -> None:
+        """Fill ``self._runners`` with one :class:`_Runner` per slot.
+
+        The thread-pool flavour builds in-process backends (engine or
+        compiled plan).  :class:`~repro.runtime.sharding.ShardedServer`
+        overrides exactly this hook to put process-backed runners into
+        the same bounded pool -- every other dispatcher mechanism
+        (admission, batching, breaker, stats) is shared.
+        """
+        for _ in range(self.workers):
+            if guarded:
+                primary: object = InferenceEngine(
+                    graph, backend=backend, gemm_backend=gemm_backend,
+                    accmem_bits=accmem_bits, guard_level=guard_level,
+                    fault_plan=fault_plan, recovery=recovery)
+            elif self.compiled:
+                primary = compile_graph(
+                    graph, backend=backend, gemm_backend=gemm_backend,
+                    accmem_bits=accmem_bits, pack_cache=self.pack_cache)
+            else:
+                primary = InferenceEngine(
+                    graph, backend=backend, gemm_backend=gemm_backend,
+                    accmem_bits=accmem_bits)
+            reference = None
+            if self._breaker is not None:
+                reference = InferenceEngine(graph, backend="numpy",
+                                            accmem_bits=accmem_bits)
+            self._runners.put(_Runner(primary=primary,
+                                      reference=reference))
 
     # -- client API -----------------------------------------------------------
 
@@ -670,6 +698,9 @@ class BatchedServer:
                 f"{e.layer}: fell back to reference backend "
                 f"(detected by {e.detected_by})"
                 for e in events if e.action == "fallback")
+            notes += tuple(
+                f"{e.layer}: {e.message}"
+                for e in events if e.action == "respawn")
             if degraded:
                 notes += ("batch served by reference backend: "
                           "circuit breaker open",)
@@ -701,6 +732,36 @@ class BatchedServer:
                     continue
         finally:
             self._runners.put(runner)
+
+
+def serve(graph: GraphModel, *, processes: bool = False,
+          start_method: str = "spawn", **kwargs) -> BatchedServer:
+    """Build a server: threaded pool or process shards, one API.
+
+    ``processes=False`` (default) returns a :class:`BatchedServer`.
+    ``processes=True`` returns a
+    :class:`~repro.runtime.sharding.ShardedServer`; when the
+    environment cannot support process sharding (no ``spawn`` start
+    method, shared memory unavailable, worker startup failure) the
+    factory degrades to the threaded pool and emits a structured
+    :class:`~repro.robustness.errors.ReliabilityWarning` instead of
+    failing -- the caller still gets a working server with identical
+    semantics.  Misuse (guards or fault injection with
+    ``processes=True``) raises :class:`ServingError` and does *not*
+    fall back: that is a configuration error, not an environment
+    limitation.
+    """
+    if not processes:
+        return BatchedServer(graph, **kwargs)
+    from .sharding import ShardedServer, ShardingUnavailable
+
+    try:
+        return ShardedServer(graph, start_method=start_method, **kwargs)
+    except ShardingUnavailable as exc:
+        warnings.warn(ReliabilityWarning(
+            f"process sharding unavailable ({exc}); serving from the "
+            f"threaded pool instead"), stacklevel=2)
+        return BatchedServer(graph, **kwargs)
 
 
 def scaling_sweep(graph: GraphModel, inputs: Sequence[np.ndarray], *,

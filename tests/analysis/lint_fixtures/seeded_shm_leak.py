@@ -1,0 +1,17 @@
+"""Seeded REP011 violation: SharedMemory created, never cleaned up.
+
+The check-CLI tests copy this file under a ``runtime/`` directory (the
+rule is scoped to the serving runtime; everything under ``tests/`` is
+exempt in place) and assert the finding renders in text, JSON and
+SARIF.  Intentionally broken -- do not "fix" it.
+"""
+
+from multiprocessing import shared_memory
+
+
+def publish_plan(payload: bytes):
+    # Bug on purpose: no close()/unlink() pairing anywhere -- on any
+    # exit path this segment stays behind in /dev/shm.
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    shm.buf[:len(payload)] = payload
+    return shm.name

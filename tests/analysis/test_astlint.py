@@ -1,4 +1,4 @@
-"""REP001-REP009 linter: every rule fires, every rule suppresses."""
+"""REP001-REP011 linter: every rule fires, every rule suppresses."""
 
 import textwrap
 from pathlib import Path
@@ -435,3 +435,86 @@ class TestRep010AccmemLiterals:
     def test_noqa_suppresses(self):
         assert rules("run(accmem_bits=12)  # repro: noqa REP010\n") \
             == []
+
+
+class TestRep011SharedMemoryCleanup:
+    def test_unpaired_creation_flagged(self):
+        src = """
+        from multiprocessing import shared_memory
+
+        def leak():
+            return shared_memory.SharedMemory(create=True, size=64)
+        """
+        assert rules(src, path=RUNTIME_PATH) == ["REP011"]
+
+    def test_assignment_without_cleanup_flagged(self):
+        src = """
+        from multiprocessing import shared_memory
+
+        def leak():
+            shm = shared_memory.SharedMemory(create=True, size=64)
+            shm.buf[0] = 1
+        """
+        assert rules(src, path=RUNTIME_PATH) == ["REP011"]
+
+    def test_context_manager_passes(self):
+        src = """
+        from multiprocessing import shared_memory
+
+        def ok():
+            with shared_memory.SharedMemory(create=True, size=64) as s:
+                return bytes(s.buf[:4])
+        """
+        assert rules(src, path=RUNTIME_PATH) == []
+
+    def test_try_finally_close_passes(self):
+        src = """
+        from multiprocessing import shared_memory
+
+        def ok():
+            shm = None
+            try:
+                shm = shared_memory.SharedMemory(create=True, size=64)
+                return bytes(shm.buf[:4])
+            finally:
+                if shm is not None:
+                    shm.close()
+                    shm.unlink()
+        """
+        assert rules(src, path=RUNTIME_PATH) == []
+
+    def test_finally_without_cleanup_still_flagged(self):
+        src = """
+        from multiprocessing import shared_memory
+
+        def leak():
+            try:
+                shm = shared_memory.SharedMemory(create=True, size=64)
+            finally:
+                log("done")
+        """
+        assert rules(src, path=RUNTIME_PATH) == ["REP011"]
+
+    def test_attach_by_name_needs_cleanup_too(self):
+        # attaching maps the segment: an unclosed mapping pins memory
+        src = "s = SharedMemory(name='seg')\n"
+        assert rules(src, path=RUNTIME_PATH) == ["REP011"]
+
+    def test_rule_scoped_to_runtime(self):
+        src = "s = shared_memory.SharedMemory(create=True, size=8)\n"
+        assert rules(src, path="src/repro/core/mod.py") == []
+
+    def test_tests_exempt(self):
+        src = "s = shared_memory.SharedMemory(create=True, size=8)\n"
+        assert rules(src, path="tests/runtime/test_x.py") == []
+
+    def test_hint_mentions_dev_shm(self):
+        diags = lint_source(
+            "s = shared_memory.SharedMemory(create=True, size=8)\n",
+            RUNTIME_PATH)
+        assert "/dev/shm" in diags[0].hint
+
+    def test_suppressed(self):
+        src = ("s = shared_memory.SharedMemory(create=True, size=8)"
+               "  # repro: noqa REP011\n")
+        assert rules(src, path=RUNTIME_PATH) == []

@@ -180,3 +180,51 @@ class TestExitCodeConsistency:
     def test_nothing_to_check_mentions_ranges(self, capsys):
         main(["check"])
         assert "--ranges" in capsys.readouterr().err
+
+
+class TestRep011Fixture:
+    """The seeded SharedMemory-leak fixture fires in every format."""
+
+    @pytest.fixture()
+    def leaky_runtime_file(self, tmp_path):
+        fixture = (Path(__file__).parent / "lint_fixtures"
+                   / "seeded_shm_leak.py")
+        runtime_dir = tmp_path / "runtime"
+        runtime_dir.mkdir()
+        target = runtime_dir / "shm_leak.py"
+        target.write_text(fixture.read_text())
+        return str(target)
+
+    def test_text_format(self, leaky_runtime_file, capsys):
+        assert main(["check", "--lint", leaky_runtime_file]) == 1
+        out = capsys.readouterr().out
+        assert "REP011" in out
+        assert "close()/unlink()" in out
+
+    def test_json_format(self, leaky_runtime_file, capsys):
+        assert main(["check", "--lint", leaky_runtime_file,
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 1
+        diag = payload["diagnostics"][0]
+        assert diag["rule"] == "REP011"
+        assert diag["path"] == leaky_runtime_file
+
+    def test_sarif_format(self, leaky_runtime_file, tmp_path):
+        out_file = tmp_path / "report.sarif"
+        assert main(["check", "--lint", leaky_runtime_file,
+                     "--format", "sarif",
+                     "--output", str(out_file)]) == 1
+        run = json.loads(out_file.read_text())["runs"][0]
+        results = run["results"]
+        assert any(r["ruleId"] == "REP011" and r["level"] == "error"
+                   for r in results)
+        rule_ids = {r["id"] for r in
+                    run["tool"]["driver"]["rules"]}
+        assert "REP011" in rule_ids
+
+    def test_fixture_in_place_is_exempt(self):
+        """Under tests/ the fixture itself must not fail the lint."""
+        fixture = (Path(__file__).parent / "lint_fixtures"
+                   / "seeded_shm_leak.py")
+        assert main(["check", "--lint", str(fixture)]) == 0
