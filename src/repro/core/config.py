@@ -202,6 +202,68 @@ class BlockingParams:
         return self.mr * self.nr
 
 
+def blocking_problems(mc: int, nc: int, kc: int, mr: int,
+                      nr: int) -> list[str]:
+    """Why ``BlockingParams(mc, nc, kc, mr, nr)`` would refuse to build.
+
+    The same constraints :meth:`BlockingParams.__post_init__` raises on,
+    exposed as data so a candidate-space generator (the autotuner in
+    :mod:`repro.tuning`) can filter and *report* invalid points instead
+    of driving the search by exception handling.  Empty list = buildable.
+    """
+    problems: list[str] = []
+    for name, value in (("mc", mc), ("nc", nc), ("kc", kc),
+                        ("mr", mr), ("nr", nr)):
+        if value < 1:
+            problems.append(f"{name}={value} must be positive")
+    if not problems:
+        if mr > mc:
+            problems.append(f"mr={mr} exceeds mc={mc}: one register "
+                            f"u-panel cannot outgrow its cache block")
+        if nr > nc:
+            problems.append(f"nr={nr} exceeds nc={nc}: one register "
+                            f"u-panel cannot outgrow its cache block")
+    return problems
+
+
+#: Default per-axis grids the autotuner searches.  ``mc``/``nc``/``kc``
+#: span the paper's Table-I point (256) down to the simulator default
+#: (16/16/64); ``mr``/``nr`` stay at the RF-imposed 4x4 register tile
+#: (Section III-C: a 32-register RF caps the u-panel at 4x4).
+TUNE_MC_VALUES = (16, 64, 256)
+TUNE_NC_VALUES = (16, 64, 256)
+TUNE_KC_VALUES = (16, 64, 256, 1024)
+TUNE_MR_VALUES = (4,)
+TUNE_NR_VALUES = (4,)
+
+
+def blocking_candidates(
+    *,
+    mc_values: tuple[int, ...] = TUNE_MC_VALUES,
+    nc_values: tuple[int, ...] = TUNE_NC_VALUES,
+    kc_values: tuple[int, ...] = TUNE_KC_VALUES,
+    mr_values: tuple[int, ...] = TUNE_MR_VALUES,
+    nr_values: tuple[int, ...] = TUNE_NR_VALUES,
+) -> list[BlockingParams]:
+    """Every buildable :class:`BlockingParams` on the given grids.
+
+    The cross product is filtered through :func:`blocking_problems`, so
+    points like ``mr > mc`` are dropped rather than raised; the result
+    is deterministic (grid order) and duplicate-free.
+    """
+    candidates: list[BlockingParams] = []
+    seen: set[tuple[int, int, int, int, int]] = set()
+    for mc, nc, kc, mr, nr in itertools.product(
+            mc_values, nc_values, kc_values, mr_values, nr_values):
+        point = (mc, nc, kc, mr, nr)
+        if point in seen or blocking_problems(*point):
+            continue
+        seen.add(point)
+        candidates.append(BlockingParams(mc=mc, nc=nc, kc=kc,
+                                         mr=mr, nr=nr))
+    return candidates
+
+
 @dataclass(frozen=True)
 class MixGemmConfig:
     """Complete configuration of the Mix-GEMM HW-SW stack.

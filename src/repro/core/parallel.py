@@ -107,10 +107,10 @@ class ParallelMixGemm:
             for _ in range(cores)
         ]
 
-    def _partition(self, n: int) -> list[tuple[int, int]]:
+    def _partition(self, n: int, cores: int) -> list[tuple[int, int]]:
         """Split N into per-core column slices, nr-aligned when possible."""
         nr = self.config.blocking.nr
-        chunk = math.ceil(n / self.cores)
+        chunk = math.ceil(n / cores)
         chunk = max(nr, math.ceil(chunk / nr) * nr)
         slices = []
         start = 0
@@ -132,14 +132,27 @@ class ParallelMixGemm:
         """
         return executor.gemm(a, b_slice)
 
-    def gemm(self, a: np.ndarray, b: np.ndarray) -> ParallelGemmResult:
+    def gemm(self, a: np.ndarray, b: np.ndarray, *,
+             cores: int | None = None) -> ParallelGemmResult:
         """Compute ``A @ B`` across the cores; bit-exact, max-core timing.
 
         With ``threaded`` (default for ``cores > 1``) the per-core
         slices run on real worker threads -- results stay bit-exact
         because the slices write disjoint columns and are collected in
         submission order, independent of thread scheduling.
+
+        ``cores`` restricts this call to the first ``cores`` executors
+        of the bank (``1 <= cores <= self.cores``) -- the per-call
+        worker-count knob the autotuner turns while reusing one
+        executor bank (and its shared packing cache) across the whole
+        candidate sweep.
         """
+        if cores is None:
+            cores = self.cores
+        elif not 1 <= cores <= self.cores:
+            raise BinSegError(
+                f"cores={cores} outside the constructed bank of "
+                f"{self.cores} executors")
         a = np.asarray(a)
         b = np.asarray(b)
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
@@ -148,7 +161,7 @@ class ParallelMixGemm:
         m, k = a.shape
         n = b.shape[1]
         c = np.zeros((m, n), dtype=np.int64)
-        slices = self._partition(n)
+        slices = self._partition(n, cores)
         with self._gemm_lock:
             if self.threaded and len(slices) > 1:
                 with ThreadPoolExecutor(

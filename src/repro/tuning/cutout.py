@@ -1,0 +1,145 @@
+"""Cut single GEMM layers out of a compiled plan as tuning units.
+
+dace-style cutout tuning measures each candidate against the *real*
+work the deployment performs, not a synthetic proxy: the A operand is
+the exact quantized im2col activation matrix the plan produced for a
+representative input, and the B operand is the exact weight panel the
+plan baked in at compile time.  This module extracts both without
+re-deriving any lowering logic -- it runs the plan once with the
+:mod:`~repro.runtime.observe` range hook armed (the same tap the range
+sanitizer uses) and captures the ``"act"`` array each quantized GEMM
+step reports immediately before calling its bound executor, then pairs
+it with that executor's baked weight operand.
+
+Fast-mode executors store their weights as pre-cast kc-blocks (the
+float64 blocks are exact by the ``2**53`` rule, so casting back to
+int64 is lossless); event-mode executors keep the int64 panel
+directly.  Grouped convolutions contribute their first group: every
+group shares the layer's shape, bitwidths and blocking, so one group
+is the representative tuning unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import MixGemmConfig
+from repro.core.errors import ReproError
+from repro.runtime.observe import set_range_hook
+from repro.runtime.plan import GraphPlan
+
+
+class TuningError(ReproError, RuntimeError):
+    """Raised on autotuner misuse (wrong backend, no quantized layers)."""
+
+
+@dataclass
+class LayerCutout:
+    """One independently runnable tuning unit cut from a plan.
+
+    ``label`` is the step's stable pre-fusion id (``stats_label``), the
+    same key per-layer cycle reports use.  ``a`` is the captured
+    quantized activation matrix (M x K, int64 codes already in the
+    config's range), ``b`` the baked weight panel (K x N, int64).
+    """
+
+    label: str
+    op: str
+    config: MixGemmConfig
+    a: np.ndarray
+    b: np.ndarray
+    groups: int = 1
+
+    @property
+    def m(self) -> int:
+        return self.a.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.a.shape[1]
+
+    @property
+    def n(self) -> int:
+        return self.b.shape[1]
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+    def describe(self) -> str:
+        return (f"{self.label}: {self.op} {self.config.name} "
+                f"{self.m}x{self.k}x{self.n}"
+                + (f" (x{self.groups} groups)" if self.groups > 1 else ""))
+
+
+def bound_weight_operand(gemm) -> np.ndarray:
+    """Reassemble a bound executor's int64 K x N weight operand.
+
+    Event mode keeps the panel directly.  Fast mode stores kc-blocks,
+    some pre-cast to float64 -- only when every product in the block is
+    exactly representable (``kc_blk * max|A| * max|B| < 2**53``), so
+    the round-trip back to int64 is the identity on the stored values.
+    """
+    if gemm.mode == "event":
+        return np.asarray(gemm._b, dtype=np.int64)
+    blocks = [np.asarray(blk, dtype=np.int64)
+              for _, blk, _ in gemm._blocks]
+    return blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+
+
+def extract_cutouts(plan: GraphPlan, x: np.ndarray) -> list[LayerCutout]:
+    """Run ``plan`` once on ``x`` and cut out every quantized GEMM layer.
+
+    The observe hook fires per GEMM call with the step's stable label;
+    the first ``"act"`` capture per label (group 0 of a grouped conv)
+    becomes the cutout's A operand.  Requires a ``mixgemm``-backend
+    plan -- the numpy backend never reports activations and has no
+    bound executors to tune.
+    """
+    if plan.info.backend != "mixgemm":
+        raise TuningError(
+            f"cutout extraction needs a mixgemm-backend plan, got "
+            f"{plan.info.backend!r}")
+    captured: dict[str, np.ndarray] = {}
+
+    def _capture(label: str, kind: str, values: np.ndarray) -> None:
+        if kind == "act" and label not in captured:
+            captured[label] = np.ascontiguousarray(values,
+                                                   dtype=np.int64)
+
+    previous = set_range_hook(_capture)
+    try:
+        plan.run(x)
+    finally:
+        set_range_hook(previous)
+
+    cutouts: list[LayerCutout] = []
+    for step in plan.steps:
+        gemms = list(getattr(step, "gemms", []))
+        single = getattr(step, "gemm", None)
+        if single is not None:
+            gemms.append(single)
+        if not gemms:
+            continue
+        label = step.stats_label
+        a = captured.get(label)
+        if a is None:  # pragma: no cover - every bound gemm observes
+            continue
+        gemm = gemms[0]
+        cutouts.append(LayerCutout(
+            label=label, op=step.op, config=gemm.config, a=a,
+            b=bound_weight_operand(gemm), groups=len(gemms)))
+    if not cutouts:
+        raise TuningError(
+            "plan has no quantized GEMM layers to tune")
+    return cutouts
+
+
+__all__ = [
+    "LayerCutout",
+    "TuningError",
+    "bound_weight_operand",
+    "extract_cutouts",
+]

@@ -1,0 +1,238 @@
+"""Campaign orchestration: cutouts -> candidates -> winners -> cache.
+
+:func:`tune_graph` is the one entry point the CLI and the tests use:
+compile the graph, cut every quantized GEMM layer out with its real
+operands, and for each *distinct* layer shape (full
+:class:`~repro.tuning.cache.TuneKey` digest) either reuse the cached
+winner or run a measurement sweep and persist the new one.  Duplicate
+layers -- the second BasicBlock conv of a ResNet, the same model tuned
+twice, the same shape in a different model -- hit the cache and skip
+the sweep entirely, which is what makes a re-run of a campaign
+~instant.
+
+The default configuration is always part of the sweep, so the winner
+is never slower than the default on the tuning measurements, and every
+winner was bit-exact against the default-configuration reference
+before it became eligible (see :mod:`repro.tuning.measure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import (
+    BlockingParams,
+    DEFAULT_ACCMEM_BITS,
+)
+from repro.runtime.graph import GraphModel
+from repro.runtime.plan import compile_graph
+
+from .cache import TuneCache, TuneEntry, TuneKey
+from .cutout import LayerCutout, extract_cutouts
+from .measure import fan_out_measurements, reference_digest
+from .space import (
+    DEFAULT_CORES_VALUES,
+    DEFAULT_EVENT_MAC_LIMIT,
+    candidate_space,
+)
+
+
+@dataclass
+class LayerOutcome:
+    """What the campaign decided for one layer."""
+
+    label: str
+    op: str
+    config: str                 # paper notation, e.g. "a8-w8"
+    m: int
+    n: int
+    k: int
+    digest: str
+    cached: bool                # served from the cache (no sweep run)
+    blocking: tuple[int, int, int, int, int]
+    backend: str
+    cores: int
+    median_s: float
+    default_median_s: float
+    candidates: int
+    rejected_inexact: int = 0
+    errors: int = 0
+
+    @property
+    def speedup(self) -> float:
+        return (self.default_median_s / self.median_s
+                if self.median_s > 0 else 1.0)
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label, "op": self.op, "config": self.config,
+            "m": self.m, "n": self.n, "k": self.k,
+            "digest": self.digest, "cached": self.cached,
+            "blocking": list(self.blocking), "backend": self.backend,
+            "cores": self.cores, "median_s": self.median_s,
+            "default_median_s": self.default_median_s,
+            "speedup": self.speedup, "candidates": self.candidates,
+            "rejected_inexact": self.rejected_inexact,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class TuneReport:
+    """One campaign's outcomes plus the cache accounting."""
+
+    layers: list[LayerOutcome] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+    cache_path: str = ""
+
+    @property
+    def swept(self) -> int:
+        """Layers that actually ran a measurement sweep."""
+        return sum(1 for lo in self.layers if not lo.cached)
+
+    def as_dict(self) -> dict:
+        return {
+            "layers": [lo.as_dict() for lo in self.layers],
+            "hits": self.hits, "misses": self.misses,
+            "swept": self.swept, "cache_path": self.cache_path,
+        }
+
+    def render(self) -> str:
+        if not self.layers:
+            return "no quantized GEMM layers tuned"
+        width = max(len(lo.label) for lo in self.layers)
+        lines = [f"{'layer':{width}s} {'shape':>16s} {'cfg':8s} "
+                 f"{'winner (mc nc kc mr nr)':24s} {'backend':7s} "
+                 f"{'speedup':>8s} {'source':6s}"]
+        for lo in self.layers:
+            shape = f"{lo.m}x{lo.k}x{lo.n}"
+            blocking = " ".join(str(v) for v in lo.blocking)
+            lines.append(
+                f"{lo.label:{width}s} {shape:>16s} {lo.config:8s} "
+                f"{blocking:24s} {lo.backend:7s} {lo.speedup:8.2f} "
+                f"{'cache' if lo.cached else 'sweep':6s}")
+        lines.append(f"cache: {self.hits} hits, {self.misses} misses, "
+                     f"{self.swept} sweeps -> {self.cache_path}")
+        return "\n".join(lines)
+
+
+def _outcome_from_entry(cutout: LayerCutout, entry: TuneEntry,
+                        cached: bool, *, rejected: int = 0,
+                        errors: int = 0) -> LayerOutcome:
+    return LayerOutcome(
+        label=cutout.label, op=cutout.op, config=cutout.config.name,
+        m=cutout.m, n=cutout.n, k=cutout.k, digest=entry.key.digest(),
+        cached=cached, blocking=entry.blocking, backend=entry.backend,
+        cores=entry.cores, median_s=entry.median_s,
+        default_median_s=entry.default_median_s,
+        candidates=entry.candidates, rejected_inexact=rejected,
+        errors=errors)
+
+
+def tune_cutout(cutout: LayerCutout, key: TuneKey, *,
+                blockings: Optional[Sequence[BlockingParams]] = None,
+                cores_values: Sequence[int] = DEFAULT_CORES_VALUES,
+                event_mac_limit: int = DEFAULT_EVENT_MAC_LIMIT,
+                repeats: int = 3, warmup: int = 1,
+                processes: int = 0,
+                gemm_backend: str = "auto") -> tuple[TuneEntry, int, int]:
+    """Run one measurement sweep; returns (entry, rejected, errors).
+
+    The winner is the fastest *eligible* candidate (ran cleanly and
+    reproduced the default-configuration reference bit for bit).  The
+    default configuration leads the candidate list, so ties resolve in
+    its favour and the sweep can never regress a layer.
+    """
+    candidates = candidate_space(
+        cutout.config, cutout.m, cutout.n, cutout.k,
+        gemm_backend=gemm_backend, blockings=blockings,
+        cores_values=cores_values, event_mac_limit=event_mac_limit)
+    expected = reference_digest(cutout.config, cutout.a, cutout.b)
+    results = fan_out_measurements(
+        cutout.config, candidates, cutout.a, cutout.b,
+        processes=processes, repeats=repeats, warmup=warmup,
+        expected_digest=expected)
+    eligible = [r for r in results if r.eligible]
+    if not eligible:  # pragma: no cover - the default always reproduces
+        raise RuntimeError(
+            f"no eligible candidate for {cutout.label}: every point "
+            f"failed the exactness gate")
+    winner = min(eligible, key=lambda r: r.median_s)
+    # Candidate 0 is always the default configuration; if it somehow
+    # failed to measure, report a neutral speedup rather than a fake one.
+    default_median = (results[0].median_s if results[0].eligible
+                      else winner.median_s)
+    blk = winner.candidate.blocking
+    entry = TuneEntry(
+        key=key,
+        blocking=(blk.mc, blk.nc, blk.kc, blk.mr, blk.nr),
+        backend=winner.candidate.backend,
+        cores=winner.candidate.cores,
+        median_s=winner.median_s,
+        default_median_s=default_median,
+        candidates=len(results))
+    rejected = sum(1 for r in results if not r.exact and not r.error)
+    errors = sum(1 for r in results if r.error)
+    return entry, rejected, errors
+
+
+def tune_graph(
+    graph: GraphModel, x: np.ndarray, *,
+    cache: Optional[TuneCache] = None,
+    accmem_bits: int = DEFAULT_ACCMEM_BITS,
+    gemm_backend: str = "auto",
+    fuse: bool = True,
+    blockings: Optional[Sequence[BlockingParams]] = None,
+    cores_values: Sequence[int] = DEFAULT_CORES_VALUES,
+    event_mac_limit: int = DEFAULT_EVENT_MAC_LIMIT,
+    repeats: int = 3, warmup: int = 1, processes: int = 0,
+) -> TuneReport:
+    """Tune every quantized GEMM layer of ``graph`` against input ``x``.
+
+    Compiles the graph at default blocking (``backend="mixgemm"``, the
+    only backend with bound GEMM executors), cuts out each layer's real
+    operands, and runs or reuses one campaign per distinct layer-shape
+    digest.  Winners land in ``cache`` (the default on-disk cache when
+    not given) where ``compile_graph(..., tuned=True)`` and
+    ``repro serve --tuned`` pick them up.
+    """
+    if cache is None:
+        cache = TuneCache()
+    plan = compile_graph(graph, backend="mixgemm",
+                         gemm_backend=gemm_backend,
+                         accmem_bits=accmem_bits, fuse=fuse)
+    cutouts = extract_cutouts(plan, x)
+    report = TuneReport(cache_path=str(cache.path))
+    for cutout in cutouts:
+        key = TuneKey.from_config(cutout.config, cutout.m, cutout.n,
+                                  cutout.k, fuse=fuse,
+                                  gemm_backend=gemm_backend)
+        entry = cache.get(key)
+        if entry is not None:
+            report.layers.append(
+                _outcome_from_entry(cutout, entry, cached=True))
+            continue
+        entry, rejected, errors = tune_cutout(
+            cutout, key, blockings=blockings, cores_values=cores_values,
+            event_mac_limit=event_mac_limit, repeats=repeats,
+            warmup=warmup, processes=processes,
+            gemm_backend=gemm_backend)
+        cache.put(entry)
+        report.layers.append(
+            _outcome_from_entry(cutout, entry, cached=False,
+                                rejected=rejected, errors=errors))
+    report.hits = cache.hits
+    report.misses = cache.misses
+    return report
+
+
+__all__ = [
+    "LayerOutcome",
+    "TuneReport",
+    "tune_cutout",
+    "tune_graph",
+]

@@ -1,0 +1,16 @@
+"""Seeded REP012 violation: cache entry written without os.replace.
+
+The check-CLI tests copy this file to ``<tmp>/tuning/cache.py`` (the
+rule is scoped to the persistent tuning cache; everything under
+``tests/`` is exempt in place) and assert the finding renders in text,
+JSON and SARIF.  Intentionally broken -- do not "fix" it.
+"""
+
+import json
+
+
+def save_entry(path, payload: dict):
+    # Bug on purpose: writes the final file in place.  A reader racing
+    # this writer (or a crash mid-dump) sees a torn JSON file.
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)

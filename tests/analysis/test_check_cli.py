@@ -228,3 +228,55 @@ class TestRep011Fixture:
         fixture = (Path(__file__).parent / "lint_fixtures"
                    / "seeded_shm_leak.py")
         assert main(["check", "--lint", str(fixture)]) == 0
+
+
+class TestRep012Fixture:
+    """The seeded non-atomic cache writer fires in every format."""
+
+    @pytest.fixture()
+    def torn_cache_file(self, tmp_path):
+        fixture = (Path(__file__).parent / "lint_fixtures"
+                   / "seeded_nonatomic_cache.py")
+        tuning_dir = tmp_path / "tuning"
+        tuning_dir.mkdir()
+        target = tuning_dir / "cache.py"
+        target.write_text(fixture.read_text())
+        return str(target)
+
+    def test_text_format(self, torn_cache_file, capsys):
+        assert main(["check", "--lint", torn_cache_file]) == 1
+        out = capsys.readouterr().out
+        assert "REP012" in out
+        assert "os.replace" in out
+
+    def test_json_format(self, torn_cache_file, capsys):
+        assert main(["check", "--lint", torn_cache_file,
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["error"] == 1
+        diag = payload["diagnostics"][0]
+        assert diag["rule"] == "REP012"
+        assert diag["path"] == torn_cache_file
+
+    def test_sarif_format(self, torn_cache_file, tmp_path):
+        out_file = tmp_path / "report.sarif"
+        assert main(["check", "--lint", torn_cache_file,
+                     "--format", "sarif",
+                     "--output", str(out_file)]) == 1
+        run = json.loads(out_file.read_text())["runs"][0]
+        assert any(r["ruleId"] == "REP012" and r["level"] == "error"
+                   for r in run["results"])
+        rule_ids = {r["id"] for r in
+                    run["tool"]["driver"]["rules"]}
+        assert "REP012" in rule_ids
+
+    def test_fixture_in_place_is_exempt(self):
+        """Under tests/ the fixture itself must not fail the lint."""
+        fixture = (Path(__file__).parent / "lint_fixtures"
+                   / "seeded_nonatomic_cache.py")
+        assert main(["check", "--lint", str(fixture)]) == 0
+
+    def test_shipped_tuning_cache_is_clean(self):
+        cache_mod = (Path(__file__).resolve().parents[2]
+                     / "src" / "repro" / "tuning" / "cache.py")
+        assert main(["check", "--lint", str(cache_mod)]) == 0

@@ -259,3 +259,38 @@ class TestFullDifferentialSweep:
         event, fast = run_both(config, m, k, n,
                                seed=bw_a * 100 + bw_b)
         assert_identical(event, fast)
+
+
+class TestBlockingOverrideEquivalence:
+    """The tuner swaps ``config.blocking`` per candidate; with the full
+    64-bit container the kc split is a pure schedule choice -- every
+    valid blocking produces the identical matrix."""
+
+    @pytest.mark.parametrize("kc", [2, 16, 64, 1024])
+    def test_full_container_values_invariant_under_kc(self, kc):
+        from dataclasses import replace
+
+        base = make_config(accmem_bits=64)
+        a, b = random_operands(base, 8, 4096, 8, seed=3)
+        reference = run_fastpath(base, KernelCosts(), a, b).c
+        cfg = replace(base, blocking=BlockingParams(
+            mc=8, nc=8, kc=kc, mr=4, nr=4))
+        got = run_fastpath(cfg, KernelCosts(), a, b).c
+        np.testing.assert_array_equal(got, reference)
+        np.testing.assert_array_equal(got, a.astype(np.int64) @ b)
+
+    def test_sub_container_wrap_points_move_with_kc(self):
+        """The converse: with a narrow AccMem the split boundaries are
+        semantic, which is exactly why the tuner's exactness gate
+        exists (see repro.tuning.measure)."""
+        from dataclasses import replace
+
+        base = make_config(accmem_bits=20, blocking=BlockingParams(
+            mc=16, nc=16, kc=16, mr=4, nr=4))
+        a, b = random_operands(base, 4, 4096, 4, seed=9)
+        small = run_fastpath(base, KernelCosts(), a, b).c
+        big = run_fastpath(
+            replace(base, blocking=BlockingParams(
+                mc=16, nc=16, kc=1024, mr=4, nr=4)),
+            KernelCosts(), a, b).c
+        assert not np.array_equal(small, big)

@@ -156,3 +156,34 @@ class TestMisalignedN:
         # core finishes early, so efficiency is strictly below 1 but
         # still bounded by the slowest-core model.
         assert 0.0 < result.parallel_efficiency < 1.0
+
+
+class TestPerCallCores:
+    """The tuner reuses one bank across candidates via gemm(cores=...)."""
+
+    def test_subset_matches_full_bank(self):
+        a, b = _operands(n=32)
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL)
+        bank = ParallelMixGemm(cfg, cores=4)
+        full = bank.gemm(a, b)
+        for cores in (1, 2, 3, 4):
+            restricted = bank.gemm(a, b, cores=cores)
+            assert restricted.cores <= cores
+            assert np.array_equal(restricted.c, full.c)
+
+    def test_out_of_range_cores_rejected(self):
+        from repro.core.binseg import BinSegError
+
+        a, b = _operands()
+        bank = ParallelMixGemm(
+            MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL), cores=2)
+        with pytest.raises(BinSegError, match="outside the constructed"):
+            bank.gemm(a, b, cores=3)
+        with pytest.raises(BinSegError, match="outside the constructed"):
+            bank.gemm(a, b, cores=0)
+
+    def test_default_uses_constructed_width(self):
+        a, b = _operands(n=32)
+        cfg = MixGemmConfig(bw_a=8, bw_b=8, blocking=SMALL)
+        bank = ParallelMixGemm(cfg, cores=3)
+        assert bank.gemm(a, b).cores == 3

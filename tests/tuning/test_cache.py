@@ -1,0 +1,190 @@
+"""On-disk tune cache: atomic writes, damage tolerance, dual keying."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import MixGemmConfig
+from repro.robustness.errors import ReliabilityWarning
+from repro.tuning import (
+    TUNE_CACHE_ENV,
+    TUNE_SCHEMA_VERSION,
+    TuneCache,
+    TuneEntry,
+    TuneKey,
+    default_cache_dir,
+)
+
+
+def make_key(m=64, n=32, k=256, bw_a=8, bw_w=8):
+    config = MixGemmConfig(bw_a=bw_a, bw_b=bw_w)
+    return TuneKey.from_config(config, m, n, k, fuse=True,
+                               gemm_backend="auto")
+
+
+def make_entry(key, blocking=(16, 16, 256, 4, 4)):
+    return TuneEntry(key=key, blocking=blocking, backend="fast",
+                     cores=1, median_s=0.001, default_median_s=0.002,
+                     candidates=7)
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        entry = make_entry(make_key())
+        cache.put(entry)
+        got = cache.get(entry.key)
+        assert got == entry
+        assert got.speedup == pytest.approx(2.0)
+
+    def test_hit_miss_accounting(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        key = make_key()
+        assert cache.get(key) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put(make_entry(key))
+        assert cache.get(key) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_distinct_shapes_distinct_files(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        cache.put(make_entry(make_key(k=128)))
+        cache.put(make_entry(make_key(k=256)))
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert len(cache.entries()) == 2
+
+    def test_clear(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        cache.put(make_entry(make_key()))
+        assert cache.clear() == 1
+        assert cache.entries() == []
+        assert cache.get(make_key()) is None
+
+
+class TestAtomicity:
+    def test_no_temp_files_survive_put(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        cache.put(make_entry(make_key()))
+        leftovers = [p for p in tmp_path.iterdir()
+                     if not p.name.endswith(".json")]
+        assert leftovers == []
+
+    def test_put_republishes_whole_entry(self, tmp_path):
+        """A second put of the same key atomically replaces the file."""
+        cache = TuneCache(tmp_path)
+        key = make_key()
+        cache.put(make_entry(key, blocking=(16, 16, 64, 4, 4)))
+        cache.put(make_entry(key, blocking=(256, 256, 1024, 4, 4)))
+        assert cache.get(key).blocking == (256, 256, 1024, 4, 4)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_put_failure_leaves_no_temp(self, tmp_path, monkeypatch):
+        cache = TuneCache(tmp_path)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            cache.put(make_entry(make_key()))
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDamageTolerance:
+    def test_corrupt_entry_warns_and_reads_as_absent(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        key = make_key()
+        path = cache.put(make_entry(key))
+        path.write_text("{ torn json", encoding="utf-8")
+        fresh = TuneCache(tmp_path)
+        with pytest.warns(ReliabilityWarning, match="ignoring"):
+            assert fresh.get(key) is None
+        assert fresh.misses == 1
+
+    def test_version_skew_warns_and_reads_as_absent(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        key = make_key()
+        path = cache.put(make_entry(key))
+        payload = json.loads(path.read_text())
+        payload["schema"] = TUNE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        fresh = TuneCache(tmp_path)
+        with pytest.warns(ReliabilityWarning, match="schema"):
+            assert fresh.get(key) is None
+
+    def test_unbuildable_persisted_blocking_rejected(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        key = make_key()
+        path = cache.put(make_entry(key))
+        payload = json.loads(path.read_text())
+        payload["blocking"] = [4, 4, 64, 16, 16]   # mr > mc
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.warns(ReliabilityWarning):
+            assert TuneCache(tmp_path).get(key) is None
+
+    def test_key_mismatch_warns(self, tmp_path):
+        """An entry renamed onto another digest is rejected."""
+        cache = TuneCache(tmp_path)
+        entry = make_entry(make_key(k=128))
+        src = cache.put(entry)
+        other = make_key(k=256)
+        os.replace(src, tmp_path / f"{other.digest()}.json")
+        with pytest.warns(ReliabilityWarning, match="digest"):
+            assert TuneCache(tmp_path).get(other) is None
+
+    def test_corrupt_neighbour_does_not_block_good_entries(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        good = make_entry(make_key())
+        cache.put(good)
+        (tmp_path / "zzzz-broken.json").write_text("not json")
+        fresh = TuneCache(tmp_path)
+        with pytest.warns(ReliabilityWarning):
+            entries = fresh.entries()
+        assert entries == [good]
+
+
+class TestShapeLookup:
+    def test_lookup_by_shape_digest(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        entry = make_entry(make_key())
+        cache.put(entry)
+        fresh = TuneCache(tmp_path)
+        assert fresh.lookup_shape(entry.key.shape_digest()) == entry
+        # compile-time consultation is not campaign accounting
+        assert (fresh.hits, fresh.misses) == (0, 0)
+
+    def test_same_shape_different_m_share_digest(self, tmp_path):
+        k64, k128 = make_key(m=64), make_key(m=128)
+        assert k64.digest() != k128.digest()
+        assert k64.shape_digest() == k128.shape_digest()
+
+    def test_later_file_wins_on_shape_collision(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        a = make_entry(make_key(m=64), blocking=(16, 16, 64, 4, 4))
+        b = make_entry(make_key(m=128), blocking=(16, 16, 256, 4, 4))
+        cache.put(a)
+        cache.put(b)
+        winner = TuneCache(tmp_path).lookup_shape(a.key.shape_digest())
+        last_digest = sorted([a.key.digest(), b.key.digest()])[-1]
+        assert winner.key.digest() == last_digest
+
+    def test_put_invalidates_index(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        entry = make_entry(make_key())
+        assert cache.lookup_shape(entry.key.shape_digest()) is None
+        cache.put(entry)
+        assert cache.lookup_shape(entry.key.shape_digest()) == entry
+
+
+class TestDefaultLocation:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TUNE_CACHE_ENV, str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+        assert TuneCache().path == tmp_path / "alt"
+
+    def test_home_fallback(self, monkeypatch):
+        monkeypatch.delenv(TUNE_CACHE_ENV, raising=False)
+        assert default_cache_dir().as_posix().endswith(
+            ".cache/repro/tune")

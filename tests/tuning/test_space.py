@@ -1,0 +1,114 @@
+"""Candidate-space pruning: grid validity, kc dedup, degenerate shapes."""
+
+import pytest
+
+from repro.core.config import (
+    BlockingParams,
+    MixGemmConfig,
+    blocking_candidates,
+    blocking_problems,
+)
+from repro.tuning import (
+    candidate_space,
+    default_candidate,
+    effective_kc_split,
+)
+
+
+class TestGridValidity:
+    def test_mr_exceeding_mc_rejected(self):
+        problems = blocking_problems(4, 16, 64, 16, 4)
+        assert any("mr=16 exceeds mc=4" in p for p in problems)
+        with pytest.raises(ValueError, match="mr cannot exceed mc"):
+            BlockingParams(mc=4, nc=16, kc=64, mr=16, nr=4)
+
+    def test_nr_exceeding_nc_rejected(self):
+        problems = blocking_problems(16, 4, 64, 4, 16)
+        assert any("nr=16 exceeds nc=4" in p for p in problems)
+        with pytest.raises(ValueError, match="nr cannot exceed nc"):
+            BlockingParams(mc=16, nc=4, kc=64, mr=4, nr=16)
+
+    def test_nonpositive_axes_rejected(self):
+        assert blocking_problems(0, 16, 64, 4, 4)
+        assert blocking_problems(16, 16, -1, 4, 4)
+
+    def test_default_grid_all_buildable(self):
+        grid = blocking_candidates()
+        assert grid
+        for b in grid:
+            assert blocking_problems(b.mc, b.nc, b.kc, b.mr, b.nr) == []
+
+    def test_invalid_grid_points_filtered_not_raised(self):
+        grid = blocking_candidates(mc_values=(2, 16), mr_values=(4,))
+        assert all(b.mr <= b.mc for b in grid)
+        assert {b.mc for b in grid} == {16}
+
+
+class TestKcDedup:
+    def test_kc_past_k_collapses_to_one_split(self):
+        """Every kc whose span covers K maps to the same execution."""
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        k = 16     # far below even the smallest kc span (16 * 8 = 128)
+        splits = {effective_kc_split(config, b, k)
+                  for b in blocking_candidates()}
+        assert len(splits) == 1
+
+    def test_fast_candidates_deduped_by_split(self):
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        cands = candidate_space(config, 8, 8, 16, event_mac_limit=0)
+        fast = [c for c in cands if c.backend == "fast"]
+        # one split -> exactly the default candidate survives
+        assert len(fast) == 1
+        assert fast[0].blocking == config.blocking
+
+    def test_multiple_splits_survive_for_large_k(self):
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        k = 8192
+        cands = candidate_space(config, 8, 8, k, event_mac_limit=0)
+        fast = [c for c in cands if c.backend == "fast"]
+        splits = {effective_kc_split(config, c.blocking, k) for c in fast}
+        assert len(splits) == len(fast) > 1
+
+    def test_split_grows_with_compression(self):
+        b = BlockingParams(mc=16, nc=16, kc=64)
+        k = 1 << 20
+        split8 = effective_kc_split(MixGemmConfig(bw_a=8, bw_b=8), b, k)
+        split2 = effective_kc_split(MixGemmConfig(bw_a=2, bw_b=2), b, k)
+        assert split2 > split8
+
+
+class TestCandidateList:
+    def test_default_always_leads(self):
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        cands = candidate_space(config, 16, 16, 256)
+        assert cands[0] == default_candidate(config, 256)
+        assert cands[0].blocking == config.blocking
+
+    def test_event_candidates_gated_by_mac_limit(self):
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        small = candidate_space(config, 4, 4, 16, event_mac_limit=1 << 16)
+        large = candidate_space(config, 512, 512, 8192,
+                                event_mac_limit=1 << 16)
+        assert any(c.backend == "event" for c in small)
+        assert not any(c.backend == "event" for c in large)
+
+    def test_degenerate_one_row_layer(self):
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        cands = candidate_space(config, 1, 64, 128)
+        assert cands and cands[0].backend in ("fast", "event")
+        assert all(c.cores == 1 for c in cands)
+
+    def test_degenerate_one_column_layer(self):
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        cands = candidate_space(config, 64, 1, 128)
+        assert cands
+        assert len({(c.backend, c.blocking, c.cores)
+                    for c in cands}) == len(cands)
+
+    def test_cores_axis_expands_the_space(self):
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        one = candidate_space(config, 16, 64, 8192, event_mac_limit=0)
+        two = candidate_space(config, 16, 64, 8192, event_mac_limit=0,
+                              cores_values=(1, 2))
+        assert len(two) > len(one)
+        assert any(c.cores == 2 for c in two)

@@ -1,0 +1,140 @@
+"""Tuned-cache consumption at plan compile, export and attach."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlockingParams, MixGemmConfig
+from repro.robustness.errors import ReliabilityWarning
+from repro.runtime.graph import GraphModel, NodeSpec
+from repro.runtime.plan import attach_plan, compile_graph, export_plan
+from repro.tuning import TuneCache, TuneEntry, TuneKey
+
+K, N = 8192, 16
+TUNED_BLOCKING = (16, 16, 256, 4, 4)
+
+
+def big_k_graph(seed=0):
+    rng = np.random.default_rng(seed)
+    node = NodeSpec(op="quant_linear", attrs={
+        "act_bits": 8, "weight_bits": 8,
+        "act_signed": True, "act_scale": 0.05})
+    node.tensors["weight"] = rng.standard_normal((N, K)) * 0.05
+    return GraphModel(nodes=[node], name="bigk")
+
+
+def seeded_cache(tmp_path, blocking=TUNED_BLOCKING):
+    """A cache holding one hand-crafted winner for the big-K layer."""
+    cache = TuneCache(tmp_path)
+    key = TuneKey.from_config(MixGemmConfig(bw_a=8, bw_b=8), 4, N, K,
+                              fuse=True, gemm_backend="auto")
+    cache.put(TuneEntry(key=key, blocking=blocking, backend="fast",
+                        cores=1, median_s=0.001, default_median_s=0.002,
+                        candidates=5))
+    return cache
+
+
+@pytest.fixture
+def x():
+    return np.random.default_rng(7).standard_normal((4, K))
+
+
+class TestTunedCompile:
+    def test_cache_entry_applied_and_bit_exact(self, tmp_path, x):
+        graph = big_k_graph()
+        default = compile_graph(graph, backend="mixgemm")
+        tuned = compile_graph(graph, backend="mixgemm", tuned=True,
+                              tune_cache=seeded_cache(tmp_path))
+        label = tuned.steps[0].stats_label
+        assert tuned.info.tuned
+        assert tuned.info.tuned_layers == {label: TUNED_BLOCKING}
+        assert tuned.steps[0].gemm.config.blocking == \
+            BlockingParams(*TUNED_BLOCKING)
+        np.testing.assert_array_equal(tuned.run(x).output,
+                                      default.run(x).output)
+
+    def test_default_winner_not_recorded(self, tmp_path, x):
+        """An entry whose winner is the simulator default leaves the
+        plan untuned -- no override to carry, nothing to re-apply."""
+        cache = seeded_cache(tmp_path, blocking=(16, 16, 64, 4, 4))
+        tuned = compile_graph(big_k_graph(), backend="mixgemm",
+                              tuned=True, tune_cache=cache)
+        assert tuned.info.tuned
+        assert tuned.info.tuned_layers == {}
+
+    def test_untuned_compile_ignores_cache(self, tmp_path):
+        tuned = compile_graph(big_k_graph(), backend="mixgemm",
+                              tune_cache=seeded_cache(tmp_path))
+        assert not tuned.info.tuned
+        assert tuned.info.tuned_layers == {}
+
+    def test_corrupt_cache_degrades_to_default(self, tmp_path, x):
+        cache = seeded_cache(tmp_path)
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{ torn", encoding="utf-8")
+        with pytest.warns(ReliabilityWarning, match="ignoring"):
+            plan = compile_graph(big_k_graph(), backend="mixgemm",
+                                 tuned=True, tune_cache=TuneCache(tmp_path))
+        assert plan.info.tuned_layers == {}
+        default = compile_graph(big_k_graph(), backend="mixgemm")
+        np.testing.assert_array_equal(plan.run(x).output,
+                                      default.run(x).output)
+
+    def test_blocking_overrides_direct(self, x):
+        graph = big_k_graph()
+        plan = compile_graph(graph, backend="mixgemm")
+        label = plan.steps[0].stats_label
+        forced = compile_graph(
+            graph, backend="mixgemm",
+            blocking_overrides={label: BlockingParams(*TUNED_BLOCKING)})
+        assert forced.info.tuned
+        assert forced.info.tuned_layers == {label: TUNED_BLOCKING}
+        np.testing.assert_array_equal(forced.run(x).output,
+                                      plan.run(x).output)
+
+    def test_info_as_dict_carries_tuning(self, tmp_path):
+        plan = compile_graph(big_k_graph(), backend="mixgemm",
+                             tuned=True,
+                             tune_cache=seeded_cache(tmp_path))
+        payload = json.loads(json.dumps(plan.info.as_dict()))
+        assert payload["tuned"] is True
+        assert list(payload["tuned_layers"].values()) == \
+            [list(TUNED_BLOCKING)]
+
+
+class TestExportAttach:
+    def test_tuned_plan_round_trips(self, tmp_path, x):
+        tuned = compile_graph(big_k_graph(), backend="mixgemm",
+                              tuned=True,
+                              tune_cache=seeded_cache(tmp_path))
+        expected = tuned.run(x).output
+        shared = export_plan(tuned)
+        try:
+            assert shared.handle.tuned_blocking
+            assert dict(shared.handle.tuned_blocking) == \
+                tuned.info.tuned_layers
+            attached = attach_plan(shared.handle)
+            try:
+                assert attached.plan.info.tuned_layers == \
+                    tuned.info.tuned_layers
+                np.testing.assert_array_equal(
+                    attached.plan.run(x).output, expected)
+            finally:
+                attached.close()
+        finally:
+            shared.close()
+
+    def test_untuned_handle_has_empty_tuning(self, x):
+        plan = compile_graph(big_k_graph(), backend="mixgemm")
+        shared = export_plan(plan)
+        try:
+            assert shared.handle.tuned_blocking == ()
+            attached = attach_plan(shared.handle)
+            try:
+                np.testing.assert_array_equal(
+                    attached.plan.run(x).output, plan.run(x).output)
+            finally:
+                attached.close()
+        finally:
+            shared.close()

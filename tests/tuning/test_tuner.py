@@ -1,0 +1,178 @@
+"""Campaign orchestration: dedup, persistence, exactness, fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BlockingParams, MixGemmConfig
+from repro.robustness.errors import ReliabilityWarning
+from repro.runtime.graph import GraphModel, NodeSpec
+from repro.tuning import (
+    Candidate,
+    TuneCache,
+    fan_out_measurements,
+    measure_candidate,
+    measure_serial,
+    reference_digest,
+    tune_graph,
+)
+
+#: Small grid so campaign tests stay fast.
+GRID = [BlockingParams(mc=16, nc=16, kc=16),
+        BlockingParams(mc=16, nc=16, kc=64),
+        BlockingParams(mc=16, nc=16, kc=1024)]
+
+
+def quant_linear_node(k, n, *, act_bits=8, weight_bits=8, seed=0):
+    rng = np.random.default_rng(seed)
+    node = NodeSpec(op="quant_linear", attrs={
+        "act_bits": act_bits, "weight_bits": weight_bits,
+        "act_signed": True, "act_scale": 0.05})
+    node.tensors["weight"] = rng.standard_normal((n, k)) * 0.05
+    return node
+
+
+def two_identical_layers_graph(dim=24):
+    """Two quant_linear layers with the same (K, N) = duplicate shape."""
+    return GraphModel(nodes=[
+        quant_linear_node(dim, dim, seed=0),
+        NodeSpec(op="relu"),
+        quant_linear_node(dim, dim, seed=1),
+    ], name="twins")
+
+
+class TestCampaign:
+    def test_duplicate_shapes_tune_once(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        x = np.random.default_rng(2).standard_normal((4, 24))
+        report = tune_graph(two_identical_layers_graph(), x, cache=cache,
+                            blockings=GRID, repeats=2, warmup=1,
+                            fuse=False)
+        assert len(report.layers) == 2
+        assert [lo.cached for lo in report.layers] == [False, True]
+        assert (report.hits, report.misses) == (1, 1)
+        assert report.swept == 1
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_second_run_is_all_hits(self, tmp_path):
+        graph = two_identical_layers_graph()
+        x = np.random.default_rng(2).standard_normal((4, 24))
+        tune_graph(graph, x, cache=TuneCache(tmp_path), blockings=GRID,
+                   repeats=2, warmup=1, fuse=False)
+        rerun = tune_graph(graph, x, cache=TuneCache(tmp_path),
+                           blockings=GRID, repeats=2, warmup=1,
+                           fuse=False)
+        assert rerun.swept == 0
+        assert rerun.misses == 0
+        assert rerun.hits == 2
+        assert all(lo.cached for lo in rerun.layers)
+
+    def test_winner_never_slower_than_default(self, tmp_path):
+        x = np.random.default_rng(4).standard_normal((8, 96))
+        graph = GraphModel(nodes=[quant_linear_node(96, 16)], name="one")
+        report = tune_graph(graph, x, cache=TuneCache(tmp_path),
+                            blockings=GRID, repeats=3, warmup=1)
+        (lo,) = report.layers
+        assert lo.median_s <= lo.default_median_s
+        assert lo.speedup >= 1.0
+        assert lo.candidates >= 1
+
+    def test_corrupt_entry_warns_and_resweeps(self, tmp_path):
+        graph = GraphModel(nodes=[quant_linear_node(48, 8)], name="one")
+        x = np.random.default_rng(5).standard_normal((4, 48))
+        cache = TuneCache(tmp_path)
+        tune_graph(graph, x, cache=cache, blockings=GRID, repeats=2,
+                   warmup=1)
+        (path,) = tmp_path.glob("*.json")
+        path.write_text("{ torn", encoding="utf-8")
+        with pytest.warns(ReliabilityWarning, match="ignoring"):
+            rerun = tune_graph(graph, x, cache=TuneCache(tmp_path),
+                               blockings=GRID, repeats=2, warmup=1)
+        assert rerun.swept == 1
+        # the re-sweep republished a readable entry
+        assert TuneCache(tmp_path).entries()
+
+    def test_report_renders(self, tmp_path):
+        graph = GraphModel(nodes=[quant_linear_node(48, 8)], name="one")
+        x = np.random.default_rng(5).standard_normal((4, 48))
+        report = tune_graph(graph, x, cache=TuneCache(tmp_path),
+                            blockings=GRID, repeats=2, warmup=1)
+        text = report.render()
+        assert "winner" in text and "sweep" in text
+        payload = report.as_dict()
+        assert payload["layers"][0]["speedup"] >= 1.0
+
+
+class TestExactnessGate:
+    def test_wrap_point_change_rejected(self):
+        """With a sub-container AccMem, a kc that moves the wrap points
+        computes a different function and must be ruled ineligible."""
+        config = MixGemmConfig(bw_a=8, bw_b=8, accmem_bits=20)
+        rng = np.random.default_rng(9)
+        a = rng.integers(-128, 128, size=(8, 4096))
+        b = rng.integers(-128, 128, size=(4096, 8))
+        expected = reference_digest(config, a, b)
+        default = Candidate(blocking=config.blocking, backend="fast")
+        bigger = Candidate(blocking=BlockingParams(mc=16, nc=16, kc=1024),
+                           backend="fast")
+        r_default = measure_candidate(config, default, a, b, repeats=1,
+                                      expected_digest=expected)
+        r_bigger = measure_candidate(config, bigger, a, b, repeats=1,
+                                     expected_digest=expected)
+        assert r_default.eligible
+        assert not r_bigger.exact
+        assert not r_bigger.eligible
+
+    def test_equivalent_blocking_is_exact(self):
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        rng = np.random.default_rng(9)
+        a = rng.integers(-128, 128, size=(8, 4096))
+        b = rng.integers(-128, 128, size=(4096, 8))
+        expected = reference_digest(config, a, b)
+        for blocking in GRID:
+            r = measure_candidate(config, Candidate(blocking=blocking,
+                                                    backend="fast"),
+                                  a, b, repeats=1,
+                                  expected_digest=expected)
+            assert r.eligible, blocking
+
+
+class TestFanOut:
+    def _problem(self):
+        config = MixGemmConfig(bw_a=8, bw_b=8)
+        rng = np.random.default_rng(11)
+        a = rng.integers(-128, 128, size=(8, 2048))
+        b = rng.integers(-128, 128, size=(2048, 8))
+        cands = [Candidate(blocking=blk, backend="fast") for blk in GRID]
+        return config, a, b, cands, reference_digest(config, a, b)
+
+    def test_processes_agree_with_serial(self):
+        config, a, b, cands, expected = self._problem()
+        serial = measure_serial(config, cands, a, b, repeats=1,
+                                expected_digest=expected)
+        fanned = fan_out_measurements(config, cands, a, b, processes=2,
+                                      repeats=1,
+                                      expected_digest=expected)
+        assert [r.candidate for r in fanned] == \
+            [r.candidate for r in serial]
+        assert [r.eligible for r in fanned] == \
+            [r.eligible for r in serial]
+
+    def test_unavailable_start_method_degrades_serially(self):
+        config, a, b, cands, expected = self._problem()
+        with pytest.warns(ReliabilityWarning, match="fan-out"):
+            results = fan_out_measurements(
+                config, cands, a, b, processes=2, repeats=1,
+                expected_digest=expected,
+                start_method="no-such-method")
+        assert len(results) == len(cands)
+        assert all(r.eligible for r in results)
+
+    def test_parallel_candidate_measures(self):
+        """A cores>1 candidate routes through ParallelMixGemm and stays
+        bit-exact."""
+        config, a, b, _, expected = self._problem()
+        r = measure_candidate(
+            config, Candidate(blocking=config.blocking, backend="fast",
+                              cores=2),
+            a, b, repeats=1, expected_digest=expected)
+        assert r.eligible
