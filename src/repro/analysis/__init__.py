@@ -19,6 +19,12 @@ Cooperating layers, surfaced together through ``repro check``:
   accumulator requirements tighter than the Eq. 5 worst case,
   verifying compiled plans preserve those ranges, and cross-checking
   them against observed runtime extrema.
+* **Cost analyzer** (:mod:`repro.analysis.cost`) -- a closed-form,
+  calibration-verified cycle model predicting per-layer cycles,
+  instruction counts and stall breakdowns without executing the event
+  engine; powers ``repro check --cost`` (COST-* diagnostics), the
+  autotuner's analytic pre-filter and ``predict_graph_cycles()`` over
+  compiled plans.
 
 Findings are :class:`~repro.analysis.diagnostics.Diagnostic` records
 collected into a :class:`~repro.analysis.diagnostics.DiagnosticReport`,
@@ -48,6 +54,13 @@ from repro.analysis.contracts import (
     check_graph_structure,
     check_overflow,
 )
+from repro.analysis.cost import (
+    COST_RULES,
+    check_cost,
+    check_cost_file,
+    predict_gemm,
+    predict_graph_cycles,
+)
 from repro.analysis.diagnostics import (
     AnalysisError,
     Diagnostic,
@@ -75,7 +88,8 @@ from repro.analysis.sarif import to_sarif, to_sarif_json
 #: clobber earlier ones -- shared ids (``GRF-PARSE``) keep their first
 #: registration, matching the SARIF driver's dedup.
 ALL_RULES: dict[str, str] = {}
-for _registry in (CONTRACT_RULES, LINT_RULES, CONC_RULES, RANGES_RULES):
+for _registry in (CONTRACT_RULES, LINT_RULES, CONC_RULES, RANGES_RULES,
+                  COST_RULES):
     for _rid, _description in _registry.items():
         ALL_RULES.setdefault(_rid, _description)
 del _registry, _rid, _description
@@ -85,6 +99,7 @@ __all__ = [
     "AnalysisError",
     "CONC_RULES",
     "CONTRACT_RULES",
+    "COST_RULES",
     "ConcurrencyAnalysis",
     "Diagnostic",
     "DiagnosticReport",
@@ -99,6 +114,8 @@ __all__ = [
     "analyze_graph",
     "check_concurrency",
     "check_config",
+    "check_cost",
+    "check_cost_file",
     "check_graph",
     "check_graph_file",
     "check_graph_structure",
@@ -110,6 +127,8 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "observing_ranges",
+    "predict_gemm",
+    "predict_graph_cycles",
     "severity_rank",
     "verify_graph_plans",
     "verify_plan",

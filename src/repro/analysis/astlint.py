@@ -1,6 +1,6 @@
 """Repo-invariant linter: ``ast``-level rules the reproduction lives by.
 
-Twelve rules, numbered flake8-style; each encodes an invariant the
+Thirteen rules, numbered flake8-style; each encodes an invariant the
 codebase promises elsewhere (error hierarchy in ``core/errors.py``,
 determinism in the test harness, integer-exactness of the kernel
 modules, honest error handling, unit-annotated cost models, GEMM
@@ -60,6 +60,14 @@ hoisted out of the per-call hot path):
   reader (or a crash mid-write) must see the old entry or the new one,
   never a torn file; ``compile_graph(..., tuned=True)`` reads this
   cache from live serving processes.
+* **REP013** -- no hard-coded cycle/latency cost constants outside the
+  ISA cost table homes (``core/isa.py``, ``core/config.py``) and the
+  cost model that consumes them (``analysis/cost/``): a nonzero
+  integer literal assigned to (or passed as, or defaulted into) a
+  name ending in ``cost``/``cycle(s)``/``latency``/``overhead``
+  forks the single source of truth the calibrated cost model is
+  digest-keyed by -- a constant edited anywhere else would silently
+  invalidate every persisted calibration and prediction.
 
 Suppress a finding with a trailing ``# repro: noqa`` (everything on the
 line) or ``# repro: noqa REP003`` / ``REP003,REP005`` (those rules).
@@ -92,6 +100,8 @@ LINT_RULES: dict[str, str] = {
     "REP011": "SharedMemory creation without close()/unlink() cleanup",
     "REP012": "non-atomic on-disk cache/state write (no os.replace "
               "publish)",
+    "REP013": "hard-coded cycle/latency constant outside the ISA cost "
+              "table",
     "REP000": "lint target is not parseable Python",
 }
 
@@ -116,7 +126,23 @@ LOCK_FACTORY_SUFFIXES = (
 #: serving processes.
 ATOMIC_STATE_SUFFIXES = (
     "tuning/cache.py",
+    "analysis/cost/calibrate.py",
 )
+
+#: Module path suffixes allowed to spell cycle/latency costs as
+#: integer literals (REP013): the ISA cost table and its config-level
+#: companion.  ``analysis/cost/`` (checked by substring, it is a
+#: package) is also exempt -- it *derives* every term from the table.
+CYCLE_COST_HOME_SUFFIXES = (
+    "core/isa.py",
+    "core/config.py",
+)
+
+#: Trailing ``_``-separated name tokens that mark a binding as a cycle
+#: or latency cost (REP013).
+_CYCLE_COST_TOKENS = frozenset({
+    "cost", "cycle", "cycles", "latency", "overhead",
+})
 
 #: Module path suffixes (POSIX form) where REP003 applies.
 KERNEL_MODULE_SUFFIXES = (
@@ -231,6 +257,8 @@ class RepoInvariantVisitor(ast.NodeVisitor):
         self._lock_factory = posix.endswith(LOCK_FACTORY_SUFFIXES)
         self._accmem_home = posix.endswith(ACCMEM_CONFIG_SUFFIXES)
         self._atomic_state = posix.endswith(ATOMIC_STATE_SUFFIXES)
+        self._cycle_cost_home = (posix.endswith(CYCLE_COST_HOME_SUFFIXES)
+                                 or "analysis/cost/" in posix)
         self._runtime_file = ("runtime" in Path(path).parts
                               if path else False)
         #: Local names bound to threading.Lock/RLock by imports.
@@ -545,15 +573,72 @@ class RepoInvariantVisitor(ast.NodeVisitor):
                     )
                     return
 
+    # -- REP013 ------------------------------------------------------
+
+    @property
+    def _rep013_active(self) -> bool:
+        return not self._test_file and not self._cycle_cost_home
+
+    @classmethod
+    def _is_cycle_cost_name(cls, name: str) -> bool:
+        return bool(name) and \
+            name.lower().rsplit("_", 1)[-1] in _CYCLE_COST_TOKENS
+
+    def _emit_cycle_cost(self, node: ast.AST, message: str) -> None:
+        self._emit(
+            "REP013", node, message,
+            hint="cycle/latency constants live in the ISA cost table "
+                 "(core/isa.py KernelCosts / BS_*_COST) or "
+                 "core/config.py: the calibrated cost model is keyed "
+                 "by their content digest, so a constant forked "
+                 "elsewhere silently invalidates every prediction",
+        )
+
+    def _check_cycle_cost_assign(self, target: ast.AST,
+                                 value: ast.AST | None) -> None:
+        name = _dotted(target).rsplit(".", 1)[-1]
+        if self._is_cycle_cost_name(name) and value is not None \
+                and self._is_int_literal(value) and value.value != 0:
+            self._emit_cycle_cost(
+                value,
+                f"{name} = {value.value} hard-codes a cycle/latency "
+                f"cost outside the ISA cost table",
+            )
+
+    def _check_cycle_cost_keyword(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg and self._is_cycle_cost_name(kw.arg) \
+                    and self._is_int_literal(kw.value) \
+                    and kw.value.value != 0:
+                self._emit_cycle_cost(
+                    kw.value,
+                    f"{kw.arg}={kw.value.value} hard-codes a "
+                    f"cycle/latency cost at a call site",
+                )
+
+    def _check_cycle_cost_defaults(self, node) -> None:
+        args = node.args
+        pos = args.posonlyargs + args.args
+        for arg, default in zip(pos[len(pos) - len(args.defaults):],
+                                args.defaults):
+            self._check_cycle_cost_assign(ast.Name(id=arg.arg), default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            self._check_cycle_cost_assign(ast.Name(id=arg.arg), default)
+
     def visit_Assign(self, node: ast.Assign) -> None:
         if self._rep010_active:
             for target in node.targets:
                 self._check_accmem_assign(target, node.value)
+        if self._rep013_active:
+            for target in node.targets:
+                self._check_cycle_cost_assign(target, node.value)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if self._rep010_active:
             self._check_accmem_assign(node.target, node.value)
+        if self._rep013_active:
+            self._check_cycle_cost_assign(node.target, node.value)
         self.generic_visit(node)
 
     def visit_Compare(self, node: ast.Compare) -> None:
@@ -577,6 +662,8 @@ class RepoInvariantVisitor(ast.NodeVisitor):
             self._check_rng_call(node)
         if self._rep010_active:
             self._check_accmem_keyword(node)
+        if self._rep013_active:
+            self._check_cycle_cost_keyword(node)
         if not self._test_file and not self._lock_factory:
             self._check_lock_construction(node)
         if self._runtime_file and not self._test_file:
@@ -655,6 +742,8 @@ class RepoInvariantVisitor(ast.NodeVisitor):
             self._check_atomic_writes(node)
         if self._rep010_active:
             self._check_accmem_defaults(node)
+        if self._rep013_active:
+            self._check_cycle_cost_defaults(node)
         if (self._class_stack
                 and self._class_stack[-1] == "InferenceEngine"
                 and node.name.startswith("_op_")):
@@ -825,6 +914,7 @@ def lint_paths(targets) -> DiagnosticReport:
 
 __all__ = [
     "ATOMIC_STATE_SUFFIXES",
+    "CYCLE_COST_HOME_SUFFIXES",
     "KERNEL_MODULE_SUFFIXES",
     "COST_MODEL_SUFFIXES",
     "LINT_RULES",

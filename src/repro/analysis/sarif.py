@@ -43,11 +43,12 @@ def _all_rules() -> dict[str, str]:
     from repro.analysis.astlint import LINT_RULES
     from repro.analysis.concurrency.checker import CONC_RULES
     from repro.analysis.contracts import CONTRACT_RULES
+    from repro.analysis.cost import COST_RULES
     from repro.analysis.ranges import RANGES_RULES
 
     merged: dict[str, str] = {}
     for registry in (CONTRACT_RULES, LINT_RULES, CONC_RULES,
-                     RANGES_RULES):
+                     RANGES_RULES, COST_RULES):
         for rid, description in registry.items():
             merged.setdefault(rid, description)
     return merged

@@ -124,12 +124,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"predictions: {result.output.argmax(axis=1).tolist()}")
     print(f"cycles: {result.total_cycles}, macs: {result.total_macs}, "
           f"{result.gops():.2f} GOPS @ 1.2 GHz")
+    predicted: dict[str, int] = {}
+    if args.compiled and args.guard_level == "off" and result.layer_stats:
+        from repro.analysis.cost import predict_graph_cycles
+        from repro.analysis.cost.graph import iter_plan_gemms
+
+        first_macs = {}
+        for s in result.layer_stats:
+            first_macs.setdefault(s.layer, s.macs)
+        layer_rows = {}
+        for label, _op, gemms in iter_plan_gemms(plan):
+            macs = first_macs.get(label)
+            if macs and gemms:
+                g = gemms[0]
+                layer_rows[label] = max(1, macs // max(g.n * g.k, 1))
+        cost = predict_graph_cycles(plan, layer_rows=layer_rows)
+        # Per-call comparison: each LayerStats row is one bound GEMM
+        # execution, so show the per-GEMM prediction next to it.
+        predicted = {lc.label: lc.breakdown.cycles for lc in cost.layers}
+        print(f"cost model: {cost.total_cycles} predicted cycles "
+              f"(closed form, no engine execution)")
     if result.layer_stats:
         width = max(len(s.layer) for s in result.layer_stats)
         print("per-layer:")
         for s in result.layer_stats:
+            pred = (f" predicted={predicted[s.layer]}"
+                    if s.layer in predicted else "")
             print(f"  {s.layer:{width}s} {s.op:13s} {s.config:8s} "
-                  f"macs={s.macs} cycles={s.cycles}")
+                  f"macs={s.macs} cycles={s.cycles}{pred}")
     print(f"packing cache: {stats.packs} packs, {stats.hits} hits "
           f"({stats.hit_rate:.0%} hit rate)")
     if result.fault_events:
@@ -298,7 +320,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             graph, x, cache=cache, gemm_backend=args.backend,
             event_mac_limit=args.event_mac_limit,
             repeats=args.repeats, warmup=args.warmup,
-            processes=args.processes)
+            processes=args.processes,
+            analytic_prefilter=args.analytic_prefilter)
     except TuningError as exc:
         print(f"tuning failed: {exc}", file=sys.stderr)
         return 1
@@ -440,6 +463,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         AnalysisError,
         DiagnosticReport,
         check_concurrency,
+        check_cost_file,
         check_graph_file,
         check_ranges_file,
         lint_paths,
@@ -447,9 +471,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
     )
 
     if not args.graph and not args.lint and args.concurrency is None \
-            and not args.ranges:
+            and not args.ranges and not args.cost:
         print("nothing to check: pass --graph MODEL.json, --lint PATH, "
-              "--concurrency [PATH ...] and/or --ranges MODEL.json",
+              "--concurrency [PATH ...], --ranges MODEL.json and/or "
+              "--cost MODEL.json",
               file=sys.stderr)
         return 2
     accmem_bits = args.accmem_bits
@@ -492,6 +517,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
         if analysis is not None and args.ranges_table:
             from repro.analysis.ranges import table_json
             range_tables[model] = json.loads(table_json(analysis))
+    for model in args.cost:
+        report.extend(check_cost_file(
+            model, accmem_bits=accmem_bits,
+            workers=args.cost_workers))
 
     if args.format == "json":
         rendered = report.to_json()
@@ -662,6 +691,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="largest m*n*k measured on the cycle-faithful "
                         "event backend (it is a simulator; big layers "
                         "would dominate the campaign)")
+    p.add_argument("--analytic-prefilter", action="store_true",
+                   dest="analytic_prefilter",
+                   help="score the full candidate grid with the "
+                        "closed-form cost model and wall-clock-time "
+                        "only the analytically promising half (the "
+                        "bit-exactness gate is unchanged)")
     p.add_argument("--output", default="", metavar="PATH",
                    help="also write the campaign report as JSON")
     p.add_argument("--list", action="store_true",
@@ -712,7 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "check",
         help="static contract checker, repo invariant linter, "
-             "concurrency + range analyzers")
+             "concurrency + range + cost analyzers")
     p.add_argument("--graph", action="append", default=[],
                    metavar="MODEL.json",
                    help="contract-check a serialized GraphModel "
@@ -744,6 +779,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --ranges: write the per-layer bounds "
                         "table (derived accumulator bits, headroom, "
                         "wrap verdicts) as JSON to PATH")
+    p.add_argument("--cost", action="append", default=[],
+                   metavar="MODEL.json",
+                   help="closed-form cost analysis of a serialized "
+                        "GraphModel: COST-MODEL-DRIFT / "
+                        "COST-BLOCKING-INEFFICIENT / COST-IMBALANCE "
+                        "findings (repeatable)")
+    p.add_argument("--cost-workers", type=int, default=1,
+                   dest="cost_workers",
+                   help="with --cost: deployment worker count to audit "
+                        "N-slice balance for (1 = single-core, no "
+                        "imbalance check)")
     p.add_argument("--format", default="text",
                    choices=("text", "json", "sarif"),
                    help="diagnostic output format")

@@ -23,12 +23,17 @@ logic only looks at counts and arrival times, never word values) and
 translation invariant (each micro-kernel starts with the CPU at or past
 the engine, empty queues, and all buffer releases in the past, because
 the collection loop drains the engine).  One micro-kernel execution is
-therefore a pure function of ``(config, costs, n_groups)`` -- so we run
-the *real* engine once per distinct signature on zero panels, memoize
-the observed deltas (CPU cycles, stalls, busy cycles, instruction
-counts), and assemble whole-GEMM totals arithmetically.  The C-update
-cycles are added analytically: with ``mc % mr == 0`` and ``nc % nr ==
-0`` the in-range cells of each kc-block sum to exactly ``m * n``.
+therefore a pure function of ``(config, costs, n_groups)`` -- so the
+per-tile oracle can be seeded once per distinct signature and the
+whole-GEMM totals assembled arithmetically.  Two seeding strategies
+exist: the *reference* runs the real engine once on zero panels
+(:func:`_tile_timing_engine`); when the calibrated closed-form model
+(:mod:`repro.analysis.cost`) has verified itself exact for the
+signature, :func:`_tile_timing` substitutes its prediction and the
+engine never runs at all (set :data:`COST_ORACLE` to ``False`` to pin
+the reference).  The C-update cycles are added analytically: with
+``mc % mr == 0`` and ``nc % nr == 0`` the in-range cells of each
+kc-block sum to exactly ``m * n``.
 
 The oracle *is* the production micro-kernel, so cycles, PMU counters
 and instruction counts match the event backend exactly -- the
@@ -49,6 +54,7 @@ import numpy as np
 
 from .binseg import BinSegError, ceil_div, value_range
 from .config import ACCMEM_CONTAINER_BITS, MixGemmConfig
+from .isa import BS_SET_COST
 from .microengine import PmuCounters
 from .packing import (
     _check_matrix,
@@ -139,9 +145,41 @@ class FastPathTiming:
         )
 
 
+#: Whether :func:`_tile_timing` may substitute the calibrated
+#: closed-form predictor for the engine run.  Only calibrations that
+#: verified themselves *exact* against holdout probes are substituted,
+#: so flipping this flag never changes a cycle count -- tests pin it to
+#: ``False`` (and clear the lru_caches) to force the reference.
+COST_ORACLE = True
+
+
 @functools.lru_cache(maxsize=None)
 def _tile_timing(config: MixGemmConfig, costs: "KernelCosts",
                  n_groups: int) -> MicroKernelTiming:
+    """Per-tile timing oracle: calibrated closed form, engine fallback.
+
+    Consults :func:`repro.analysis.cost.calibrate.exact_tile_timing`,
+    which returns a prediction only when the persisted calibration for
+    this (signature, cost-table digest) proved exact on holdout group
+    counts; anything else -- model inexact, calibration layer broken --
+    falls back to :func:`_tile_timing_engine`, the instrumented engine
+    run that is also calibration's ground truth.
+    """
+    if COST_ORACLE:
+        try:
+            from repro.analysis.cost.calibrate import exact_tile_timing
+        except ImportError:
+            timing = None
+        else:
+            timing = exact_tile_timing(config, costs, n_groups)
+        if timing is not None:
+            return timing
+    return _tile_timing_engine(config, costs, n_groups)
+
+
+@functools.lru_cache(maxsize=None)
+def _tile_timing_engine(config: MixGemmConfig, costs: "KernelCosts",
+                        n_groups: int) -> MicroKernelTiming:
     """Run the real micro-kernel once on zero panels and record deltas.
 
     ``n_groups`` is the per-tile group count of one kc-block; the engine
@@ -239,7 +277,7 @@ def fastpath_timing(config: MixGemmConfig, costs: "KernelCosts", m: int,
                     for jc in range(0, n, blk.nc))
     tiles_per_kblock = row_tiles * col_tiles
 
-    cycles = 1  # the single bs.set
+    cycles = BS_SET_COST  # the single bs.set
     stalls_full = stalls_get = busy = groups = macs = ips = gets = 0
     for pc in range(0, k, kc_eff):
         kc_blk = min(kc_eff, k - pc)

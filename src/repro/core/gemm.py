@@ -27,6 +27,7 @@ import numpy as np
 from .backend import EVENT, FAST, BackendDecision, resolve_backend
 from .binseg import BinSegError, ceil_div
 from .config import MixGemmConfig
+from .isa import KernelCosts
 from .microengine import MicroEngine, PmuCounters
 from .packcache import PackingCache
 from .packing import (
@@ -38,36 +39,9 @@ from .packing import (
     pack_matrix_b,
 )
 
-
-@dataclass(frozen=True)
-class KernelCosts:
-    """Scalar-core instruction costs surrounding the bs.* intrinsics.
-
-    The paper's Sargantana host is a 7-stage, in-order, single-issue core:
-    every instruction occupies the issue slot for one cycle, and the
-    u-engine overlaps with independent loads/branches (Section III-B).  The
-    u-kernel's non-bs.ip work therefore costs issue cycles:
-
-    * one cycle per u-vector load that misses the register file (the RF
-      holds the current kua*mr + kub*nr u-vectors, so each is loaded from
-      L1 once per k-group);
-    * ``inner_loop_overhead`` covers address generation/branch per innermost
-      iteration that the compiler cannot fold away;
-    * ``kgroup_overhead`` covers the per-k-group pointer bumps
-      (LoadNextAddress in Algorithm 1);
-    * ``c_update_cost`` covers the load + add + store per output element
-      when folding the collected u-panel into C.
-
-    Defaults were fixed once against the paper's steady-state a8-w8 speedup
-    (Section IV-B) and left untouched for every other configuration; the
-    cross-configuration scaling then *emerges* from the DSU schedule.
-    """
-
-    load_cost: int = 1
-    inner_loop_overhead: int = 4
-    kgroup_overhead: int = 4
-    c_update_cost: int = 3
-    get_cost: int = 1
+# KernelCosts is re-exported here for the many call sites that import
+# it from this module; the definition moved next to the bs.* encodings
+# in core/isa.py so the ISA cost table has a single home (REP013).
 
 
 @dataclass

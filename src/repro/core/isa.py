@@ -25,6 +25,70 @@ from .errors import ReproError
 #: RISC-V custom-0 major opcode (inst[6:0]) reserved for vendor extensions.
 CUSTOM0_OPCODE = 0b0001011
 
+# ---------------------------------------------------------------------------
+# ISA cost table
+# ---------------------------------------------------------------------------
+#
+# This module is one of the two homes (with core/config.py and the
+# analysis/cost/ model that consumes them) where cycle costs may be
+# spelled as literals -- lint rule REP013 flags them anywhere else.
+
+#: Issue cost, in CPU cycles, of ``bs.set``: single-issue R-type.
+BS_SET_COST = 1
+
+#: Issue cost, in CPU cycles, of ``bs.ip`` (stalls on full Source
+#: Buffers are modelled separately by the micro-engine, not here).
+BS_IP_COST = 1
+
+#: Issue cost, in CPU cycles, of ``bs.get`` (stalls waiting on the
+#: engine to drain are modelled separately).
+BS_GET_COST = 1
+
+#: mnemonic -> issue cycles; the content the cost-model calibration
+#: cache is keyed by (together with :class:`KernelCosts`).
+ISA_COST_TABLE = {
+    "bs.set": BS_SET_COST,
+    "bs.ip": BS_IP_COST,
+    "bs.get": BS_GET_COST,
+}
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Scalar-core instruction costs surrounding the bs.* intrinsics.
+
+    The paper's Sargantana host is a 7-stage, in-order, single-issue core:
+    every instruction occupies the issue slot for one cycle, and the
+    u-engine overlaps with independent loads/branches (Section III-B).  The
+    u-kernel's non-bs.ip work therefore costs issue cycles:
+
+    * one cycle per u-vector load that misses the register file (the RF
+      holds the current kua*mr + kub*nr u-vectors, so each is loaded from
+      L1 once per k-group);
+    * ``inner_loop_overhead`` covers address generation/branch per innermost
+      iteration that the compiler cannot fold away;
+    * ``kgroup_overhead`` covers the per-k-group pointer bumps
+      (LoadNextAddress in Algorithm 1);
+    * ``c_update_cost`` covers the load + add + store per output element
+      when folding the collected u-panel into C.
+
+    Defaults were fixed once against the paper's steady-state a8-w8 speedup
+    (Section IV-B) and left untouched for every other configuration; the
+    cross-configuration scaling then *emerges* from the DSU schedule.
+
+    Lives next to the bs.* encodings because it *is* the rest of the ISA
+    cost table: together with :data:`ISA_COST_TABLE` these fields are the
+    only primitive cycle constants in the repository (REP013), and the
+    closed-form cost model (:mod:`repro.analysis.cost`) derives every
+    per-phase term from them.
+    """
+
+    load_cost: int = 1
+    inner_loop_overhead: int = 4
+    kgroup_overhead: int = 4
+    c_update_cost: int = 3
+    get_cost: int = 1
+
 
 class BsFunct3(enum.IntEnum):
     """funct3 selector distinguishing the three Mix-GEMM instructions."""

@@ -138,9 +138,12 @@ class CacheHierarchy:
     line_bytes: int = 64
     l1_assoc: int = 8
     l2_assoc: int = 8
-    l1_latency: int = 2
-    l2_latency: int = 12
-    dram_latency: int = 80
+    # Memory-hierarchy latencies are SoC simulation parameters, not
+    # u-kernel issue costs: they are outside the calibrated cost
+    # model's digest on purpose.
+    l1_latency: int = 2      # repro: noqa REP013
+    l2_latency: int = 12     # repro: noqa REP013
+    dram_latency: int = 80   # repro: noqa REP013
     l1: Cache = field(init=False)
     l2: Cache = field(init=False)
 

@@ -138,11 +138,77 @@ def candidate_space(
     return candidates
 
 
+def analytic_score(config: MixGemmConfig, candidate: Candidate,
+                   m: int, n: int, k: int, *,
+                   costs=None) -> tuple[int, int]:
+    """Closed-form rank of one candidate: (backend rank, predicted cycles).
+
+    Scores come from the calibrated cost model
+    (:func:`repro.analysis.cost.model.predict_gemm`) -- O(1) per
+    candidate once the one tile calibration for this bitwidth pair is
+    warm, no engine execution.  The fast backend ranks ahead of the
+    event backend whenever both are present: on the host the fast path
+    is numpy while the event backend simulates every cycle, so
+    predicted u-engine cycles only order candidates *within* a backend.
+    Multi-core candidates are scored on their widest N slice plus the
+    barrier, mirroring ``ParallelMixGemm`` timing.
+    """
+    from math import ceil
+
+    from repro.analysis.cost.model import predict_gemm
+    from repro.core.parallel import DEFAULT_BARRIER_CYCLES
+
+    cfg = replace(config, blocking=candidate.blocking)
+    n_eff = max(n, 1)
+    barrier = 0
+    if candidate.cores > 1:
+        nr = candidate.blocking.nr
+        chunk = ceil(n_eff / candidate.cores)
+        chunk = max(nr, ceil(chunk / nr) * nr)
+        n_eff = min(n_eff, chunk)
+        barrier = DEFAULT_BARRIER_CYCLES
+    breakdown = predict_gemm(cfg, costs, max(m, 1), n_eff, max(k, 1))
+    backend_rank = 0 if candidate.backend == "fast" else 1
+    return (backend_rank, breakdown.cycles + barrier)
+
+
+def prefilter_candidates(
+    config: MixGemmConfig, candidates: Sequence[Candidate],
+    m: int, n: int, k: int, *, costs=None,
+) -> tuple[list[Candidate], int]:
+    """Analytically score the full space; keep the promising half.
+
+    Returns ``(kept, scored)`` where ``scored`` is the size of the
+    space the cost model ranked.  The kept list preserves the original
+    candidate order and always retains candidate 0 (the default
+    configuration): the measurement sweep's invariants -- default
+    leads, winner never slower than default, bit-exactness gate --
+    are untouched; the prefilter only decides who gets wall-clock time.
+    Spaces of three or fewer candidates pass through unfiltered.
+    """
+    candidates = list(candidates)
+    if len(candidates) <= 3:
+        return candidates, len(candidates)
+    scores = [analytic_score(config, cand, m, n, k, costs=costs)
+              for cand in candidates]
+    target = max(2, len(candidates) // 2)
+    order = sorted(range(len(candidates)), key=lambda i: (scores[i], i))
+    keep = set(order[:target])
+    if 0 not in keep:
+        worst = max(keep, key=lambda i: (scores[i], i))
+        keep.remove(worst)
+        keep.add(0)
+    kept = [candidates[i] for i in sorted(keep)]
+    return kept, len(candidates)
+
+
 __all__ = [
     "Candidate",
     "DEFAULT_CORES_VALUES",
     "DEFAULT_EVENT_MAC_LIMIT",
+    "analytic_score",
     "candidate_space",
     "default_candidate",
     "effective_kc_split",
+    "prefilter_candidates",
 ]

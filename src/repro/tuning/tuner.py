@@ -37,6 +37,7 @@ from .space import (
     DEFAULT_CORES_VALUES,
     DEFAULT_EVENT_MAC_LIMIT,
     candidate_space,
+    prefilter_candidates,
 )
 
 
@@ -60,6 +61,10 @@ class LayerOutcome:
     candidates: int
     rejected_inexact: int = 0
     errors: int = 0
+    #: Size of the full candidate space the analytic prefilter scored
+    #: (0 when no prefilter ran; equals ``candidates`` when the space
+    #: was too small to filter).
+    candidates_scored: int = 0
 
     @property
     def speedup(self) -> float:
@@ -77,6 +82,7 @@ class LayerOutcome:
             "speedup": self.speedup, "candidates": self.candidates,
             "rejected_inexact": self.rejected_inexact,
             "errors": self.errors,
+            "candidates_scored": self.candidates_scored,
         }
 
 
@@ -117,12 +123,20 @@ class TuneReport:
                 f"{'cache' if lo.cached else 'sweep':6s}")
         lines.append(f"cache: {self.hits} hits, {self.misses} misses, "
                      f"{self.swept} sweeps -> {self.cache_path}")
+        scored = sum(lo.candidates_scored for lo in self.layers)
+        if scored:
+            timed = sum(lo.candidates for lo in self.layers
+                        if not lo.cached)
+            lines.append(f"analytic prefilter: scored {scored} "
+                         f"candidates in closed form, wall-clock-timed "
+                         f"{timed}")
         return "\n".join(lines)
 
 
 def _outcome_from_entry(cutout: LayerCutout, entry: TuneEntry,
                         cached: bool, *, rejected: int = 0,
-                        errors: int = 0) -> LayerOutcome:
+                        errors: int = 0,
+                        scored: int = 0) -> LayerOutcome:
     return LayerOutcome(
         label=cutout.label, op=cutout.op, config=cutout.config.name,
         m=cutout.m, n=cutout.n, k=cutout.k, digest=entry.key.digest(),
@@ -130,7 +144,7 @@ def _outcome_from_entry(cutout: LayerCutout, entry: TuneEntry,
         cores=entry.cores, median_s=entry.median_s,
         default_median_s=entry.default_median_s,
         candidates=entry.candidates, rejected_inexact=rejected,
-        errors=errors)
+        errors=errors, candidates_scored=scored)
 
 
 def tune_cutout(cutout: LayerCutout, key: TuneKey, *,
@@ -139,18 +153,29 @@ def tune_cutout(cutout: LayerCutout, key: TuneKey, *,
                 event_mac_limit: int = DEFAULT_EVENT_MAC_LIMIT,
                 repeats: int = 3, warmup: int = 1,
                 processes: int = 0,
-                gemm_backend: str = "auto") -> tuple[TuneEntry, int, int]:
-    """Run one measurement sweep; returns (entry, rejected, errors).
+                gemm_backend: str = "auto",
+                analytic_prefilter: bool = False,
+                ) -> tuple[TuneEntry, int, int, int]:
+    """Run one measurement sweep; returns (entry, rejected, errors, scored).
 
     The winner is the fastest *eligible* candidate (ran cleanly and
     reproduced the default-configuration reference bit for bit).  The
     default configuration leads the candidate list, so ties resolve in
     its favour and the sweep can never regress a layer.
+
+    With ``analytic_prefilter`` the closed-form cost model scores the
+    full space first and only the promising half is wall-clock-timed
+    (see :func:`repro.tuning.space.prefilter_candidates`); ``scored``
+    reports the size of the space the model ranked (0 = no prefilter).
     """
     candidates = candidate_space(
         cutout.config, cutout.m, cutout.n, cutout.k,
         gemm_backend=gemm_backend, blockings=blockings,
         cores_values=cores_values, event_mac_limit=event_mac_limit)
+    scored = 0
+    if analytic_prefilter:
+        candidates, scored = prefilter_candidates(
+            cutout.config, candidates, cutout.m, cutout.n, cutout.k)
     expected = reference_digest(cutout.config, cutout.a, cutout.b)
     results = fan_out_measurements(
         cutout.config, candidates, cutout.a, cutout.b,
@@ -177,7 +202,7 @@ def tune_cutout(cutout: LayerCutout, key: TuneKey, *,
         candidates=len(results))
     rejected = sum(1 for r in results if not r.exact and not r.error)
     errors = sum(1 for r in results if r.error)
-    return entry, rejected, errors
+    return entry, rejected, errors, scored
 
 
 def tune_graph(
@@ -190,6 +215,7 @@ def tune_graph(
     cores_values: Sequence[int] = DEFAULT_CORES_VALUES,
     event_mac_limit: int = DEFAULT_EVENT_MAC_LIMIT,
     repeats: int = 3, warmup: int = 1, processes: int = 0,
+    analytic_prefilter: bool = False,
 ) -> TuneReport:
     """Tune every quantized GEMM layer of ``graph`` against input ``x``.
 
@@ -216,15 +242,17 @@ def tune_graph(
             report.layers.append(
                 _outcome_from_entry(cutout, entry, cached=True))
             continue
-        entry, rejected, errors = tune_cutout(
+        entry, rejected, errors, scored = tune_cutout(
             cutout, key, blockings=blockings, cores_values=cores_values,
             event_mac_limit=event_mac_limit, repeats=repeats,
             warmup=warmup, processes=processes,
-            gemm_backend=gemm_backend)
+            gemm_backend=gemm_backend,
+            analytic_prefilter=analytic_prefilter)
         cache.put(entry)
         report.layers.append(
             _outcome_from_entry(cutout, entry, cached=False,
-                                rejected=rejected, errors=errors))
+                                rejected=rejected, errors=errors,
+                                scored=scored))
     report.hits = cache.hits
     report.misses = cache.misses
     return report

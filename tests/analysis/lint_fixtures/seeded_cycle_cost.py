@@ -1,0 +1,15 @@
+"""Seeded REP013 fixture: hard-coded cycle costs outside the ISA table.
+
+Every latency/cost literal below must be reported when this file is
+linted from a non-test path; in place under ``tests/`` it is exempt.
+"""
+
+
+def dispatch(queue, issue_latency=3):          # REP013: default
+    return queue.pop(issue_latency)
+
+
+def schedule(run):
+    stall_cycles = 17                          # REP013: assignment
+    run(drain_cost=2)                          # REP013: keyword
+    return stall_cycles

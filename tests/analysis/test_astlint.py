@@ -631,3 +631,68 @@ class TestRep012AtomicWrites:
                 / "src" / "repro" / "tuning" / "cache.py")
         assert [d.rule for d in lint_paths([str(real)])
                 .diagnostics] == []
+
+
+class TestRep013CycleCostLiterals:
+    def test_assignment_literal_flagged(self):
+        assert rules("dispatch_latency = 7\n") == ["REP013"]
+        assert rules("self.kgroup_overhead = 4\n") == ["REP013"]
+
+    def test_annotated_assignment_flagged(self):
+        assert rules("stall_cycles: int = 3\n") == ["REP013"]
+
+    def test_keyword_literal_flagged(self):
+        assert rules("run(load_cost=2)\n") == ["REP013"]
+
+    def test_default_arg_literal_flagged(self):
+        assert rules("def f(inner_loop_overhead=4):\n    pass\n") \
+            == ["REP013"]
+        assert rules("def f(*, get_cost=1):\n    pass\n") == ["REP013"]
+
+    def test_zero_initializer_passes(self):
+        # accumulators start at zero everywhere; only nonzero literals
+        # encode an actual cost.
+        assert rules("cycles = 0\n") == []
+        assert rules("total_cost = 0\n") == []
+
+    def test_named_constants_pass(self):
+        src = textwrap.dedent("""
+            latency = BS_IP_COST
+            run(load_cost=costs.load_cost)
+            barrier_cycles = DEFAULT_BARRIER_CYCLES
+        """)
+        assert rules(src) == []
+
+    def test_unrelated_names_pass(self):
+        assert rules("cost_estimate = 5\n") == []
+        assert rules("latency_bins = 8\n") == []
+
+    def test_isa_and_config_homes_exempt(self):
+        src = "BS_IP_COST = 1\nload_cost = 1\n"
+        assert rules(src, path="src/repro/core/isa.py") == []
+        assert rules(src, path="src/repro/core/config.py") == []
+
+    def test_cost_package_exempt(self):
+        assert rules("intercept_cycles = 57\n",
+                     path="src/repro/analysis/cost/calibrate.py") == []
+
+    def test_test_files_exempt(self):
+        assert rules("stall_cycles = 17\n",
+                     path="tests/core/test_gemm.py") == []
+
+    def test_noqa_suppresses(self):
+        assert rules(
+            "dram_latency = 80  # repro: noqa REP013\n") == []
+
+    def test_seeded_fixture_fires_in_place_exempt(self):
+        fixture = (Path(__file__).parent / "lint_fixtures"
+                   / "seeded_cycle_cost.py")
+        assert [d.rule for d in lint_paths([str(fixture)])
+                .diagnostics] == []
+
+    def test_shipped_sim_and_parallel_modules_are_clean(self):
+        src_root = Path(__file__).resolve().parents[2] / "src"
+        for mod in ("repro/sim/cache.py", "repro/core/parallel.py"):
+            assert [d.rule for d in
+                    lint_paths([str(src_root / mod)]).diagnostics] \
+                == [], mod

@@ -280,3 +280,133 @@ class TestRep012Fixture:
         cache_mod = (Path(__file__).resolve().parents[2]
                      / "src" / "repro" / "tuning" / "cache.py")
         assert main(["check", "--lint", str(cache_mod)]) == 0
+
+
+class TestCostPass:
+    """``--cost``: standalone, combined, all three formats, --fail-on."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_cost_cache(self, tmp_path, monkeypatch):
+        from repro.analysis.cost import COST_CACHE_ENV
+        from repro.analysis.cost.calibrate import clear_calibration_memo
+
+        monkeypatch.setenv(COST_CACHE_ENV, str(tmp_path / "costcache"))
+        clear_calibration_memo()
+        yield
+        clear_calibration_memo()
+
+    @pytest.fixture()
+    def narrow_model(self, tmp_path):
+        """One quant_linear whose N=4 cannot feed 4 workers."""
+        graph = GraphModel(nodes=[NodeSpec(
+            op="quant_linear",
+            attrs={"act_scale": 0.05, "act_bits": 8, "act_signed": True,
+                   "weight_bits": 8},
+            tensors={"weight": np.ones((4, 256)) * 0.05},
+        )])
+        path = tmp_path / "narrow.json"
+        graph.save(str(path))
+        return str(path)
+
+    def test_clean_model_exits_zero(self, clean_model, capsys):
+        assert main(["check", "--cost", clean_model]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_imbalance_is_warning_gated_by_fail_on(self, narrow_model):
+        assert main(["check", "--cost", narrow_model,
+                     "--cost-workers", "4"]) == 0
+        assert main(["check", "--cost", narrow_model,
+                     "--cost-workers", "4",
+                     "--fail-on", "warning"]) == 1
+
+    def test_json_format(self, narrow_model, capsys):
+        main(["check", "--cost", narrow_model, "--cost-workers", "4",
+              "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert any(d["rule"] == "COST-IMBALANCE"
+                   for d in payload["diagnostics"])
+
+    def test_sarif_format_registers_cost_rules(self, narrow_model,
+                                               tmp_path):
+        out_file = tmp_path / "cost.sarif"
+        main(["check", "--cost", narrow_model, "--cost-workers", "4",
+              "--format", "sarif", "--output", str(out_file)])
+        run = json.loads(out_file.read_text())["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        rule_ids = [r["id"] for r in rules]
+        for rid in ("COST-MODEL-DRIFT", "COST-BLOCKING-INEFFICIENT",
+                    "COST-IMBALANCE"):
+            assert rid in rule_ids
+        # ruleIndex convention: every result resolves into the
+        # driver's rule array at the id it names.
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+        assert any(r["ruleId"] == "COST-IMBALANCE"
+                   and r["level"] == "warning" for r in run["results"])
+
+    def test_combined_with_other_passes(self, clean_model, narrow_model,
+                                        tmp_path, capsys):
+        quiet = tmp_path / "quiet.py"
+        quiet.write_text("x = 1\n")
+        assert main(["check", "--graph", clean_model,
+                     "--lint", str(quiet),
+                     "--ranges", clean_model,
+                     "--cost", narrow_model,
+                     "--cost-workers", "4",
+                     "--fail-on", "warning"]) == 1
+        assert "COST-IMBALANCE" in capsys.readouterr().out
+
+    def test_missing_model_is_grf_parse(self, tmp_path, capsys):
+        assert main(["check",
+                     "--cost", str(tmp_path / "nope.json")]) == 1
+        assert "GRF-PARSE" in capsys.readouterr().out
+
+    def test_nothing_to_check_mentions_cost(self, capsys):
+        main(["check"])
+        assert "--cost" in capsys.readouterr().err
+
+
+class TestRep013Fixture:
+    """The seeded cycle-cost fixture fires in every format."""
+
+    @pytest.fixture()
+    def costly_file(self, tmp_path):
+        fixture = (Path(__file__).parent / "lint_fixtures"
+                   / "seeded_cycle_cost.py")
+        target = tmp_path / "sched" / "cycle_cost.py"
+        target.parent.mkdir()
+        target.write_text(fixture.read_text())
+        return str(target)
+
+    def test_text_format(self, costly_file, capsys):
+        assert main(["check", "--lint", costly_file]) == 1
+        out = capsys.readouterr().out
+        assert "REP013" in out
+        assert "ISA cost table" in out
+
+    def test_json_format(self, costly_file, capsys):
+        assert main(["check", "--lint", costly_file,
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        rep013 = [d for d in payload["diagnostics"]
+                  if d["rule"] == "REP013"]
+        assert len(rep013) == 3
+        assert all(d["path"] == costly_file for d in rep013)
+
+    def test_sarif_format(self, costly_file, tmp_path):
+        out_file = tmp_path / "report.sarif"
+        assert main(["check", "--lint", costly_file,
+                     "--format", "sarif",
+                     "--output", str(out_file)]) == 1
+        run = json.loads(out_file.read_text())["runs"][0]
+        assert any(r["ruleId"] == "REP013" and r["level"] == "error"
+                   for r in run["results"])
+        assert "REP013" in {r["id"] for r in
+                            run["tool"]["driver"]["rules"]}
+
+    def test_noqa_respected_end_to_end(self, tmp_path):
+        target = tmp_path / "pkg" / "timing.py"
+        target.parent.mkdir()
+        target.write_text(
+            "wakeup_latency = 9  # repro: noqa REP013\n")
+        assert main(["check", "--lint", str(target)]) == 0

@@ -210,10 +210,11 @@ class TestRuleDedup:
         from repro.analysis.astlint import LINT_RULES
         from repro.analysis.concurrency import CONC_RULES
         from repro.analysis.contracts import CONTRACT_RULES
+        from repro.analysis.cost import COST_RULES
         from repro.analysis.ranges import RANGES_RULES
         merged = {}
         for registry in (CONTRACT_RULES, LINT_RULES, CONC_RULES,
-                         RANGES_RULES):
+                         RANGES_RULES, COST_RULES):
             for rid, description in registry.items():
                 merged.setdefault(rid, description)
         assert set(merged) == set(ALL_RULES)

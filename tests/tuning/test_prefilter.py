@@ -1,0 +1,120 @@
+"""Analytic prefilter: same winners, half the wall-clock timing."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cost import COST_CACHE_ENV
+from repro.analysis.cost.calibrate import clear_calibration_memo
+from repro.core.config import MixGemmConfig
+from repro.tuning import TuneCache, tune_graph
+from repro.tuning.space import (
+    analytic_score,
+    candidate_space,
+    prefilter_candidates,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cost_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(COST_CACHE_ENV, str(tmp_path / "costcache"))
+    clear_calibration_memo()
+    yield
+    clear_calibration_memo()
+
+
+CONFIG = MixGemmConfig(bw_a=8, bw_b=8)
+M, N, K = 16, 16, 512
+
+
+def _space():
+    return candidate_space(CONFIG, M, N, K, event_mac_limit=0)
+
+
+class TestAnalyticScore:
+    def test_fast_backend_ranks_ahead_of_event(self):
+        space = candidate_space(CONFIG, 4, 4, 64)
+        fast = next(c for c in space if c.backend == "fast")
+        event = next(c for c in space if c.backend == "event")
+        assert analytic_score(CONFIG, fast, 4, 4, 64) < \
+            analytic_score(CONFIG, event, 4, 4, 64)
+
+    def test_score_is_deterministic(self):
+        cand = _space()[0]
+        assert analytic_score(CONFIG, cand, M, N, K) == \
+            analytic_score(CONFIG, cand, M, N, K)
+
+    def test_larger_gemm_costs_more(self):
+        cand = _space()[0]
+        small = analytic_score(CONFIG, cand, M, N, K)
+        large = analytic_score(CONFIG, cand, 4 * M, N, K)
+        assert large[1] > small[1]
+
+
+class TestPrefilterCandidates:
+    def test_keeps_default_at_index_zero(self):
+        space = _space()
+        kept, scored = prefilter_candidates(CONFIG, space, M, N, K)
+        assert kept[0] == space[0]
+        assert scored == len(space)
+
+    def test_times_at_most_half_of_large_spaces(self):
+        space = candidate_space(CONFIG, 4, 4, 512)  # event points too
+        assert len(space) > 4
+        kept, scored = prefilter_candidates(CONFIG, space, 4, 4, 512)
+        assert len(kept) <= max(2, scored // 2)
+
+    def test_preserves_original_order(self):
+        space = _space()
+        kept, _ = prefilter_candidates(CONFIG, space, M, N, K)
+        indices = [space.index(c) for c in kept]
+        assert indices == sorted(indices)
+
+    def test_tiny_spaces_pass_through(self):
+        space = _space()[:3]
+        assert len(space) <= 3
+        kept, scored = prefilter_candidates(CONFIG, space, M, N, K)
+        assert kept == space
+        assert scored == len(space)
+
+
+class TestCampaignEquivalence:
+    def _graph(self, k=512, n=16):
+        from repro.runtime.graph import GraphModel, NodeSpec
+
+        rng = np.random.default_rng(3)
+        node = NodeSpec(op="quant_linear", attrs={
+            "act_bits": 8, "weight_bits": 8,
+            "act_signed": True, "act_scale": 0.05})
+        node.tensors["weight"] = rng.standard_normal((n, k)) * 0.05
+        return GraphModel(nodes=[node], name="prefilter-probe")
+
+    def test_same_winner_as_exhaustive_sweep(self, tmp_path):
+        graph = self._graph()
+        x = np.random.default_rng(5).standard_normal((8, 512))
+        full = tune_graph(graph, x, cache=TuneCache(tmp_path / "full"),
+                          event_mac_limit=0)
+        pre = tune_graph(graph, x, cache=TuneCache(tmp_path / "pre"),
+                         event_mac_limit=0, analytic_prefilter=True)
+        (lo_full,), (lo_pre,) = full.layers, pre.layers
+        assert lo_pre.blocking == lo_full.blocking
+        assert lo_pre.backend == lo_full.backend
+        assert lo_pre.cores == lo_full.cores
+
+    def test_prefilter_records_scored_and_timed_counts(self, tmp_path):
+        graph = self._graph()
+        x = np.random.default_rng(5).standard_normal((8, 512))
+        pre = tune_graph(graph, x, cache=TuneCache(tmp_path / "pre"),
+                         event_mac_limit=0, analytic_prefilter=True)
+        (lo,) = pre.layers
+        assert lo.candidates_scored >= lo.candidates
+        assert lo.as_dict()["candidates_scored"] == lo.candidates_scored
+        assert "analytic prefilter" in pre.render()
+
+    def test_exhaustive_sweep_reports_no_scoring(self, tmp_path):
+        graph = self._graph()
+        x = np.random.default_rng(5).standard_normal((8, 512))
+        full = tune_graph(graph, x, cache=TuneCache(tmp_path / "full"),
+                          event_mac_limit=0)
+        (lo,) = full.layers
+        assert lo.candidates_scored == 0
+        assert "analytic prefilter" not in full.render()
